@@ -1,0 +1,124 @@
+// Ablations for the design choices DESIGN.md calls out, all on the cifar
+// profile with similarity 0% (where the regularizer matters most):
+//   (1) delayed vs per-step-fresh maps: rFedAvg+ with E=5 delayed maps vs
+//       E=1 with 5x rounds (every step synchronized — the O(N^2)-comm
+//       scheme the paper rejects). Same SGD-step budget; compare accuracy
+//       and total traffic.
+//   (2) pairwise maps (rFedAvg) vs averaged map (rFedAvg+) at the same
+//       budget: accuracy, per-round time, per-round bytes.
+//   (3) regularizer placement: feature layer vs logits.
+//   (4) contribution of the regularizer: lambda = 0 vs lambda*.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/rfedavg.h"
+#include "fl/trainer.h"
+#include "util/string_util.h"
+
+namespace rfed::bench {
+namespace {
+
+struct Outcome {
+  double accuracy = 0.0;
+  double seconds_per_round = 0.0;
+  int64_t total_bytes = 0;
+};
+
+Outcome RunCustom(const Workload& workload, const RegularizerOptions& reg,
+                  bool plus, int rounds) {
+  std::unique_ptr<FederatedAlgorithm> algorithm;
+  if (plus) {
+    algorithm = std::make_unique<RFedAvgPlus>(
+        workload.config, reg, &workload.train, workload.views,
+        workload.factory);
+  } else {
+    algorithm = std::make_unique<RFedAvg>(workload.config, reg,
+                                          &workload.train, workload.views,
+                                          workload.factory);
+  }
+  TrainerOptions options;
+  options.eval_every = rounds;  // final evaluation only
+  options.eval_max_examples = 400;
+  FederatedTrainer trainer(algorithm.get(), &workload.test, options);
+  RunHistory history = trainer.Run(rounds);
+  return Outcome{history.FinalAccuracy(), history.MeanRoundSeconds(),
+                 history.TotalBytes()};
+}
+
+void Run() {
+  const Deployment deploy = CrossSilo();
+  const int rounds = Scaled(25);
+  CsvWriter csv(ResultDir() + "/ablation_design.csv",
+                {"ablation", "variant", "accuracy", "sec_per_round",
+                 "total_bytes"});
+  auto emit = [&csv](const char* ablation, const std::string& variant,
+                     const Outcome& o) {
+    std::printf("  %-22s %-28s acc=%5.2f%%  %.3fs/round  %lld bytes\n",
+                ablation, variant.c_str(), 100.0 * o.accuracy,
+                o.seconds_per_round, static_cast<long long>(o.total_bytes));
+    csv.WriteRow({ablation, variant, FormatFixed(100.0 * o.accuracy, 2),
+                  FormatFixed(o.seconds_per_round, 4),
+                  std::to_string(o.total_bytes)});
+  };
+
+  std::printf("\nABLATIONS (cifar, cross-silo, sim 0%%)\n");
+  RegularizerOptions reg;
+  reg.lambda = 1e-3;
+
+  // (1) Delayed vs fresh maps at equal SGD-step budget.
+  {
+    Workload delayed = MakeImageWorkload("cifar", deploy, 0.0, 1);
+    emit("map-freshness", StrFormat("delayed E=%d R=%d",
+                                    deploy.local_steps, rounds),
+         RunCustom(delayed, reg, /*plus=*/true, rounds));
+    Deployment fresh_deploy = deploy;
+    fresh_deploy.local_steps = 1;
+    Workload fresh = MakeImageWorkload("cifar", fresh_deploy, 0.0, 1);
+    emit("map-freshness",
+         StrFormat("fresh E=1 R=%d", rounds * deploy.local_steps),
+         RunCustom(fresh, reg, /*plus=*/true, rounds * deploy.local_steps));
+  }
+
+  // (2) Pairwise vs averaged regularizer.
+  {
+    Workload workload = MakeImageWorkload("cifar", deploy, 0.0, 1);
+    emit("pairwise-vs-averaged", "rFedAvg (pairwise, local maps)",
+         RunCustom(workload, reg, /*plus=*/false, rounds));
+    emit("pairwise-vs-averaged", "rFedAvg+ (averaged, global maps)",
+         RunCustom(workload, reg, /*plus=*/true, rounds));
+  }
+
+  // (3) Regularizer placement.
+  {
+    Workload workload = MakeImageWorkload("cifar", deploy, 0.0, 1);
+    RegularizerOptions on_features = reg;
+    emit("placement", "feature layer (paper)",
+         RunCustom(workload, on_features, /*plus=*/true, rounds));
+    RegularizerOptions on_logits = reg;
+    on_logits.regularize_logits = true;
+    emit("placement", "logits layer",
+         RunCustom(workload, on_logits, /*plus=*/true, rounds));
+  }
+
+  // (4) Regularizer contribution.
+  {
+    Workload workload = MakeImageWorkload("cifar", deploy, 0.0, 1);
+    RegularizerOptions off;
+    off.lambda = 0.0;
+    emit("lambda", "lambda=0 (FedAvg-equivalent)",
+         RunCustom(workload, off, /*plus=*/true, rounds));
+    emit("lambda", StrFormat("lambda=%g (tuned)", reg.lambda),
+         RunCustom(workload, reg, /*plus=*/true, rounds));
+  }
+
+  std::printf("\nCSV: %s/ablation_design.csv\n", ResultDir().c_str());
+}
+
+}  // namespace
+}  // namespace rfed::bench
+
+int main() {
+  rfed::bench::Run();
+  return 0;
+}

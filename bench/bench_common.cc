@@ -1,0 +1,257 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "fl/fedavg.h"
+#include "fl/fedprox.h"
+#include "fl/qfedavg.h"
+#include "fl/scaffold.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rfed::bench {
+
+double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("RFED_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+int Scaled(int base, int min_value) {
+  const int v = static_cast<int>(base * BenchScale());
+  return v < min_value ? min_value : v;
+}
+
+std::string ResultDir() {
+  static const std::string dir = [] {
+    std::string d = "bench_results";
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+Deployment CrossSilo() {
+  // Paper: N=20, E=5, SR=1.0, B=100. Client count and batch are scaled
+  // for single-core simulation; E and SR are the paper's.
+  return Deployment{"cross-silo", 10, 5, 1.0, 24};
+}
+
+Deployment CrossDevice() {
+  // Paper: N=500, E=10, SR=0.2, B=32. N scaled to 50.
+  return Deployment{"cross-device", 50, 10, 0.2, 16};
+}
+
+namespace {
+
+CnnConfig CnnFor(const ImageProfile& profile) {
+  CnnConfig config;
+  config.in_channels = profile.channels;
+  config.image_size = profile.image_size;
+  config.conv1_channels = 4;
+  config.conv2_channels = 8;
+  config.feature_dim = 16;
+  config.num_classes = profile.num_classes;
+  return config;
+}
+
+FlConfig BaseConfig(const Deployment& deploy, uint64_t seed) {
+  FlConfig config;
+  config.local_steps = deploy.local_steps;
+  config.batch_size = deploy.batch_size;
+  config.sample_ratio = deploy.sample_ratio;
+  config.lr = 0.08;
+  config.seed = seed;
+  config.max_examples_per_pass = 192;
+  return config;
+}
+
+}  // namespace
+
+Workload MakeImageWorkload(const std::string& profile_name,
+                           const Deployment& deploy, double similarity,
+                           uint64_t seed) {
+  ImageProfile profile;
+  if (profile_name == "mnist") {
+    profile = MnistLikeProfile();
+  } else if (profile_name == "cifar") {
+    profile = CifarLikeProfile();
+  } else {
+    RFED_CHECK(false) << "unknown profile " << profile_name;
+  }
+  Rng rng(seed * 1000003 + 17);
+  SyntheticImageData data = GenerateImageData(
+      profile, Scaled(1500, 400), Scaled(400, 200), &rng);
+  ClientSplit split =
+      SimilarityPartition(data.train, deploy.num_clients, similarity, &rng);
+  // Per-client test slices for fairness evaluation, same partition rule.
+  ClientSplit test_split =
+      SimilarityPartition(data.test, deploy.num_clients, similarity, &rng);
+  std::vector<ClientView> views;
+  for (int k = 0; k < deploy.num_clients; ++k) {
+    views.push_back(ClientView{split.client_indices[static_cast<size_t>(k)],
+                               test_split.client_indices[static_cast<size_t>(k)]});
+  }
+  Workload workload{profile_name,
+                    StrFormat("sim%d", static_cast<int>(similarity * 100)),
+                    std::move(data.train),
+                    std::move(data.test),
+                    std::move(views),
+                    MakeCnnFactory(CnnFor(profile)),
+                    BaseConfig(deploy, seed),
+                    /*default_lambda=*/1e-3};
+  return workload;
+}
+
+Workload MakeTextWorkload(const Deployment& deploy, bool natural,
+                          uint64_t seed) {
+  TextProfile profile = Sent140LikeProfile();
+  profile.num_users = std::max(4 * deploy.num_clients, 40);
+  Rng rng(seed * 1000033 + 29);
+  SyntheticTextData data =
+      GenerateTextData(profile, Scaled(900, 300), Scaled(300, 150), &rng);
+  ClientSplit split;
+  if (natural) {
+    split = NaturalPartition(data.train_users, profile.num_users,
+                             deploy.num_clients, &rng);
+  } else {
+    split = IidPartition(data.train, deploy.num_clients, &rng);
+  }
+  std::vector<ClientView> views;
+  for (const auto& idx : split.client_indices) views.push_back({idx, {}});
+
+  LstmConfig mc;
+  mc.vocab_size = profile.vocab_size;
+  mc.embed_dim = 8;
+  mc.hidden_dim = 16;
+  mc.feature_dim = 16;
+  mc.num_classes = 2;
+
+  FlConfig config = BaseConfig(deploy, seed);
+  config.lr = 0.01;  // the paper's RMSProp rate for Sent140
+  config.optimizer = OptimizerKind::kRmsProp;
+  config.batch_size = 10;
+
+  return Workload{"sent140",
+                  natural ? "noniid" : "iid",
+                  std::move(data.train),
+                  std::move(data.test),
+                  std::move(views),
+                  MakeLstmFactory(mc),
+                  config,
+                  /*default_lambda=*/1e-4};
+}
+
+Workload MakeFemnistWorkload(int num_clients, int local_steps,
+                             double sample_ratio, uint64_t seed) {
+  ImageProfile profile = FemnistLikeProfile();
+  profile.num_writers = std::max(2 * num_clients, 100);
+  Rng rng(seed * 1000211 + 41);
+  SyntheticImageData data = GenerateImageData(
+      profile, Scaled(1500, 400), Scaled(400, 200), &rng);
+  ClientSplit split = NaturalPartition(data.train_writers,
+                                       profile.num_writers, num_clients, &rng);
+  std::vector<ClientView> views;
+  for (const auto& idx : split.client_indices) views.push_back({idx, {}});
+
+  FlConfig config;
+  config.local_steps = local_steps;
+  config.batch_size = 16;
+  config.sample_ratio = sample_ratio;
+  config.lr = 0.08;
+  config.seed = seed;
+  config.max_examples_per_pass = 192;
+
+  return Workload{"femnist", "natural",       std::move(data.train),
+                  std::move(data.test),       std::move(views),
+                  MakeCnnFactory(CnnFor(profile)), config,
+                  /*default_lambda=*/1e-3};
+}
+
+std::vector<std::string> AllMethodNames() {
+  return {"FedAvg", "FedProx", "Scaffold", "q-FedAvg", "rFedAvg", "rFedAvg+"};
+}
+
+std::unique_ptr<FederatedAlgorithm> MakeAlgorithm(const std::string& name,
+                                                  const Workload& workload,
+                                                  uint64_t seed) {
+  FlConfig config = workload.config;
+  config.seed = seed;
+  const Dataset* train = &workload.train;
+  const bool is_text = workload.dataset == "sent140";
+  if (name == "FedAvg") {
+    return std::make_unique<FedAvg>(config, train, workload.views,
+                                    workload.factory);
+  }
+  if (name == "FedProx") {
+    // Paper: mu = 1.0 on images, 0.01 on Sent140.
+    return std::make_unique<FedProx>(config, is_text ? 0.01 : 1.0, train,
+                                     workload.views, workload.factory);
+  }
+  if (name == "Scaffold") {
+    return std::make_unique<Scaffold>(config, train, workload.views,
+                                      workload.factory);
+  }
+  if (name == "q-FedAvg") {
+    // Paper: q = 1.0 on images, 1e-4 on Sent140.
+    return std::make_unique<QFedAvg>(config, is_text ? 1e-4 : 1.0, train,
+                                     workload.views, workload.factory);
+  }
+  RegularizerOptions reg;
+  reg.lambda = workload.default_lambda;
+  if (name == "rFedAvg") {
+    return std::make_unique<RFedAvg>(config, reg, train, workload.views,
+                                     workload.factory);
+  }
+  if (name == "rFedAvg+") {
+    return std::make_unique<RFedAvgPlus>(config, reg, train, workload.views,
+                                         workload.factory);
+  }
+  RFED_CHECK(false) << "unknown method " << name;
+  return nullptr;
+}
+
+RunHistory RunMethod(const std::string& method, const Workload& workload,
+                     int rounds, uint64_t seed, int eval_every) {
+  auto algorithm = MakeAlgorithm(method, workload, seed);
+  TrainerOptions options;
+  options.eval_every = eval_every;
+  options.eval_max_examples = 400;
+  FederatedTrainer trainer(algorithm.get(), &workload.test, options);
+  return trainer.Run(rounds);
+}
+
+std::string Cell(const std::vector<double>& accuracies_percent) {
+  const MeanStd ms = ComputeMeanStd(accuracies_percent);
+  return StrFormat("%5.2f +- %4.2f", ms.mean, ms.stddev);
+}
+
+}  // namespace rfed::bench
+
+namespace rfed::bench {
+
+void RunCurveSet(const std::string& setting_label, const Workload& workload,
+                 int rounds, uint64_t seed, CsvWriter* csv) {
+  for (const std::string& method : AllMethodNames()) {
+    RunHistory history = RunMethod(method, workload, rounds, seed,
+                                   /*eval_every=*/1);
+    for (const RoundMetrics& r : history.rounds) {
+      csv->WriteRow({setting_label, method, std::to_string(r.round),
+                     StrFormat("%.4f", r.train_loss),
+                     StrFormat("%.4f", r.test_accuracy)});
+    }
+    std::printf("  %-22s %-9s final=%5.2f%% best=%5.2f%%\n",
+                setting_label.c_str(), method.c_str(),
+                100.0 * history.FinalAccuracy(),
+                100.0 * history.BestAccuracy());
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace rfed::bench

@@ -1,0 +1,94 @@
+#ifndef RFED_BENCH_BENCH_COMMON_H_
+#define RFED_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rfedavg.h"
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "data/synthetic_text.h"
+#include "fl/algorithm.h"
+#include "fl/metrics.h"
+#include "fl/trainer.h"
+#include "util/csv_writer.h"
+
+namespace rfed::bench {
+
+/// Global scale knob: RFED_BENCH_SCALE (default 1.0) multiplies round
+/// counts and dataset sizes. 1.0 finishes the whole suite in tens of
+/// minutes on one core; >= 2 approaches the paper's budgets.
+double BenchScale();
+
+/// Rounds/examples scaled by BenchScale() (at least `min_value`).
+int Scaled(int base, int min_value = 1);
+
+/// Directory all bench CSVs are written to (bench_results/, created on
+/// first use).
+std::string ResultDir();
+
+/// The two deployment settings of Sec. VI-A, scaled from the paper's
+/// N=20 (cross-silo) and N=500 (cross-device).
+struct Deployment {
+  std::string name;
+  int num_clients;
+  int local_steps;
+  double sample_ratio;
+  int batch_size;
+};
+Deployment CrossSilo();
+Deployment CrossDevice();
+
+/// A fully prepared benchmark workload: data, split and model factory.
+struct Workload {
+  std::string dataset;   // "mnist", "cifar", "sent140", "femnist"
+  std::string setting;   // e.g. "sim0", "sim10", "sim100", "natural", "iid"
+  Dataset train;
+  Dataset test;
+  std::vector<ClientView> views;
+  ModelFactory factory;
+  FlConfig config;
+  double default_lambda;  // the paper's per-dataset λ
+};
+
+/// Builds an image workload (mnist/cifar profile) under a deployment with
+/// the similarity-s partition. similarity: 0, 0.1 or 1.0.
+Workload MakeImageWorkload(const std::string& profile_name,
+                           const Deployment& deploy, double similarity,
+                           uint64_t seed);
+
+/// Builds the sent140 LSTM workload. natural == true keeps the per-user
+/// split; false shuffles users away (the paper's IID setting).
+Workload MakeTextWorkload(const Deployment& deploy, bool natural,
+                          uint64_t seed);
+
+/// Builds the femnist workload with its natural writer partition.
+Workload MakeFemnistWorkload(int num_clients, int local_steps,
+                             double sample_ratio, uint64_t seed);
+
+/// The six compared methods (paper Sec. VI-A). Hyperparameters follow the
+/// paper: FedProx mu, Scaffold eta_g = 1, q-FedAvg q, rFedAvg λ.
+std::unique_ptr<FederatedAlgorithm> MakeAlgorithm(const std::string& name,
+                                                  const Workload& workload,
+                                                  uint64_t seed);
+std::vector<std::string> AllMethodNames();
+
+/// Runs one algorithm on a workload for `rounds` rounds; evaluation
+/// subsampling/cadence tuned for bench speed.
+RunHistory RunMethod(const std::string& method, const Workload& workload,
+                     int rounds, uint64_t seed, int eval_every = 1);
+
+/// Pretty-prints a "mean ± std" cell.
+std::string Cell(const std::vector<double>& accuracies_percent);
+
+/// Runs all six methods on one workload, appends per-round
+/// (setting, method, round, train_loss, test_accuracy) rows to *csv and
+/// prints a per-method summary line. Shared by the curve figures
+/// (Figs. 2-8).
+void RunCurveSet(const std::string& setting_label, const Workload& workload,
+                 int rounds, uint64_t seed, CsvWriter* csv);
+
+}  // namespace rfed::bench
+
+#endif  // RFED_BENCH_BENCH_COMMON_H_

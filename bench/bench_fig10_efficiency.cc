@@ -1,0 +1,87 @@
+// Reproduces Fig. 10: efficiency evaluation.
+//   (a, b) minimal communication rounds to reach fixed accuracy levels
+//          (mnist and cifar profiles, cross-device non-IID);
+//   (c, d) per-round training time of FedAvg / rFedAvg / rFedAvg+
+//          (similarity 0% and 10%).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+namespace rfed::bench {
+namespace {
+
+void Run() {
+  CsvWriter rounds_csv(ResultDir() + "/fig10ab_rounds_to_accuracy.csv",
+                       {"dataset", "method", "target", "rounds"});
+  CsvWriter time_csv(ResultDir() + "/fig10cd_round_time.csv",
+                     {"dataset", "setting", "method", "seconds_per_round"});
+
+  const Deployment deploy = CrossDevice();
+  const std::vector<std::string> methods = {"FedAvg", "rFedAvg", "rFedAvg+"};
+
+  // (a, b) rounds to reach accuracy levels.
+  struct Task {
+    const char* dataset;
+    int rounds;
+    std::vector<double> targets;
+  };
+  const Task tasks[] = {
+      {"mnist", Scaled(20), {0.5, 0.7, 0.8}},
+      {"cifar", Scaled(30), {0.15, 0.20, 0.25}},
+  };
+  std::printf("\nFIG 10a/b: minimal rounds to reach accuracy "
+              "(cross-device, sim 0%%)\n");
+  for (const Task& task : tasks) {
+    Workload workload = MakeImageWorkload(task.dataset, deploy, 0.0, 1);
+    std::printf("  %s:\n", task.dataset);
+    for (const std::string& method : methods) {
+      RunHistory history =
+          RunMethod(method, workload, task.rounds, /*seed=*/1,
+                    /*eval_every=*/1);
+      std::printf("    %-9s", method.c_str());
+      for (double target : task.targets) {
+        const int needed = history.RoundsToReach(target);
+        std::printf("  acc>=%.2f: %s", target,
+                    needed < 0 ? "n/a" : std::to_string(needed).c_str());
+        rounds_csv.WriteRow({task.dataset, method, FormatFixed(target, 2),
+                             std::to_string(needed)});
+      }
+      std::printf("\n");
+    }
+  }
+
+  // (c, d) training time per round.
+  std::printf("\nFIG 10c/d: mean training time per round (seconds)\n");
+  for (const char* dataset : {"mnist", "cifar"}) {
+    for (double similarity : {0.0, 0.1}) {
+      Workload workload = MakeImageWorkload(dataset, deploy, similarity, 1);
+      const std::string setting = StrFormat(
+          "sim%d", static_cast<int>(similarity * 100));
+      std::printf("  %s %s:", dataset, setting.c_str());
+      for (const std::string& method : methods) {
+        RunHistory history =
+            RunMethod(method, workload, Scaled(6), /*seed=*/1,
+                      /*eval_every=*/100);
+        const double sec = history.MeanRoundSeconds();
+        std::printf("  %s=%.3fs", method.c_str(), sec);
+        time_csv.WriteRow({dataset, setting, method, FormatFixed(sec, 4)});
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("  (expected shape: rFedAvg slowest — it evaluates the\n"
+              "   regularizer against N-1 maps; rFedAvg+ close to FedAvg)\n");
+  std::printf("\nCSV: %s/fig10ab_rounds_to_accuracy.csv, "
+              "%s/fig10cd_round_time.csv\n",
+              ResultDir().c_str(), ResultDir().c_str());
+}
+
+}  // namespace
+}  // namespace rfed::bench
+
+int main() {
+  rfed::bench::Run();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Figs. 6 and 7: accuracy and loss curves on the sent140
+// profile (2-layer LSTM + FC trained with RMSProp) — cross-device and
+// cross-silo, natural non-IID (per-user) and IID shuffles.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace rfed::bench {
+namespace {
+
+void Run() {
+  const int rounds = Scaled(8);
+  std::printf("\nFIG 6/7: Sent140 accuracy & loss curves (%d rounds)\n",
+              rounds);
+  CsvWriter csv(ResultDir() + "/fig6_7_sent140_curves.csv",
+                {"setting", "method", "round", "train_loss",
+                 "test_accuracy"});
+  struct Setting {
+    const char* label;
+    Deployment deploy;
+    bool natural;
+  };
+  const Setting settings[] = {
+      {"cross-device noniid", CrossDevice(), true},
+      {"cross-device iid", CrossDevice(), false},
+      {"cross-silo noniid", CrossSilo(), true},
+      {"cross-silo iid", CrossSilo(), false},
+  };
+  for (const Setting& s : settings) {
+    Workload workload = MakeTextWorkload(s.deploy, s.natural, 1);
+    RunCurveSet(s.label, workload, rounds, /*seed=*/1, &csv);
+  }
+  std::printf("\nCSV: %s/fig6_7_sent140_curves.csv\n", ResultDir().c_str());
+}
+
+}  // namespace
+}  // namespace rfed::bench
+
+int main() {
+  rfed::bench::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Fig. 8: accuracy curves on the femnist profile (natural
+// writer partition + quantity skew) with two client counts and two cost
+// settings — low cost (SR=0.1, E=10) and high cost (SR=0.2, E=20),
+// scaled from the paper's 100/500 clients.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace rfed::bench {
+namespace {
+
+void Run() {
+  const int rounds = Scaled(12);
+  std::printf("\nFIG 8: FEMNIST curves, natural writer split (%d rounds)\n",
+              rounds);
+  CsvWriter csv(ResultDir() + "/fig8_femnist.csv",
+                {"setting", "method", "round", "train_loss",
+                 "test_accuracy"});
+  struct Setting {
+    const char* label;
+    int clients;
+    double sample_ratio;
+    int local_steps;
+  };
+  // Paper: 100/500 clients (scaled to 20/50), low cost SR=.1 E=10,
+  // high cost SR=.2 E=20.
+  const Setting settings[] = {
+      {"clients20 low-cost", 20, 0.1, 10},
+      {"clients20 high-cost", 20, 0.2, 20},
+      {"clients50 low-cost", 50, 0.1, 10},
+      {"clients50 high-cost", 50, 0.2, 20},
+  };
+  for (const Setting& s : settings) {
+    Workload workload =
+        MakeFemnistWorkload(s.clients, s.local_steps, s.sample_ratio, 1);
+    RunCurveSet(s.label, workload, rounds, /*seed=*/1, &csv);
+  }
+  std::printf("\nCSV: %s/fig8_femnist.csv\n", ResultDir().c_str());
+}
+
+}  // namespace
+}  // namespace rfed::bench
+
+int main() {
+  rfed::bench::Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Fig. 9: the parameter study on the cifar profile with
+// totally non-IID data (similarity 0%):
+//   (a) impact of the regularizer weight λ,
+//   (b) impact of the number of clients N (fixed SR),
+//   (c) impact of the number of local steps E (same round budget),
+//   (d) impact of the sample ratio SR (fixed N).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+namespace rfed::bench {
+namespace {
+
+double RunOnce(const Workload& workload, int rounds) {
+  return 100.0 *
+         RunMethod("rFedAvg+", workload, rounds, /*seed=*/1, /*eval_every=*/4)
+             .FinalAccuracy();
+}
+
+void Run() {
+  const int rounds = Scaled(20);
+  CsvWriter csv(ResultDir() + "/fig9_params.csv",
+                {"study", "value", "accuracy"});
+  std::printf("\nFIG 9: parameter study on cifar, similarity 0%% "
+              "(%d rounds, rFedAvg+)\n", rounds);
+
+  // (a) λ sweep — FedAvg (λ=0) is the reference line in the paper's plot.
+  {
+    Deployment deploy = CrossDevice();
+    Workload workload = MakeImageWorkload("cifar", deploy, 0.0, 1);
+    std::printf(" (a) impact of lambda\n");
+    const double fedavg = 100.0 *
+        RunMethod("FedAvg", workload, rounds, 1, 4).FinalAccuracy();
+    std::printf("     FedAvg (reference)   acc=%5.2f%%\n", fedavg);
+    csv.WriteRow({"lambda", "0", FormatFixed(fedavg, 2)});
+    for (double lambda : {1e-4, 1e-3, 1e-2, 5e-2}) {
+      Workload w = MakeImageWorkload("cifar", deploy, 0.0, 1);
+      w.default_lambda = lambda;
+      const double acc = RunOnce(w, rounds);
+      std::printf("     lambda=%-8g acc=%5.2f%%\n", lambda, acc);
+      csv.WriteRow({"lambda", StrFormat("%g", lambda), FormatFixed(acc, 2)});
+    }
+  }
+
+  // (b) N sweep with fixed SR=0.2.
+  {
+    std::printf(" (b) impact of N (SR=0.2)\n");
+    for (int n : {10, 20, 50}) {
+      Deployment deploy = CrossDevice();
+      deploy.num_clients = n;
+      Workload workload = MakeImageWorkload("cifar", deploy, 0.0, 1);
+      const double acc = RunOnce(workload, rounds);
+      std::printf("     N=%-4d acc=%5.2f%%\n", n, acc);
+      csv.WriteRow({"N", std::to_string(n), FormatFixed(acc, 2)});
+    }
+  }
+
+  // (c) E sweep with the same number of communication rounds.
+  {
+    std::printf(" (c) impact of E (same %d rounds)\n", rounds);
+    for (int e : {1, 2, 5, 10}) {
+      Deployment deploy = CrossDevice();
+      deploy.local_steps = e;
+      Workload workload = MakeImageWorkload("cifar", deploy, 0.0, 1);
+      const double acc = RunOnce(workload, rounds);
+      std::printf("     E=%-4d acc=%5.2f%%\n", e, acc);
+      csv.WriteRow({"E", std::to_string(e), FormatFixed(acc, 2)});
+    }
+  }
+
+  // (d) SR sweep with fixed N.
+  {
+    std::printf(" (d) impact of SR (N=%d)\n", CrossDevice().num_clients);
+    for (double sr : {0.1, 0.2, 0.5, 1.0}) {
+      Deployment deploy = CrossDevice();
+      deploy.sample_ratio = sr;
+      Workload workload = MakeImageWorkload("cifar", deploy, 0.0, 1);
+      const double acc = RunOnce(workload, rounds);
+      std::printf("     SR=%-4g acc=%5.2f%%\n", sr, acc);
+      csv.WriteRow({"SR", StrFormat("%g", sr), FormatFixed(acc, 2)});
+    }
+  }
+
+  std::printf("\nCSV: %s/fig9_params.csv\n", ResultDir().c_str());
+}
+
+}  // namespace
+}  // namespace rfed::bench
+
+int main() {
+  rfed::bench::Run();
+  return 0;
+}

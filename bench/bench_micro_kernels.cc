@@ -1,0 +1,115 @@
+// Google-benchmark microbenchmarks of the numeric kernels the simulator
+// spends its time in: GEMM, im2col convolution, LSTM step, the MMD
+// regularizer and the δ-map computation. Useful for tracking kernel
+// regressions independently of the end-to-end experiment binaries.
+
+#include <benchmark/benchmark.h>
+
+#include "core/mmd.h"
+#include "nn/lstm.h"
+#include "nn/models.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace rfed {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Normal(Shape{n, n}, 0, 1, &rng);
+  Tensor b = Tensor::Normal(Shape{n, n}, 0, 1, &rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Conv2dSpec spec{.in_channels = 3, .out_channels = 8, .kernel = 5,
+                  .stride = 1, .pad = 2};
+  Rng rng(2);
+  Tensor x = Tensor::Normal(Shape{batch, 3, 12, 12}, 0, 1, &rng);
+  Tensor w = Tensor::Normal(Shape{8, 75}, 0, 0.1f, &rng);
+  Tensor b(Shape{8});
+  for (auto _ : state) {
+    Tensor y = Conv2dForward(x, w, b, spec);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(32);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Conv2dSpec spec{.in_channels = 3, .out_channels = 8, .kernel = 5,
+                  .stride = 1, .pad = 2};
+  Rng rng(3);
+  Tensor x = Tensor::Normal(Shape{batch, 3, 12, 12}, 0, 1, &rng);
+  Tensor w = Tensor::Normal(Shape{8, 75}, 0, 0.1f, &rng);
+  Tensor b(Shape{8});
+  Tensor y = Conv2dForward(x, w, b, spec);
+  Tensor grad = Tensor::Full(y.shape(), 1.0f);
+  for (auto _ : state) {
+    Tensor dx, dw, db;
+    Conv2dBackward(grad, x, w, spec, &dx, &dw, &db);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(32);
+
+void BM_LstmStep(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(4);
+  LstmLayer lstm(16, 32, &rng);
+  Variable x(Tensor::Normal(Shape{batch, 16}, 0, 1, &rng));
+  auto init = lstm.InitialState(batch);
+  for (auto _ : state) {
+    auto next = lstm.Step(x, init);
+    benchmark::DoNotOptimize(next.h.value().data());
+  }
+}
+BENCHMARK(BM_LstmStep)->Arg(10)->Arg(32);
+
+void BM_PairwiseMmdRegularizer(benchmark::State& state) {
+  const int num_targets = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Tensor features = Tensor::Normal(Shape{32, 64}, 0, 1, &rng);
+  std::vector<Tensor> targets;
+  for (int j = 0; j < num_targets; ++j) {
+    targets.push_back(Tensor::Normal(Shape{64}, 0, 1, &rng));
+  }
+  for (auto _ : state) {
+    Variable f(features, true);
+    Variable r = PairwiseMmdRegularizer(f, targets);
+    r.Backward();
+    benchmark::DoNotOptimize(f.grad().data());
+  }
+}
+// The rFedAvg-vs-rFedAvg+ per-step regularizer cost gap: N-1 targets vs 1.
+BENCHMARK(BM_PairwiseMmdRegularizer)->Arg(1)->Arg(19)->Arg(99);
+
+void BM_CnnForwardBackward(benchmark::State& state) {
+  Rng rng(6);
+  CnnConfig config;
+  config.in_channels = 3;
+  CnnModel model(config, &rng);
+  Batch batch;
+  batch.images = Tensor::Normal(Shape{24, 3, 12, 12}, 0, 1, &rng);
+  for (int i = 0; i < 24; ++i) batch.labels.push_back(i % 10);
+  for (auto _ : state) {
+    ModelOutput out = model.Forward(batch);
+    Variable loss = ag::SoftmaxCrossEntropy(out.logits, batch.labels);
+    model.ZeroGrad();
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.value().ToScalar());
+  }
+}
+BENCHMARK(BM_CnnForwardBackward);
+
+}  // namespace
+}  // namespace rfed
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Reproduces Table I: test accuracy in the cross-silo setting
+// (paper: N=20, E=5, SR=1.0) on the mnist / cifar profiles at similarity
+// 0% / 10% / 100% and the sent140 profile (non-IID / IID), mean ± std
+// over seeds, for the six compared methods.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+
+namespace rfed::bench {
+namespace {
+
+struct Column {
+  std::string dataset;
+  std::string setting_label;
+  double similarity;  // images only
+  bool natural;       // sent140 only
+  int rounds;
+};
+
+void Run() {
+  const Deployment deploy = CrossSilo();
+  const std::vector<Column> columns = {
+      {"mnist", "Sim 0%", 0.0, false, Scaled(15)},
+      {"mnist", "Sim 10%", 0.1, false, Scaled(15)},
+      {"mnist", "Sim 100%", 1.0, false, Scaled(15)},
+      {"cifar", "Sim 0%", 0.0, false, Scaled(30)},
+      {"cifar", "Sim 10%", 0.1, false, Scaled(30)},
+      {"cifar", "Sim 100%", 1.0, false, Scaled(30)},
+      {"sent140", "Non-IID", 0.0, true, Scaled(8)},
+      {"sent140", "IID", 0.0, false, Scaled(8)},
+  };
+  const std::vector<uint64_t> seeds = {1, 2};
+
+  CsvWriter csv(ResultDir() + "/table1_cross_silo.csv",
+                {"dataset", "setting", "method", "seed", "accuracy"});
+
+  // results[column][method] -> accuracies (percent).
+  std::map<int, std::map<std::string, std::vector<double>>> results;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const Column& column = columns[c];
+    for (uint64_t seed : seeds) {
+      Workload workload =
+          column.dataset == "sent140"
+              ? MakeTextWorkload(deploy, column.natural, seed)
+              : MakeImageWorkload(column.dataset, deploy, column.similarity,
+                                  seed);
+      for (const std::string& method : AllMethodNames()) {
+        RunHistory history =
+            RunMethod(method, workload, column.rounds, seed,
+                      /*eval_every=*/4);
+        const double acc = 100.0 * history.FinalAccuracy();
+        results[static_cast<int>(c)][method].push_back(acc);
+        csv.WriteRow({column.dataset, column.setting_label, method,
+                      std::to_string(seed), FormatFixed(acc, 2)});
+        std::fprintf(stderr, "[table1] %s %s %s seed=%llu acc=%.2f\n",
+                     column.dataset.c_str(), column.setting_label.c_str(),
+                     method.c_str(),
+                     static_cast<unsigned long long>(seed), acc);
+      }
+    }
+  }
+
+  std::printf(
+      "\nTABLE I: Test accuracy (%%) in the cross-silo setting "
+      "(N=%d, E=%d, SR=%.1f; scaled reproduction)\n",
+      deploy.num_clients, deploy.local_steps, deploy.sample_ratio);
+  std::printf("%-10s", "Method");
+  for (const Column& column : columns) {
+    std::printf(" | %s %s", column.dataset.c_str(),
+                column.setting_label.c_str());
+  }
+  std::printf("\n");
+  for (const std::string& method : AllMethodNames()) {
+    std::printf("%-10s", method.c_str());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      std::printf(" | %s",
+                  Cell(results[static_cast<int>(c)][method]).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nCSV: %s/table1_cross_silo.csv\n", ResultDir().c_str());
+}
+
+}  // namespace
+}  // namespace rfed::bench
+
+int main() {
+  rfed::bench::Run();
+  return 0;
+}

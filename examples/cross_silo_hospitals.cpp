@@ -1,0 +1,118 @@
+// Cross-silo scenario: a handful of "hospitals" jointly train a
+// 10-class diagnostic image model. Each hospital's case mix is skewed
+// (label-distribution skew), the classic cross-silo non-IID pattern the
+// paper's intro motivates. The example compares all six algorithms of
+// the paper's evaluation and reports both overall accuracy and the
+// worst-hospital accuracy (fairness), each hospital evaluating on its
+// own held-out cases.
+//
+// Build & run:  ./build/examples/cross_silo_hospitals
+
+#include <cstdio>
+
+#include "analysis/stats.h"
+#include "core/rfedavg.h"
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "fl/fedavg.h"
+#include "fl/fedprox.h"
+#include "fl/qfedavg.h"
+#include "fl/scaffold.h"
+#include "fl/trainer.h"
+
+namespace {
+
+constexpr int kHospitals = 10;
+constexpr int kRounds = 20;
+
+struct Result {
+  std::string method;
+  double accuracy;
+  double worst_hospital;
+};
+
+}  // namespace
+
+int main() {
+  using namespace rfed;
+
+  // The "hard" image profile stands in for a realistic diagnostic task.
+  Rng rng(7);
+  SyntheticImageData data =
+      GenerateImageData(CifarLikeProfile(), /*train=*/1500, /*test=*/400,
+                        &rng);
+
+  // Skewed case mix: similarity 0% = each hospital dominated by one or
+  // two conditions. Each hospital also holds a private test slice with
+  // the same skew.
+  ClientSplit train_split =
+      SimilarityPartition(data.train, kHospitals, 0.0, &rng);
+  ClientSplit test_split =
+      SimilarityPartition(data.test, kHospitals, 0.0, &rng);
+  std::vector<ClientView> views;
+  for (int k = 0; k < kHospitals; ++k) {
+    views.push_back(ClientView{train_split.client_indices[k],
+                               test_split.client_indices[k]});
+  }
+
+  CnnConfig model_config;
+  model_config.in_channels = 3;
+  model_config.feature_dim = 16;
+  FlConfig fl;
+  fl.local_steps = 5;     // cross-silo setting of the paper
+  fl.sample_ratio = 1.0;  // every silo participates each round
+  fl.batch_size = 24;
+  fl.lr = 0.08;
+  fl.seed = 3;
+  ModelFactory factory = MakeCnnFactory(model_config);
+
+  TrainerOptions eval;
+  eval.eval_every = 5;
+  eval.eval_max_examples = 400;
+
+  auto evaluate = [&](FederatedAlgorithm* algorithm) {
+    FederatedTrainer trainer(algorithm, &data.test, eval);
+    RunHistory history = trainer.Run(kRounds);
+    const auto per_hospital =
+        DropNan(trainer.PerClientAccuracy(&data.test, views));
+    return Result{algorithm->name(), history.FinalAccuracy(),
+                  MinOf(per_hospital)};
+  };
+
+  std::vector<Result> results;
+  {
+    FedAvg a(fl, &data.train, views, factory);
+    results.push_back(evaluate(&a));
+  }
+  {
+    FedProx a(fl, /*mu=*/1.0, &data.train, views, factory);
+    results.push_back(evaluate(&a));
+  }
+  {
+    Scaffold a(fl, &data.train, views, factory);
+    results.push_back(evaluate(&a));
+  }
+  {
+    QFedAvg a(fl, /*q=*/1.0, &data.train, views, factory);
+    results.push_back(evaluate(&a));
+  }
+  RegularizerOptions reg;
+  reg.lambda = 1e-3;
+  {
+    RFedAvg a(fl, reg, &data.train, views, factory);
+    results.push_back(evaluate(&a));
+  }
+  {
+    RFedAvgPlus a(fl, reg, &data.train, views, factory);
+    results.push_back(evaluate(&a));
+  }
+
+  std::printf("\nCross-silo hospitals (N=%d, E=%d, %d rounds, skewed case "
+              "mix)\n", kHospitals, fl.local_steps, kRounds);
+  std::printf("%-10s %-14s %-18s\n", "method", "accuracy", "worst hospital");
+  for (const Result& r : results) {
+    std::printf("%-10s %-14.3f %-18.3f\n", r.method.c_str(), r.accuracy,
+                r.worst_hospital);
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Configurable experiment runner — the "downstream user" entry point.
+// Pick a dataset profile, partition, algorithm and hyperparameters from
+// the command line and get the training curve plus communication totals.
+//
+// Examples:
+//   ./build/examples/experiment_cli --dataset cifar --method rFedAvg+
+//       --clients 10 --similarity 0 --rounds 20 --lambda 1e-3
+//   ./build/examples/experiment_cli --dataset sent140 --method FedAvg
+//       --clients 20 --sample_ratio 0.2 --rounds 10
+//   ./build/examples/experiment_cli --dataset mnist --method Scaffold
+//       --compressor topk10 --selection loss
+//
+// Flags (defaults in parentheses):
+//   --dataset mnist|cifar|femnist|sent140 (mnist)   --method <name> (rFedAvg+)
+//   --clients N (10)        --similarity 0..1 (0)   --rounds C (15)
+//   --local_steps E (5)     --batch B (24)          --sample_ratio SR (1.0)
+//   --lr (0.08 / 0.01 text) --lambda (1e-3 / 1e-4)  --dp_sigma (0)
+//   --compressor none|q8|q4|topk10|topk1|sketch (none)
+//   --selection uniform|loss (uniform)
+//   --model cnn|mlp (cnn, image datasets only)
+//   --train_examples (1500) --test_examples (400)   --seed (1)
+//   --fine_tune (false: also report personalized accuracy)
+
+#include <cstdio>
+
+#include "core/personalization.h"
+#include "core/rfedavg.h"
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "data/synthetic_text.h"
+#include "fl/fedavg.h"
+#include "fl/fednova.h"
+#include "fl/fedprox.h"
+#include "fl/qfedavg.h"
+#include "fl/scaffold.h"
+#include "fl/trainer.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace rfed;
+
+std::unique_ptr<FederatedAlgorithm> Build(
+    const std::string& method, const FlConfig& fl,
+    const RegularizerOptions& reg, const Dataset* train,
+    const std::vector<ClientView>& views, const ModelFactory& factory) {
+  if (method == "FedAvg") {
+    return std::make_unique<FedAvg>(fl, train, views, factory);
+  }
+  if (method == "FedProx") {
+    return std::make_unique<FedProx>(fl, 1.0, train, views, factory);
+  }
+  if (method == "Scaffold") {
+    return std::make_unique<Scaffold>(fl, train, views, factory);
+  }
+  if (method == "q-FedAvg") {
+    return std::make_unique<QFedAvg>(fl, 1.0, train, views, factory);
+  }
+  if (method == "FedNova") {
+    return std::make_unique<FedNova>(fl, 4 * fl.local_steps, train, views,
+                                     factory);
+  }
+  if (method == "rFedAvg") {
+    return std::make_unique<RFedAvg>(fl, reg, train, views, factory);
+  }
+  if (method == "rFedAvg+") {
+    return std::make_unique<RFedAvgPlus>(fl, reg, train, views, factory);
+  }
+  std::fprintf(stderr, "unknown --method %s\n", method.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::string dataset = flags.GetString("dataset", "mnist");
+  const std::string method = flags.GetString("method", "rFedAvg+");
+  const int clients = flags.GetInt("clients", 10);
+  const double similarity = flags.GetDouble("similarity", 0.0);
+  const int rounds = flags.GetInt("rounds", 15);
+  const int train_examples = flags.GetInt("train_examples", 1500);
+  const int test_examples = flags.GetInt("test_examples", 400);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const bool is_text = dataset == "sent140";
+
+  FlConfig fl;
+  fl.local_steps = flags.GetInt("local_steps", 5);
+  fl.batch_size = flags.GetInt("batch", is_text ? 10 : 24);
+  fl.sample_ratio = flags.GetDouble("sample_ratio", 1.0);
+  fl.lr = flags.GetDouble("lr", is_text ? 0.01 : 0.08);
+  fl.optimizer = is_text ? OptimizerKind::kRmsProp : OptimizerKind::kSgd;
+  fl.seed = seed;
+  fl.upload_compressor = flags.GetString("compressor", "none");
+  fl.client_selection = flags.GetString("selection", "uniform");
+
+  RegularizerOptions reg;
+  reg.lambda = flags.GetDouble("lambda", is_text ? 1e-4 : 1e-3);
+  reg.dp.sigma = flags.GetDouble("dp_sigma", 0.0);
+  reg.dp.batch_size = fl.batch_size;
+
+  // Data + partition + model.
+  Rng rng(seed);
+  std::unique_ptr<Dataset> train, test;
+  std::vector<ClientView> views;
+  ModelFactory factory;
+  if (is_text) {
+    TextProfile profile = Sent140LikeProfile();
+    profile.num_users = std::max(4 * clients, 40);
+    auto data = GenerateTextData(profile, train_examples, test_examples, &rng);
+    auto split = NaturalPartition(data.train_users, profile.num_users,
+                                  clients, &rng);
+    for (auto& idx : split.client_indices) views.push_back({idx, {}});
+    LstmConfig mc;
+    mc.vocab_size = profile.vocab_size;
+    mc.embed_dim = 8;
+    mc.hidden_dim = 16;
+    mc.feature_dim = 16;
+    factory = MakeLstmFactory(mc);
+    train = std::make_unique<Dataset>(std::move(data.train));
+    test = std::make_unique<Dataset>(std::move(data.test));
+  } else {
+    ImageProfile profile = dataset == "cifar"    ? CifarLikeProfile()
+                           : dataset == "femnist" ? FemnistLikeProfile()
+                                                  : MnistLikeProfile();
+    auto data = GenerateImageData(profile, train_examples, test_examples,
+                                  &rng);
+    ClientSplit split =
+        dataset == "femnist"
+            ? NaturalPartition(data.train_writers, profile.num_writers,
+                               clients, &rng)
+            : SimilarityPartition(data.train, clients, similarity, &rng);
+    ClientSplit test_split = SimilarityPartition(data.test, clients,
+                                                 similarity, &rng);
+    for (int k = 0; k < clients; ++k) {
+      views.push_back(ClientView{split.client_indices[k],
+                                 test_split.client_indices[k]});
+    }
+    if (flags.GetString("model", "cnn") == "mlp") {
+      MlpConfig mc;
+      mc.in_channels = profile.channels;
+      mc.image_size = profile.image_size;
+      factory = MakeMlpFactory(mc);
+    } else {
+      CnnConfig mc;
+      mc.in_channels = profile.channels;
+      mc.image_size = profile.image_size;
+      mc.conv1_channels = 4;
+      mc.conv2_channels = 8;
+      mc.feature_dim = 16;
+      factory = MakeCnnFactory(mc);
+    }
+    train = std::make_unique<Dataset>(std::move(data.train));
+    test = std::make_unique<Dataset>(std::move(data.test));
+  }
+
+  auto algorithm = Build(method, fl, reg, train.get(), views, factory);
+  TrainerOptions options;
+  options.eval_every = flags.GetInt("eval_every", 1);
+  options.eval_max_examples = 400;
+  options.verbose = true;
+  FederatedTrainer trainer(algorithm.get(), test.get(), options);
+  RunHistory history = trainer.Run(rounds);
+
+  std::printf("\n%s on %s: final=%.3f best=%.3f total_comm=%lld bytes\n",
+              method.c_str(), dataset.c_str(), history.FinalAccuracy(),
+              history.BestAccuracy(),
+              static_cast<long long>(algorithm->comm().total_bytes()));
+
+  if (flags.GetBool("fine_tune", false) && !views[0].test_indices.empty()) {
+    PersonalizationOptions popt;
+    popt.seed = seed;
+    PersonalizationReport report = PersonalizeAndEvaluate(
+        algorithm.get(), *train, *test, views, popt);
+    std::printf("personalization: global=%.3f -> fine-tuned=%.3f\n",
+                report.MeanGlobal(), report.MeanPersonalized());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+//   1. synthesize a 10-class image corpus,
+//   2. split it across 8 clients with a totally non-IID (label-sorted)
+//      partition,
+//   3. train FedAvg and rFedAvg+ for a few communication rounds,
+//   4. compare test accuracy.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/rfedavg.h"
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "fl/fedavg.h"
+#include "fl/trainer.h"
+
+int main() {
+  using namespace rfed;
+
+  // 1. Data: an easy MNIST-like synthetic task.
+  Rng rng(42);
+  SyntheticImageData data =
+      GenerateImageData(MnistLikeProfile(), /*train=*/1200, /*test=*/400,
+                        &rng);
+
+  // 2. Totally non-IID partition over 8 clients (similarity 0%).
+  ClientSplit split = SimilarityPartition(data.train, /*num_clients=*/8,
+                                          /*similarity=*/0.0, &rng);
+  std::vector<ClientView> views;
+  for (const auto& indices : split.client_indices) {
+    views.push_back(ClientView{indices, {}});
+  }
+  std::printf("clients: %d, label skew: %.2f (0 = IID)\n",
+              split.num_clients(), LabelSkew(data.train, split));
+
+  // 3. Shared configuration: E=5 local steps, full participation.
+  CnnConfig model_config;           // the paper's CNN, scaled width
+  model_config.feature_dim = 16;    // the layer δ/MMD acts on
+  FlConfig fl;
+  fl.local_steps = 5;
+  fl.batch_size = 24;
+  fl.lr = 0.08;
+  fl.seed = 1;
+
+  TrainerOptions eval;
+  eval.eval_every = 2;
+  eval.eval_max_examples = 400;
+
+  const int rounds = 14;
+
+  // 4a. Baseline: FedAvg.
+  FedAvg fedavg(fl, &data.train, views, MakeCnnFactory(model_config));
+  FederatedTrainer fedavg_trainer(&fedavg, &data.test, eval);
+  RunHistory fedavg_history = fedavg_trainer.Run(rounds);
+
+  // 4b. rFedAvg+: FedAvg plus the MMD distribution regularizer with
+  //     O(dN) communication (Algorithm 2 of the paper).
+  RegularizerOptions reg;
+  reg.lambda = 1e-3;
+  RFedAvgPlus rplus(fl, reg, &data.train, views, MakeCnnFactory(model_config));
+  FederatedTrainer rplus_trainer(&rplus, &data.test, eval);
+  RunHistory rplus_history = rplus_trainer.Run(rounds);
+
+  std::printf("\n%-10s %-12s %-12s %-16s\n", "method", "final acc",
+              "best acc", "bytes/round");
+  std::printf("%-10s %-12.3f %-12.3f %-16lld\n", "FedAvg",
+              fedavg_history.FinalAccuracy(), fedavg_history.BestAccuracy(),
+              static_cast<long long>(fedavg_history.rounds[0].round_bytes));
+  std::printf("%-10s %-12.3f %-12.3f %-16lld\n", "rFedAvg+",
+              rplus_history.FinalAccuracy(), rplus_history.BestAccuracy(),
+              static_cast<long long>(rplus_history.rounds[0].round_bytes));
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "analysis/classification.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rfed {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<size_t>(num_classes) * num_classes, 0) {
+  RFED_CHECK_GT(num_classes, 0);
+}
+
+void ConfusionMatrix::Add(int label, int prediction) {
+  RFED_CHECK_GE(label, 0);
+  RFED_CHECK_LT(label, num_classes_);
+  RFED_CHECK_GE(prediction, 0);
+  RFED_CHECK_LT(prediction, num_classes_);
+  ++counts_[static_cast<size_t>(label) * num_classes_ + prediction];
+  ++total_;
+}
+
+void ConfusionMatrix::AddAll(const std::vector<int>& labels,
+                             const std::vector<int>& predictions) {
+  RFED_CHECK_EQ(labels.size(), predictions.size());
+  for (size_t i = 0; i < labels.size(); ++i) Add(labels[i], predictions[i]);
+}
+
+int64_t ConfusionMatrix::Count(int label, int prediction) const {
+  RFED_CHECK_GE(label, 0);
+  RFED_CHECK_LT(label, num_classes_);
+  RFED_CHECK_GE(prediction, 0);
+  RFED_CHECK_LT(prediction, num_classes_);
+  return counts_[static_cast<size_t>(label) * num_classes_ + prediction];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  RFED_CHECK_GT(total_, 0);
+  int64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += Count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(int cls) const {
+  int64_t predicted = 0;
+  for (int label = 0; label < num_classes_; ++label) {
+    predicted += Count(label, cls);
+  }
+  if (predicted == 0) return std::nan("");
+  return static_cast<double>(Count(cls, cls)) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::Recall(int cls) const {
+  int64_t occurred = 0;
+  for (int pred = 0; pred < num_classes_; ++pred) {
+    occurred += Count(cls, pred);
+  }
+  if (occurred == 0) return std::nan("");
+  return static_cast<double>(Count(cls, cls)) /
+         static_cast<double>(occurred);
+}
+
+double ConfusionMatrix::F1(int cls) const {
+  const double p = Precision(cls);
+  const double r = Recall(cls);
+  if (std::isnan(r)) return std::nan("");
+  // Class occurred but was never predicted: zero precision by convention.
+  const double precision = std::isnan(p) ? 0.0 : p;
+  if (precision + r == 0.0) return 0.0;
+  return 2.0 * precision * r / (precision + r);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0.0;
+  int n = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    const double f1 = F1(c);
+    if (!std::isnan(f1)) {
+      sum += f1;
+      ++n;
+    }
+  }
+  RFED_CHECK_GT(n, 0);
+  return sum / n;
+}
+
+double ConfusionMatrix::WorstClassRecall() const {
+  double worst = 1.0;
+  bool any = false;
+  for (int c = 0; c < num_classes_; ++c) {
+    const double r = Recall(c);
+    if (!std::isnan(r)) {
+      worst = std::min(worst, r);
+      any = true;
+    }
+  }
+  RFED_CHECK(any);
+  return worst;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::string out = "confusion (rows = labels, cols = predictions)\n";
+  for (int label = 0; label < num_classes_; ++label) {
+    for (int pred = 0; pred < num_classes_; ++pred) {
+      out += StrFormat("%6lld", static_cast<long long>(Count(label, pred)));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+BootstrapInterval BootstrapMeanInterval(const std::vector<double>& values,
+                                        double confidence, int resamples,
+                                        Rng* rng) {
+  RFED_CHECK(!values.empty());
+  RFED_CHECK_GT(confidence, 0.0);
+  RFED_CHECK_LT(confidence, 1.0);
+  RFED_CHECK_GT(resamples, 0);
+  const int n = static_cast<int>(values.size());
+
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= n;
+
+  std::vector<double> means(static_cast<size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+      acc += values[static_cast<size_t>(rng->UniformInt(n))];
+    }
+    means[static_cast<size_t>(r)] = acc / n;
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  auto pick = [&means](double q) {
+    const double pos = q * static_cast<double>(means.size() - 1);
+    return means[static_cast<size_t>(std::llround(pos))];
+  };
+  return BootstrapInterval{mean, pick(alpha), pick(1.0 - alpha)};
+}
+
+}  // namespace rfed

@@ -1,0 +1,67 @@
+#ifndef RFED_ANALYSIS_CLASSIFICATION_H_
+#define RFED_ANALYSIS_CLASSIFICATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Confusion matrix and per-class quality metrics. On label-skewed
+/// federated splits the headline accuracy hides which classes the global
+/// model sacrificed; these diagnostics make the per-class damage of
+/// non-IID training visible (the class-level view behind Fig. 1's
+/// feature story).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Adds one (true label, predicted label) observation.
+  void Add(int label, int prediction);
+  /// Adds a batch of observations.
+  void AddAll(const std::vector<int>& labels,
+              const std::vector<int>& predictions);
+
+  int num_classes() const { return num_classes_; }
+  int64_t total() const { return total_; }
+  /// Count of examples with true label `label` predicted as `prediction`.
+  int64_t Count(int label, int prediction) const;
+
+  double Accuracy() const;
+  /// Precision for one class (NaN when the class was never predicted).
+  double Precision(int cls) const;
+  /// Recall for one class (NaN when the class never occurred).
+  double Recall(int cls) const;
+  /// F1 for one class (NaN when precision+recall is undefined/zero).
+  double F1(int cls) const;
+  /// Unweighted mean F1 over classes that occurred.
+  double MacroF1() const;
+  /// Recall of the weakest class that occurred (the "sacrificed class"
+  /// statistic for non-IID training).
+  double WorstClassRecall() const;
+
+  std::string ToString() const;
+
+ private:
+  int num_classes_;
+  int64_t total_ = 0;
+  std::vector<int64_t> counts_;  // row-major [label, prediction]
+};
+
+/// Percentile bootstrap confidence interval for the mean of `values`
+/// (e.g. per-seed accuracies): resamples with replacement `resamples`
+/// times. Deterministic given the Rng seed.
+struct BootstrapInterval {
+  double mean = 0.0;
+  double lower = 0.0;  ///< (1-confidence)/2 percentile
+  double upper = 0.0;  ///< 1-(1-confidence)/2 percentile
+};
+BootstrapInterval BootstrapMeanInterval(const std::vector<double>& values,
+                                        double confidence, int resamples,
+                                        Rng* rng);
+
+}  // namespace rfed
+
+#endif  // RFED_ANALYSIS_CLASSIFICATION_H_

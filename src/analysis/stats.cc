@@ -1,0 +1,75 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+
+double Quantile(std::vector<double> values, double q) {
+  RFED_CHECK(!values.empty());
+  RFED_CHECK_GE(q, 0.0);
+  RFED_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double WorstKMean(std::vector<double> values, int k) {
+  RFED_CHECK_GT(k, 0);
+  RFED_CHECK_LE(static_cast<size_t>(k), values.size());
+  std::partial_sort(values.begin(), values.begin() + k, values.end());
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) sum += values[static_cast<size_t>(i)];
+  return sum / static_cast<double>(k);
+}
+
+double MinOf(const std::vector<double>& values) {
+  RFED_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double MaxOf(const std::vector<double>& values) {
+  RFED_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+std::vector<double> DropNan(const std::vector<double>& values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    if (!std::isnan(v)) out.push_back(v);
+  }
+  return out;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  RFED_CHECK_EQ(a.size(), b.size());
+  RFED_CHECK_GE(a.size(), 2u);
+  const double n = static_cast<double>(a.size());
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  RFED_CHECK_GT(var_a, 0.0);
+  RFED_CHECK_GT(var_b, 0.0);
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace rfed

@@ -1,0 +1,32 @@
+#ifndef RFED_ANALYSIS_STATS_H_
+#define RFED_ANALYSIS_STATS_H_
+
+#include <vector>
+
+namespace rfed {
+
+/// Descriptive statistics over per-client accuracies etc. (fairness
+/// evaluation, Fig. 11, reports the distribution across clients with
+/// emphasis on the worst ones).
+
+/// q-quantile (0 <= q <= 1) by linear interpolation; input need not be
+/// sorted. NaN values must be removed by the caller.
+double Quantile(std::vector<double> values, double q);
+
+/// Mean of the k smallest values (the "worst clients" statistic).
+double WorstKMean(std::vector<double> values, int k);
+
+double MinOf(const std::vector<double>& values);
+double MaxOf(const std::vector<double>& values);
+
+/// Drops NaN entries.
+std::vector<double> DropNan(const std::vector<double>& values);
+
+/// Pearson correlation of two equal-length series (used by tests to
+/// check monotone relationships, e.g. error decay vs 1/t).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace rfed
+
+#endif  // RFED_ANALYSIS_STATS_H_

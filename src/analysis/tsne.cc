@@ -1,0 +1,137 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rfed {
+namespace {
+
+/// Row-stochastic conditional Gaussian affinities with per-point sigma
+/// found by binary search on the perplexity.
+std::vector<double> ConditionalAffinities(const std::vector<double>& sq_dist,
+                                          int64_t n, double perplexity) {
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  const double target_entropy = std::log(perplexity);
+  std::vector<double> row(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double beta = 1.0, beta_min = 0.0, beta_max = 1e30;
+    for (int iter = 0; iter < 64; ++iter) {
+      double sum = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        row[static_cast<size_t>(j)] =
+            j == i ? 0.0
+                   : std::exp(-beta * sq_dist[static_cast<size_t>(i * n + j)]);
+        sum += row[static_cast<size_t>(j)];
+      }
+      if (sum <= 0.0) sum = 1e-12;
+      double entropy = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        const double pj = row[static_cast<size_t>(j)] / sum;
+        if (pj > 1e-12) entropy -= pj * std::log(pj);
+        row[static_cast<size_t>(j)] = pj;
+      }
+      if (std::fabs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) {
+        beta_min = beta;
+        beta = beta_max > 1e29 ? beta * 2.0 : 0.5 * (beta + beta_max);
+      } else {
+        beta_max = beta;
+        beta = 0.5 * (beta + beta_min);
+      }
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      p[static_cast<size_t>(i * n + j)] = row[static_cast<size_t>(j)];
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Tensor TsneEmbed(const Tensor& features, const TsneOptions& options,
+                 Rng* rng) {
+  RFED_CHECK_EQ(features.rank(), 2);
+  const int64_t n = features.dim(0);
+  const int64_t d = features.dim(1);
+  RFED_CHECK_GE(n, 4);
+  RFED_CHECK_GT(options.perplexity, 1.0);
+  RFED_CHECK_LT(options.perplexity, static_cast<double>(n));
+
+  // Pairwise squared distances in feature space.
+  std::vector<double> sq_dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      const float* a = features.data() + i * d;
+      const float* b = features.data() + j * d;
+      for (int64_t k = 0; k < d; ++k) {
+        const double diff = static_cast<double>(a[k]) - b[k];
+        acc += diff * diff;
+      }
+      sq_dist[static_cast<size_t>(i * n + j)] = acc;
+      sq_dist[static_cast<size_t>(j * n + i)] = acc;
+    }
+  }
+
+  // Symmetrized joint affinities.
+  std::vector<double> p = ConditionalAffinities(sq_dist, n, options.perplexity);
+  std::vector<double> joint(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      joint[static_cast<size_t>(i * n + j)] =
+          std::max((p[static_cast<size_t>(i * n + j)] +
+                    p[static_cast<size_t>(j * n + i)]) /
+                       (2.0 * static_cast<double>(n)),
+                   1e-12);
+    }
+  }
+
+  // Gradient descent on the 2-d embedding.
+  Tensor y = Tensor::Normal(Shape{n, 2}, 0.0f, 1e-2f, rng);
+  Tensor velocity(Shape{n, 2});
+  std::vector<double> q(static_cast<size_t>(n * n));
+  const int exaggeration_end = options.iterations / 4;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_end ? options.early_exaggeration : 1.0;
+    // Student-t affinities in embedding space.
+    double q_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) {
+          q[static_cast<size_t>(i * n + j)] = 0.0;
+          continue;
+        }
+        const double dy0 = y.at2(i, 0) - y.at2(j, 0);
+        const double dy1 = y.at2(i, 1) - y.at2(j, 1);
+        const double w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        q[static_cast<size_t>(i * n + j)] = w;
+        q_sum += w;
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      double g0 = 0.0, g1 = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q[static_cast<size_t>(i * n + j)];
+        const double qij = std::max(w / q_sum, 1e-12);
+        const double coeff =
+            4.0 *
+            (exaggeration * joint[static_cast<size_t>(i * n + j)] - qij) * w;
+        g0 += coeff * (y.at2(i, 0) - y.at2(j, 0));
+        g1 += coeff * (y.at2(i, 1) - y.at2(j, 1));
+      }
+      velocity.at2(i, 0) = static_cast<float>(
+          options.momentum * velocity.at2(i, 0) - options.learning_rate * g0);
+      velocity.at2(i, 1) = static_cast<float>(
+          options.momentum * velocity.at2(i, 1) - options.learning_rate * g1);
+    }
+    y.AddInPlace(velocity);
+  }
+  return y;
+}
+
+}  // namespace rfed

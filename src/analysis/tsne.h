@@ -1,0 +1,30 @@
+#ifndef RFED_ANALYSIS_TSNE_H_
+#define RFED_ANALYSIS_TSNE_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Exact (O(n^2)) t-SNE, sufficient for the few hundred feature vectors
+/// of the Fig. 1 reproduction: it embeds the last-FC features of samples
+/// from several clients into 2-d so the bench can show that client
+/// feature distributions align under IID data and drift apart under
+/// non-IID data.
+struct TsneOptions {
+  double perplexity = 20.0;
+  int iterations = 400;
+  /// Plain gradient descent with momentum (no adaptive gains), so the
+  /// stable step range is smaller than Barnes-Hut implementations use.
+  double learning_rate = 20.0;
+  double momentum = 0.8;
+  /// Early-exaggeration factor applied for the first quarter of the run.
+  double early_exaggeration = 4.0;
+};
+
+/// Embeds `features` [n, d] into [n, 2]. Deterministic given *rng's seed.
+Tensor TsneEmbed(const Tensor& features, const TsneOptions& options, Rng* rng);
+
+}  // namespace rfed
+
+#endif  // RFED_ANALYSIS_TSNE_H_

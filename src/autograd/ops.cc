@@ -1,0 +1,353 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+
+namespace rfed::ag {
+namespace {
+
+using NodePtr = std::shared_ptr<GraphNode>;
+
+bool AnyRequiresGrad(const std::vector<NodePtr>& inputs) {
+  for (const auto& in : inputs) {
+    if (in->requires_grad()) return true;
+  }
+  return false;
+}
+
+/// Builds the result node, wiring inputs and the backward closure. The
+/// closure receives the raw result node so it can read the upstream grad.
+Variable MakeOp(Tensor value, std::vector<NodePtr> inputs,
+                std::function<void(GraphNode*)> backward) {
+  const bool needs_grad = AnyRequiresGrad(inputs);
+  auto node = std::make_shared<GraphNode>(std::move(value), needs_grad);
+  node->inputs = std::move(inputs);
+  if (needs_grad && backward) {
+    GraphNode* raw = node.get();
+    node->backward_fn = [raw, backward = std::move(backward)] { backward(raw); };
+  }
+  return Variable(node);
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  return MakeOp(rfed::Add(a.value(), b.value()), {a.node(), b.node()},
+                [](GraphNode* out) {
+                  for (auto& in : out->inputs) {
+                    if (in->requires_grad()) in->AccumulateGrad(out->grad());
+                  }
+                });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  return MakeOp(rfed::Sub(a.value(), b.value()), {a.node(), b.node()},
+                [](GraphNode* out) {
+                  if (out->inputs[0]->requires_grad()) {
+                    out->inputs[0]->AccumulateGrad(out->grad());
+                  }
+                  if (out->inputs[1]->requires_grad()) {
+                    out->inputs[1]->AccumulateGrad(rfed::Scale(out->grad(), -1.0f));
+                  }
+                });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  return MakeOp(rfed::Mul(a.value(), b.value()), {a.node(), b.node()},
+                [](GraphNode* out) {
+                  GraphNode* a = out->inputs[0].get();
+                  GraphNode* b = out->inputs[1].get();
+                  if (a->requires_grad()) {
+                    a->AccumulateGrad(rfed::Mul(out->grad(), b->value()));
+                  }
+                  if (b->requires_grad()) {
+                    b->AccumulateGrad(rfed::Mul(out->grad(), a->value()));
+                  }
+                });
+}
+
+Variable Scale(const Variable& a, float s) {
+  return MakeOp(rfed::Scale(a.value(), s), {a.node()}, [s](GraphNode* out) {
+    out->inputs[0]->AccumulateGrad(rfed::Scale(out->grad(), s));
+  });
+}
+
+Variable MulConst(const Variable& a, const Tensor& mask) {
+  return MakeOp(rfed::Mul(a.value(), mask), {a.node()},
+                [mask](GraphNode* out) {
+                  out->inputs[0]->AccumulateGrad(rfed::Mul(out->grad(), mask));
+                });
+}
+
+Variable Relu(const Variable& x) {
+  return MakeOp(rfed::Relu(x.value()), {x.node()}, [](GraphNode* out) {
+    out->inputs[0]->AccumulateGrad(
+        ReluBackward(out->grad(), out->inputs[0]->value()));
+  });
+}
+
+Variable Tanh(const Variable& x) {
+  return MakeOp(rfed::Tanh(x.value()), {x.node()}, [](GraphNode* out) {
+    out->inputs[0]->AccumulateGrad(
+        TanhBackwardFromOutput(out->grad(), out->value()));
+  });
+}
+
+Variable Sigmoid(const Variable& x) {
+  return MakeOp(rfed::Sigmoid(x.value()), {x.node()}, [](GraphNode* out) {
+    out->inputs[0]->AccumulateGrad(
+        SigmoidBackwardFromOutput(out->grad(), out->value()));
+  });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  return MakeOp(rfed::MatMul(a.value(), b.value()), {a.node(), b.node()},
+                [](GraphNode* out) {
+                  GraphNode* a = out->inputs[0].get();
+                  GraphNode* b = out->inputs[1].get();
+                  if (a->requires_grad()) {
+                    a->AccumulateGrad(MatMulTransB(out->grad(), b->value()));
+                  }
+                  if (b->requires_grad()) {
+                    b->AccumulateGrad(MatMulTransA(a->value(), out->grad()));
+                  }
+                });
+}
+
+Variable AddRowBroadcast(const Variable& x, const Variable& bias) {
+  return MakeOp(rfed::AddRowBroadcast(x.value(), bias.value()),
+                {x.node(), bias.node()}, [](GraphNode* out) {
+                  if (out->inputs[0]->requires_grad()) {
+                    out->inputs[0]->AccumulateGrad(out->grad());
+                  }
+                  if (out->inputs[1]->requires_grad()) {
+                    out->inputs[1]->AccumulateGrad(SumRows(out->grad()));
+                  }
+                });
+}
+
+Variable MulRowBroadcast(const Variable& x, const Variable& scale) {
+  return MakeOp(rfed::MulRowBroadcast(x.value(), scale.value()),
+                {x.node(), scale.node()}, [](GraphNode* out) {
+                  GraphNode* x = out->inputs[0].get();
+                  GraphNode* s = out->inputs[1].get();
+                  if (x->requires_grad()) {
+                    x->AccumulateGrad(
+                        rfed::MulRowBroadcast(out->grad(), s->value()));
+                  }
+                  if (s->requires_grad()) {
+                    s->AccumulateGrad(
+                        SumRows(rfed::Mul(out->grad(), x->value())));
+                  }
+                });
+}
+
+Variable NormalizeRows(const Variable& x, float eps) {
+  const Tensor& v = x.value();
+  RFED_CHECK_EQ(v.rank(), 2);
+  const int64_t rows = v.dim(0), cols = v.dim(1);
+  Tensor normalized(v.shape());
+  auto inv_std = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = v.data() + r * cols;
+    double mean = 0.0;
+    for (int64_t c = 0; c < cols; ++c) mean += src[c];
+    mean /= static_cast<double>(cols);
+    double var = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      const double d = src[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    (*inv_std)[static_cast<size_t>(r)] = is;
+    float* dst = normalized.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      dst[c] = (src[c] - static_cast<float>(mean)) * is;
+    }
+  }
+  return MakeOp(std::move(normalized), {x.node()},
+                [inv_std](GraphNode* out) {
+                  // dL/dx = (1/σ)(g - mean(g) - x̂ * mean(g ⊙ x̂)).
+                  const Tensor& g = out->grad();
+                  const Tensor& xhat = out->value();
+                  const int64_t rows = g.dim(0), cols = g.dim(1);
+                  Tensor dx(g.shape());
+                  for (int64_t r = 0; r < rows; ++r) {
+                    const float* grow = g.data() + r * cols;
+                    const float* hrow = xhat.data() + r * cols;
+                    double g_mean = 0.0, gh_mean = 0.0;
+                    for (int64_t c = 0; c < cols; ++c) {
+                      g_mean += grow[c];
+                      gh_mean += static_cast<double>(grow[c]) * hrow[c];
+                    }
+                    g_mean /= static_cast<double>(cols);
+                    gh_mean /= static_cast<double>(cols);
+                    const float is = (*inv_std)[static_cast<size_t>(r)];
+                    float* drow = dx.data() + r * cols;
+                    for (int64_t c = 0; c < cols; ++c) {
+                      drow[c] = is * static_cast<float>(
+                                         grow[c] - g_mean - hrow[c] * gh_mean);
+                    }
+                  }
+                  out->inputs[0]->AccumulateGrad(dx);
+                });
+}
+
+Variable Reshape(const Variable& x, Shape new_shape) {
+  const Shape old_shape = x.shape();
+  return MakeOp(x.value().Reshaped(std::move(new_shape)), {x.node()},
+                [old_shape](GraphNode* out) {
+                  out->inputs[0]->AccumulateGrad(
+                      out->grad().Reshaped(old_shape));
+                });
+}
+
+Variable SliceCols(const Variable& x, int64_t begin, int64_t end) {
+  const Tensor& v = x.value();
+  RFED_CHECK_EQ(v.rank(), 2);
+  RFED_CHECK_GE(begin, 0);
+  RFED_CHECK_LE(end, v.dim(1));
+  RFED_CHECK_LT(begin, end);
+  const int64_t rows = v.dim(0), cols = v.dim(1), width = end - begin;
+  Tensor out(Shape{rows, width});
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = v.data() + r * cols + begin;
+    std::copy(src, src + width, out.data() + r * width);
+  }
+  return MakeOp(std::move(out), {x.node()},
+                [begin, width, cols](GraphNode* out) {
+                  GraphNode* in = out->inputs[0].get();
+                  Tensor dx(in->value().shape());
+                  const int64_t rows = dx.dim(0);
+                  for (int64_t r = 0; r < rows; ++r) {
+                    const float* src = out->grad().data() + r * width;
+                    float* dst = dx.data() + r * cols + begin;
+                    for (int64_t c = 0; c < width; ++c) dst[c] += src[c];
+                  }
+                  in->AccumulateGrad(dx);
+                });
+}
+
+Variable ConcatRows(const Variable& a, const Variable& b) {
+  const int64_t rows_a = a.value().dim(0);
+  return MakeOp(rfed::ConcatRows(a.value(), b.value()), {a.node(), b.node()},
+                [rows_a](GraphNode* out) {
+                  const Tensor& g = out->grad();
+                  if (out->inputs[0]->requires_grad()) {
+                    out->inputs[0]->AccumulateGrad(SliceRows(g, 0, rows_a));
+                  }
+                  if (out->inputs[1]->requires_grad()) {
+                    out->inputs[1]->AccumulateGrad(
+                        SliceRows(g, rows_a, g.dim(0)));
+                  }
+                });
+}
+
+Variable Sum(const Variable& x) {
+  Tensor out(Shape{}, std::vector<float>{x.value().Sum()});
+  return MakeOp(std::move(out), {x.node()}, [](GraphNode* out) {
+    GraphNode* in = out->inputs[0].get();
+    Tensor dx(in->value().shape(), out->grad().ToScalar());
+    in->AccumulateGrad(dx);
+  });
+}
+
+Variable Mean(const Variable& x) {
+  Tensor out(Shape{}, std::vector<float>{x.value().Mean()});
+  const float inv = 1.0f / static_cast<float>(x.value().size());
+  return MakeOp(std::move(out), {x.node()}, [inv](GraphNode* out) {
+    GraphNode* in = out->inputs[0].get();
+    Tensor dx(in->value().shape(), out->grad().ToScalar() * inv);
+    in->AccumulateGrad(dx);
+  });
+}
+
+Variable MeanRows(const Variable& x) {
+  return MakeOp(rfed::MeanRows(x.value()), {x.node()}, [](GraphNode* out) {
+    GraphNode* in = out->inputs[0].get();
+    const int64_t rows = in->value().dim(0), cols = in->value().dim(1);
+    const float inv = 1.0f / static_cast<float>(rows);
+    Tensor dx(in->value().shape());
+    for (int64_t r = 0; r < rows; ++r) {
+      float* row = dx.data() + r * cols;
+      for (int64_t c = 0; c < cols; ++c) row[c] = out->grad().at(c) * inv;
+    }
+    in->AccumulateGrad(dx);
+  });
+}
+
+Variable SquaredDistanceToConst(const Variable& x, const Tensor& target) {
+  Tensor diff = rfed::Sub(x.value(), target);
+  Tensor out(Shape{}, std::vector<float>{diff.SquaredNorm()});
+  return MakeOp(std::move(out), {x.node()},
+                [diff = std::move(diff)](GraphNode* out) {
+                  out->inputs[0]->AccumulateGrad(
+                      rfed::Scale(diff, 2.0f * out->grad().ToScalar()));
+                });
+}
+
+Variable SquaredNorm(const Variable& x) {
+  Tensor out(Shape{}, std::vector<float>{x.value().SquaredNorm()});
+  return MakeOp(std::move(out), {x.node()}, [](GraphNode* out) {
+    out->inputs[0]->AccumulateGrad(
+        rfed::Scale(out->inputs[0]->value(), 2.0f * out->grad().ToScalar()));
+  });
+}
+
+Variable GatherRows(const Variable& table, const std::vector<int>& ids) {
+  return MakeOp(rfed::GatherRows(table.value(), ids), {table.node()},
+                [ids](GraphNode* out) {
+                  GraphNode* in = out->inputs[0].get();
+                  Tensor dtable(in->value().shape());
+                  ScatterAddRows(out->grad(), ids, &dtable);
+                  in->AccumulateGrad(dtable);
+                });
+}
+
+Variable Conv2d(const Variable& x, const Variable& w, const Variable& b,
+                const Conv2dSpec& spec) {
+  return MakeOp(Conv2dForward(x.value(), w.value(), b.value(), spec),
+                {x.node(), w.node(), b.node()}, [spec](GraphNode* out) {
+                  GraphNode* x = out->inputs[0].get();
+                  GraphNode* w = out->inputs[1].get();
+                  GraphNode* b = out->inputs[2].get();
+                  Tensor dx, dw, db;
+                  Conv2dBackward(out->grad(), x->value(), w->value(), spec,
+                                 x->requires_grad() ? &dx : nullptr,
+                                 w->requires_grad() ? &dw : nullptr,
+                                 b->requires_grad() ? &db : nullptr);
+                  if (x->requires_grad()) x->AccumulateGrad(dx);
+                  if (w->requires_grad()) w->AccumulateGrad(dw);
+                  if (b->requires_grad()) b->AccumulateGrad(db);
+                });
+}
+
+Variable MaxPool2x2(const Variable& x) {
+  auto argmax = std::make_shared<std::vector<int64_t>>();
+  Tensor out = MaxPool2x2Forward(x.value(), argmax.get());
+  return MakeOp(std::move(out), {x.node()}, [argmax](GraphNode* out) {
+    GraphNode* in = out->inputs[0].get();
+    in->AccumulateGrad(
+        MaxPool2x2Backward(out->grad(), in->value().shape(), *argmax));
+  });
+}
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int>& labels) {
+  auto dlogits = std::make_shared<Tensor>();
+  const float loss =
+      rfed::SoftmaxCrossEntropy(logits.value(), labels, dlogits.get());
+  Tensor out(Shape{}, std::vector<float>{loss});
+  return MakeOp(std::move(out), {logits.node()}, [dlogits](GraphNode* out) {
+    out->inputs[0]->AccumulateGrad(
+        rfed::Scale(*dlogits, out->grad().ToScalar()));
+  });
+}
+
+}  // namespace rfed::ag

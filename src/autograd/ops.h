@@ -1,0 +1,72 @@
+#ifndef RFED_AUTOGRAD_OPS_H_
+#define RFED_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/tensor_ops.h"
+
+namespace rfed::ag {
+
+// Differentiable ops. Each builds a GraphNode whose backward_fn applies
+// the exact vector-Jacobian product of the forward kernel; all forward
+// math lives in tensor/tensor_ops.h. Gradients are validated against
+// finite differences in tests/autograd_test.cc.
+
+// ---- Arithmetic ----
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+/// Elementwise (Hadamard) product.
+Variable Mul(const Variable& a, const Variable& b);
+Variable Scale(const Variable& a, float s);
+/// Elementwise product with a constant mask (e.g. dropout).
+Variable MulConst(const Variable& a, const Tensor& mask);
+
+// ---- Activations ----
+Variable Relu(const Variable& x);
+Variable Tanh(const Variable& x);
+Variable Sigmoid(const Variable& x);
+
+// ---- Linear algebra ----
+Variable MatMul(const Variable& a, const Variable& b);
+/// x [rows, cols] + bias [cols] broadcast over rows.
+Variable AddRowBroadcast(const Variable& x, const Variable& bias);
+/// x [rows, cols] * scale [cols] broadcast over rows.
+Variable MulRowBroadcast(const Variable& x, const Variable& scale);
+/// Row-wise standardization: each row mapped to zero mean / unit
+/// variance (x̂ = (x - μ_row) / sqrt(σ²_row + eps)). The normalization
+/// core of layer norm; affine parameters are separate ops.
+Variable NormalizeRows(const Variable& x, float eps = 1e-5f);
+
+// ---- Shape ----
+Variable Reshape(const Variable& x, Shape new_shape);
+/// Column slice [begin, end) of a [rows, cols] tensor.
+Variable SliceCols(const Variable& x, int64_t begin, int64_t end);
+/// Row-wise concat of equal-width matrices.
+Variable ConcatRows(const Variable& a, const Variable& b);
+
+// ---- Reductions ----
+Variable Sum(const Variable& x);
+Variable Mean(const Variable& x);
+/// Mean over axis 0 of [rows, cols] -> [cols]; the feature-mean δ of a
+/// mini-batch, the quantity the distribution regularizer acts on.
+Variable MeanRows(const Variable& x);
+/// Scalar squared L2 distance ||x - target||^2 against a constant target.
+Variable SquaredDistanceToConst(const Variable& x, const Tensor& target);
+/// Scalar squared L2 norm ||x||^2.
+Variable SquaredNorm(const Variable& x);
+
+// ---- Layers ----
+/// Embedding lookup rows of `table` ([V, D]) at `ids`.
+Variable GatherRows(const Variable& table, const std::vector<int>& ids);
+/// NCHW convolution; w is [Cout, Cin*K*K] (im2col layout), b is [Cout].
+Variable Conv2d(const Variable& x, const Variable& w, const Variable& b,
+                const Conv2dSpec& spec);
+Variable MaxPool2x2(const Variable& x);
+/// Mean softmax cross-entropy over the batch (scalar output).
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int>& labels);
+
+}  // namespace rfed::ag
+
+#endif  // RFED_AUTOGRAD_OPS_H_

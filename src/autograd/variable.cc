@@ -1,0 +1,63 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace rfed {
+
+Tensor& GraphNode::grad() {
+  if (!has_grad_) {
+    grad_ = Tensor(value_.shape());
+    has_grad_ = true;
+  }
+  return grad_;
+}
+
+void GraphNode::AccumulateGrad(const Tensor& g) {
+  RFED_CHECK(g.shape() == value_.shape())
+      << g.shape().ToString() << " vs " << value_.shape().ToString();
+  grad().AddInPlace(g);
+}
+
+void GraphNode::ZeroGrad() {
+  if (has_grad_) grad_.Fill(0.0f);
+}
+
+void Variable::Backward() {
+  RFED_CHECK(valid());
+  RFED_CHECK_EQ(node_->value().size(), 1)
+      << "Backward() must start from a scalar";
+
+  // Iterative post-order DFS for a reverse topological order.
+  std::vector<GraphNode*> order;
+  std::unordered_set<GraphNode*> visited;
+  struct Frame {
+    GraphNode* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(node_.get()).second) {
+    stack.push_back({node_.get(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_input < frame.node->inputs.size()) {
+      GraphNode* child = frame.node->inputs[frame.next_input++].get();
+      if (visited.insert(child).second) stack.push_back({child, 0});
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  node_->grad().Fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    GraphNode* node = *it;
+    if (node->backward_fn && node->requires_grad() && node->has_grad()) {
+      node->backward_fn();
+    }
+  }
+}
+
+}  // namespace rfed

@@ -1,0 +1,84 @@
+#ifndef RFED_AUTOGRAD_VARIABLE_H_
+#define RFED_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rfed {
+
+/// One node of the dynamically built computation graph. Holds the forward
+/// value, the accumulated gradient, the parent nodes and a closure that
+/// pushes this node's gradient into its parents. Users interact with
+/// Variable below; ops in autograd/ops.h construct the nodes.
+class GraphNode {
+ public:
+  explicit GraphNode(Tensor value, bool requires_grad)
+      : value_(std::move(value)), requires_grad_(requires_grad) {}
+
+  const Tensor& value() const { return value_; }
+  Tensor& mutable_value() { return value_; }
+
+  bool requires_grad() const { return requires_grad_; }
+
+  /// Gradient with the same shape as value(); allocated on first use.
+  Tensor& grad();
+  bool has_grad() const { return has_grad_; }
+  void AccumulateGrad(const Tensor& g);
+  void ZeroGrad();
+
+  /// Parents in the computation graph (inputs of the producing op).
+  std::vector<std::shared_ptr<GraphNode>> inputs;
+  /// Propagates grad() into the inputs' grads. Null for leaves.
+  std::function<void()> backward_fn;
+
+ private:
+  Tensor value_;
+  Tensor grad_;
+  bool requires_grad_;
+  bool has_grad_ = false;
+};
+
+/// Lightweight handle to a GraphNode with value semantics on the handle
+/// (copies share the node). A Variable wraps every tensor flowing through
+/// a model; parameters are leaf Variables with requires_grad = true.
+class Variable {
+ public:
+  /// Invalid/empty handle.
+  Variable() = default;
+
+  /// Leaf node (no producer).
+  explicit Variable(Tensor value, bool requires_grad = false)
+      : node_(std::make_shared<GraphNode>(std::move(value), requires_grad)) {}
+
+  /// Wraps an existing node (used by ops).
+  explicit Variable(std::shared_ptr<GraphNode> node) : node_(std::move(node)) {}
+
+  bool valid() const { return node_ != nullptr; }
+
+  const Tensor& value() const { return node_->value(); }
+  Tensor& mutable_value() { return node_->mutable_value(); }
+  const Shape& shape() const { return node_->value().shape(); }
+
+  bool requires_grad() const { return node_->requires_grad(); }
+  Tensor& grad() { return node_->grad(); }
+  bool has_grad() const { return node_->has_grad(); }
+  void ZeroGrad() { node_->ZeroGrad(); }
+
+  std::shared_ptr<GraphNode> node() const { return node_; }
+
+  /// Runs reverse-mode differentiation from this scalar node: seeds
+  /// d(self)/d(self) = 1 and applies every producing op's backward in
+  /// reverse topological order. Gradients *accumulate* into leaves, so
+  /// callers can sum several losses by calling Backward on each.
+  void Backward();
+
+ private:
+  std::shared_ptr<GraphNode> node_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,253 @@
+#include "core/convex_objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace rfed {
+
+Tensor SolveLinearSystem(const Tensor& a, const Tensor& b) {
+  RFED_CHECK_EQ(a.rank(), 2);
+  RFED_CHECK_EQ(a.dim(0), a.dim(1));
+  RFED_CHECK_EQ(b.dim(0), a.dim(0));
+  const int64_t n = a.dim(0);
+  // Work in double for numerical headroom.
+  std::vector<double> m(static_cast<size_t>(n * n));
+  std::vector<double> rhs(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n * n; ++i) m[static_cast<size_t>(i)] = a.at(i);
+  for (int64_t i = 0; i < n; ++i) rhs[static_cast<size_t>(i)] = b.at(i);
+
+  for (int64_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    int64_t pivot = col;
+    for (int64_t r = col + 1; r < n; ++r) {
+      if (std::fabs(m[static_cast<size_t>(r * n + col)]) >
+          std::fabs(m[static_cast<size_t>(pivot * n + col)])) {
+        pivot = r;
+      }
+    }
+    RFED_CHECK_GT(std::fabs(m[static_cast<size_t>(pivot * n + col)]), 1e-12)
+        << "singular system";
+    if (pivot != col) {
+      for (int64_t c = 0; c < n; ++c) {
+        std::swap(m[static_cast<size_t>(col * n + c)],
+                  m[static_cast<size_t>(pivot * n + c)]);
+      }
+      std::swap(rhs[static_cast<size_t>(col)], rhs[static_cast<size_t>(pivot)]);
+    }
+    const double inv = 1.0 / m[static_cast<size_t>(col * n + col)];
+    for (int64_t r = col + 1; r < n; ++r) {
+      const double factor = m[static_cast<size_t>(r * n + col)] * inv;
+      if (factor == 0.0) continue;
+      for (int64_t c = col; c < n; ++c) {
+        m[static_cast<size_t>(r * n + c)] -=
+            factor * m[static_cast<size_t>(col * n + c)];
+      }
+      rhs[static_cast<size_t>(r)] -= factor * rhs[static_cast<size_t>(col)];
+    }
+  }
+  // Back substitution.
+  Tensor x(Shape{n});
+  for (int64_t r = n - 1; r >= 0; --r) {
+    double acc = rhs[static_cast<size_t>(r)];
+    for (int64_t c = r + 1; c < n; ++c) {
+      acc -= m[static_cast<size_t>(r * n + c)] * x.at(c);
+    }
+    x.at(r) = static_cast<float>(acc / m[static_cast<size_t>(r * n + r)]);
+  }
+  return x;
+}
+
+ConvexFederatedProblem::ConvexFederatedProblem(
+    const ConvexProblemConfig& config)
+    : config_(config) {
+  RFED_CHECK_GT(config_.num_clients, 1);
+  RFED_CHECK_GT(config_.dim, 0);
+  Rng rng(config_.seed);
+  const int64_t n = config_.dim;
+  const int clients = config_.num_clients;
+
+  weights_.assign(static_cast<size_t>(clients),
+                  1.0 / static_cast<double>(clients));
+
+  for (int k = 0; k < clients; ++k) {
+    // A_k = Q^T Q / dim + mu I (heterogeneous curvature).
+    Tensor q = Tensor::Normal(Shape{n, n}, 0.0f,
+                              static_cast<float>(config_.heterogeneity), &rng);
+    Tensor a = MatMulTransA(q, q);
+    a.MulInPlace(1.0f / static_cast<float>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      a.at2(i, i) += static_cast<float>(config_.mu);
+    }
+    a_.push_back(std::move(a));
+    b_.push_back(Tensor::Normal(Shape{n}, 0.0f,
+                                static_cast<float>(config_.heterogeneity),
+                                &rng));
+    // Heterogeneous feature maps around identity.
+    Tensor dk = Tensor::Normal(Shape{n}, 1.0f,
+                               static_cast<float>(0.3 * config_.heterogeneity),
+                               &rng);
+    d_.push_back(std::move(dk));
+  }
+
+  // Assemble the exact quadratic F(w) = 1/2 w^T H w - c^T w:
+  //   H = sum_k p_k [ A_k + (2 λ / (N-1)) sum_{j != k} (D_k - D_j)^2 ]
+  // (the (D_k - D_j)^2 blocks are diagonal).
+  hessian_ = Tensor(Shape{n, n});
+  linear_ = Tensor(Shape{n});
+  for (int k = 0; k < clients; ++k) {
+    const double pk = weights_[static_cast<size_t>(k)];
+    hessian_.Axpy(static_cast<float>(pk), a_[static_cast<size_t>(k)]);
+    linear_.Axpy(static_cast<float>(pk), b_[static_cast<size_t>(k)]);
+    for (int j = 0; j < clients; ++j) {
+      if (j == k) continue;
+      for (int64_t i = 0; i < n; ++i) {
+        const double diff = static_cast<double>(d_[static_cast<size_t>(k)].at(i)) -
+                            d_[static_cast<size_t>(j)].at(i);
+        hessian_.at2(i, i) += static_cast<float>(
+            pk * 2.0 * config_.lambda * diff * diff /
+            static_cast<double>(clients - 1));
+      }
+    }
+  }
+
+  w_star_ = SolveLinearSystem(hessian_, linear_);
+  f_star_ = FullObjective(w_star_);
+
+  // Smoothness via power iteration on H.
+  Tensor v = Tensor::Normal(Shape{n}, 0.0f, 1.0f, &rng);
+  double eigen = 0.0;
+  for (int it = 0; it < 200; ++it) {
+    Tensor hv(Shape{n});
+    for (int64_t r = 0; r < n; ++r) {
+      double acc = 0.0;
+      for (int64_t c = 0; c < n; ++c) acc += hessian_.at2(r, c) * v.at(c);
+      hv.at(r) = static_cast<float>(acc);
+    }
+    const double norm = std::sqrt(static_cast<double>(hv.SquaredNorm()));
+    RFED_CHECK_GT(norm, 0.0);
+    hv.MulInPlace(static_cast<float>(1.0 / norm));
+    eigen = norm;
+    v = std::move(hv);
+  }
+  smoothness_ = eigen;
+}
+
+double ConvexFederatedProblem::FullObjective(const Tensor& w) const {
+  double value = 0.0;
+  for (int64_t r = 0; r < w.size(); ++r) {
+    double hw = 0.0;
+    for (int64_t c = 0; c < w.size(); ++c) hw += hessian_.at2(r, c) * w.at(c);
+    value += 0.5 * w.at(r) * hw - linear_.at(r) * w.at(r);
+  }
+  return value;
+}
+
+Tensor ConvexFederatedProblem::MapAt(int k, const Tensor& w) const {
+  Tensor delta(w.shape());
+  const Tensor& dk = d_[static_cast<size_t>(k)];
+  for (int64_t i = 0; i < w.size(); ++i) delta.at(i) = dk.at(i) * w.at(i);
+  return delta;
+}
+
+Tensor ConvexFederatedProblem::ClientGradient(
+    int k, const Tensor& w, const std::vector<Tensor>& foreign_maps) const {
+  const int64_t n = w.size();
+  Tensor grad(Shape{n});
+  // ∇f_k = A_k w - b_k.
+  const Tensor& a = a_[static_cast<size_t>(k)];
+  for (int64_t r = 0; r < n; ++r) {
+    double acc = -static_cast<double>(b_[static_cast<size_t>(k)].at(r));
+    for (int64_t c = 0; c < n; ++c) acc += a.at2(r, c) * w.at(c);
+    grad.at(r) = static_cast<float>(acc);
+  }
+  // ∇r'_k = (2/(N-1)) sum_j D_k^T (D_k w - δ_j).
+  const Tensor& dk = d_[static_cast<size_t>(k)];
+  const double scale =
+      2.0 * config_.lambda / static_cast<double>(foreign_maps.size());
+  for (const Tensor& delta_j : foreign_maps) {
+    for (int64_t i = 0; i < n; ++i) {
+      grad.at(i) += static_cast<float>(
+          scale * dk.at(i) * (dk.at(i) * w.at(i) - delta_j.at(i)));
+    }
+  }
+  return grad;
+}
+
+std::vector<double> ConvexFederatedProblem::Run(MapMode mode, int rounds,
+                                                int local_steps,
+                                                Rng* rng) const {
+  const int clients = config_.num_clients;
+  const int64_t n = config_.dim;
+  const double mu = StrongConvexity();
+  const double gamma =
+      std::max(8.0 * Smoothness() / mu, static_cast<double>(local_steps));
+
+  Tensor global = Tensor::Normal(Shape{n}, 0.0f, 1.0f, rng);
+  // Per-client maps; start at φ of the initial model (consistent).
+  std::vector<Tensor> maps;
+  maps.reserve(static_cast<size_t>(clients));
+  for (int k = 0; k < clients; ++k) maps.push_back(MapAt(k, global));
+
+  std::vector<double> gaps;
+  gaps.reserve(static_cast<size_t>(rounds));
+  int64_t t = 0;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<Tensor> locals(static_cast<size_t>(clients), global);
+    const int64_t t_round = t;
+    for (int k = 0; k < clients; ++k) {
+      int64_t tk = t_round;
+      for (int step = 0; step < local_steps; ++step, ++tk) {
+        const double eta = 2.0 / (mu * (gamma + static_cast<double>(tk)));
+        Tensor& w = locals[static_cast<size_t>(k)];
+        std::vector<Tensor> foreign;
+        foreign.reserve(static_cast<size_t>(clients - 1));
+        for (int j = 0; j < clients; ++j) {
+          if (j == k) continue;
+          if (mode == MapMode::kFresh) {
+            // Uses the client's own current iterate as the best available
+            // proxy of the synchronized model (full-communication oracle).
+            foreign.push_back(MapAt(j, w));
+          } else {
+            foreign.push_back(maps[static_cast<size_t>(j)]);
+          }
+        }
+        Tensor grad = ClientGradient(k, w, foreign);
+        if (config_.grad_noise > 0.0) {
+          for (int64_t i = 0; i < n; ++i) {
+            grad.at(i) += static_cast<float>(
+                rng->Normal(0.0, config_.grad_noise));
+          }
+        }
+        w.Axpy(static_cast<float>(-eta), grad);
+      }
+    }
+    t = t_round + local_steps;
+
+    // Aggregate.
+    Tensor next(Shape{n});
+    for (int k = 0; k < clients; ++k) {
+      next.Axpy(static_cast<float>(weights_[static_cast<size_t>(k)]),
+                locals[static_cast<size_t>(k)]);
+    }
+    global = std::move(next);
+
+    // Refresh the delayed maps per algorithm.
+    if (mode == MapMode::kLocalDelayed) {
+      for (int k = 0; k < clients; ++k) {
+        maps[static_cast<size_t>(k)] =
+            MapAt(k, locals[static_cast<size_t>(k)]);
+      }
+    } else if (mode == MapMode::kGlobalDelayed) {
+      for (int k = 0; k < clients; ++k) {
+        maps[static_cast<size_t>(k)] = MapAt(k, global);
+      }
+    }
+    gaps.push_back(FullObjective(global) - f_star_);
+  }
+  return gaps;
+}
+
+}  // namespace rfed

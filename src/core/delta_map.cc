@@ -1,0 +1,50 @@
+#include "core/delta_map.h"
+
+#include "core/mmd.h"
+#include "util/check.h"
+
+namespace rfed {
+
+DeltaMapStore::DeltaMapStore(int num_clients, int64_t feature_dim)
+    : feature_dim_(feature_dim) {
+  RFED_CHECK_GT(num_clients, 1);
+  RFED_CHECK_GT(feature_dim, 0);
+  deltas_.assign(static_cast<size_t>(num_clients),
+                 Tensor(Shape{feature_dim}));
+}
+
+void DeltaMapStore::Update(int client, Tensor delta) {
+  RFED_CHECK_GE(client, 0);
+  RFED_CHECK_LT(client, num_clients());
+  RFED_CHECK(delta.shape() == Shape({feature_dim_}));
+  deltas_[static_cast<size_t>(client)] = std::move(delta);
+}
+
+const Tensor& DeltaMapStore::Get(int client) const {
+  RFED_CHECK_GE(client, 0);
+  RFED_CHECK_LT(client, num_clients());
+  return deltas_[static_cast<size_t>(client)];
+}
+
+Tensor DeltaMapStore::LeaveOneOutMean(int client) const {
+  return LeaveOneOutMeanDelta(deltas_, client);
+}
+
+std::vector<Tensor> DeltaMapStore::AllExcept(int client) const {
+  std::vector<Tensor> out;
+  out.reserve(deltas_.size() - 1);
+  for (size_t j = 0; j < deltas_.size(); ++j) {
+    if (static_cast<int>(j) != client) out.push_back(deltas_[j]);
+  }
+  return out;
+}
+
+int64_t DeltaMapStore::MapBytes() const {
+  return feature_dim_ * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t DeltaMapStore::BroadcastBytesPairwise() const {
+  return MapBytes() * (num_clients() - 1);
+}
+
+}  // namespace rfed

@@ -1,0 +1,51 @@
+#ifndef RFED_CORE_DELTA_MAP_H_
+#define RFED_CORE_DELTA_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rfed {
+
+/// Server-side store of the per-client feature-mean maps δ^k. Both
+/// algorithms keep one map per client (Algorithm 1 line 13 / Algorithm 2
+/// line 1); rFedAvg broadcasts the whole store to every client
+/// (O(d N^2) traffic per round), rFedAvg+ only the per-client
+/// leave-one-out average (O(d N)). Maps start at zero — the paper's
+/// server initialization of δ_0 — and are refreshed as clients report.
+class DeltaMapStore {
+ public:
+  DeltaMapStore(int num_clients, int64_t feature_dim);
+
+  int num_clients() const { return static_cast<int>(deltas_.size()); }
+  int64_t feature_dim() const { return feature_dim_; }
+
+  void Update(int client, Tensor delta);
+  const Tensor& Get(int client) const;
+  const std::vector<Tensor>& All() const { return deltas_; }
+
+  /// δ̄^{-k}: mean over all maps except `client` (Algorithm 2 line 18).
+  Tensor LeaveOneOutMean(int client) const;
+
+  /// All maps except `client` (the broadcast targets of Algorithm 1).
+  std::vector<Tensor> AllExcept(int client) const;
+
+  /// Wire size of one map (float32 payload) — the per-client unit of
+  /// Table III.
+  int64_t MapBytes() const;
+
+  /// Wire size of the rFedAvg broadcast to one client: N-1 maps.
+  int64_t BroadcastBytesPairwise() const;
+
+  /// Wire size of the rFedAvg+ broadcast to one client: one averaged map.
+  int64_t BroadcastBytesAveraged() const { return MapBytes(); }
+
+ private:
+  int64_t feature_dim_;
+  std::vector<Tensor> deltas_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_CORE_DELTA_MAP_H_

@@ -1,0 +1,29 @@
+#include "core/dp_noise.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+
+void ApplyDpNoise(const DpNoiseConfig& config, Tensor* delta, Rng* rng) {
+  if (config.sigma == 0.0) return;
+  RFED_CHECK_GT(config.clip, 0.0);
+  RFED_CHECK_GT(config.batch_size, 0);
+
+  // L2 clipping to norm C0.
+  const double norm =
+      std::sqrt(static_cast<double>(delta->SquaredNorm()));
+  if (norm > config.clip) {
+    delta->MulInPlace(static_cast<float>(config.clip / norm));
+  }
+
+  // Additive Gaussian noise scaled by the lot size.
+  const double stddev =
+      config.sigma * config.clip / static_cast<double>(config.batch_size);
+  for (int64_t i = 0; i < delta->size(); ++i) {
+    delta->at(i) += static_cast<float>(rng->Normal(0.0, stddev));
+  }
+}
+
+}  // namespace rfed

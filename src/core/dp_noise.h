@@ -1,0 +1,24 @@
+#ifndef RFED_CORE_DP_NOISE_H_
+#define RFED_CORE_DP_NOISE_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Differentially private perturbation of the communicated δ maps
+/// (paper Sec. VI-B8, following Abadi et al. DP-SGD): the map is clipped
+/// to L2 norm `clip` and Gaussian noise N(0, (sigma * clip / batch)^2 I)
+/// is added:  δ̃ <- clip(δ) + (1/L) N(0, sigma^2 C^2 I).
+struct DpNoiseConfig {
+  double sigma = 0.0;  ///< noise multiplier σ₂; 0 disables the mechanism
+  double clip = 1.0;   ///< clipping constant C₀
+  int batch_size = 1;  ///< lot size L dividing the noise
+};
+
+/// Applies clipping + noise in place. No-op when config.sigma == 0.
+void ApplyDpNoise(const DpNoiseConfig& config, Tensor* delta, Rng* rng);
+
+}  // namespace rfed
+
+#endif  // RFED_CORE_DP_NOISE_H_

@@ -1,0 +1,55 @@
+#include "core/mmd.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace rfed {
+
+float MmdSquared(const Tensor& delta_a, const Tensor& delta_b) {
+  RFED_CHECK(delta_a.shape() == delta_b.shape());
+  Tensor diff = Sub(delta_a, delta_b);
+  return diff.SquaredNorm();
+}
+
+float MmdSquaredSamples(const Tensor& features_a, const Tensor& features_b) {
+  return MmdSquared(MeanRows(features_a), MeanRows(features_b));
+}
+
+Variable PairwiseMmdRegularizer(const Variable& features,
+                                const std::vector<Tensor>& targets) {
+  RFED_CHECK(!targets.empty());
+  Variable v = ag::MeanRows(features);
+  Variable total = ag::SquaredDistanceToConst(v, targets[0]);
+  for (size_t j = 1; j < targets.size(); ++j) {
+    total = ag::Add(total, ag::SquaredDistanceToConst(v, targets[j]));
+  }
+  return ag::Scale(total, 1.0f / static_cast<float>(targets.size()));
+}
+
+Variable AveragedMmdRegularizer(const Variable& features,
+                                const Tensor& avg_target) {
+  return ag::SquaredDistanceToConst(ag::MeanRows(features), avg_target);
+}
+
+Tensor MeanDelta(const std::vector<Tensor>& deltas) {
+  RFED_CHECK(!deltas.empty());
+  Tensor mean(deltas[0].shape());
+  for (const Tensor& d : deltas) mean.AddInPlace(d);
+  mean.MulInPlace(1.0f / static_cast<float>(deltas.size()));
+  return mean;
+}
+
+Tensor LeaveOneOutMeanDelta(const std::vector<Tensor>& deltas, int excluded) {
+  RFED_CHECK_GE(excluded, 0);
+  RFED_CHECK_LT(excluded, static_cast<int>(deltas.size()));
+  RFED_CHECK_GT(deltas.size(), 1u);
+  Tensor mean(deltas[0].shape());
+  for (size_t j = 0; j < deltas.size(); ++j) {
+    if (static_cast<int>(j) == excluded) continue;
+    mean.AddInPlace(deltas[j]);
+  }
+  mean.MulInPlace(1.0f / static_cast<float>(deltas.size() - 1));
+  return mean;
+}
+
+}  // namespace rfed

@@ -1,0 +1,46 @@
+#ifndef RFED_CORE_MMD_H_
+#define RFED_CORE_MMD_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "tensor/tensor.h"
+
+namespace rfed {
+
+/// Maximum mean discrepancy utilities (paper Eq. 2). The mapping φ is the
+/// model's feature layer (a deep network), so the empirical MMD between
+/// clients i and j reduces to the distance of their feature means
+/// δ_i = mean_x φ(x_i), δ_j = mean_x φ(x_j):
+///   MMD^2(x_i, x_j) = || δ_i - δ_j ||^2.
+
+/// Squared MMD between two precomputed feature means.
+float MmdSquared(const Tensor& delta_a, const Tensor& delta_b);
+
+/// Squared MMD between two raw feature matrices [n_a, d], [n_b, d].
+float MmdSquaredSamples(const Tensor& features_a, const Tensor& features_b);
+
+/// Differentiable distribution regularizer r_k (paper Eq. 5) of one
+/// mini-batch: with v = mean over rows of `features`,
+///   r_k = (1 / |targets|) * sum_j || v - targets[j] ||^2.
+/// Gradients flow into `features` (and through it into φ's parameters);
+/// the delayed targets are constants, exactly as in Algorithms 1 and 2.
+Variable PairwiseMmdRegularizer(const Variable& features,
+                                const std::vector<Tensor>& targets);
+
+/// Differentiable r̃_k of rFedAvg+: || mean(features) - avg_target ||^2.
+/// Has the same gradient w.r.t. the local feature mean as
+/// PairwiseMmdRegularizer with the same targets averaged (Sec. IV-C).
+Variable AveragedMmdRegularizer(const Variable& features,
+                                const Tensor& avg_target);
+
+/// Mean of a set of equally weighted δ vectors.
+Tensor MeanDelta(const std::vector<Tensor>& deltas);
+
+/// Mean of all δ vectors except index `excluded` (the server-side
+/// leave-one-out average δ̄^{-k} of Algorithm 2, line 18).
+Tensor LeaveOneOutMeanDelta(const std::vector<Tensor>& deltas, int excluded);
+
+}  // namespace rfed
+
+#endif  // RFED_CORE_MMD_H_

@@ -1,0 +1,89 @@
+#include "core/personalization.h"
+
+#include <cmath>
+
+#include "data/batcher.h"
+#include "fl/model_state.h"
+#include "nn/loss.h"
+#include "util/check.h"
+
+namespace rfed {
+namespace {
+
+double EvaluateOnIndices(FeatureModel* model, const Dataset& data,
+                         const std::vector<int>& indices) {
+  Batch batch = data.GetBatch(indices);
+  ModelOutput out = model->Forward(batch);
+  return Accuracy(out.logits.value(), batch.labels);
+}
+
+}  // namespace
+
+double PersonalizationReport::MeanGlobal() const {
+  double sum = 0.0;
+  int n = 0;
+  for (double acc : global_accuracy) {
+    if (!std::isnan(acc)) {
+      sum += acc;
+      ++n;
+    }
+  }
+  RFED_CHECK_GT(n, 0);
+  return sum / n;
+}
+
+double PersonalizationReport::MeanPersonalized() const {
+  double sum = 0.0;
+  int n = 0;
+  for (double acc : personalized_accuracy) {
+    if (!std::isnan(acc)) {
+      sum += acc;
+      ++n;
+    }
+  }
+  RFED_CHECK_GT(n, 0);
+  return sum / n;
+}
+
+PersonalizationReport PersonalizeAndEvaluate(
+    FederatedAlgorithm* algorithm, const Dataset& train_data,
+    const Dataset& test_data, const std::vector<ClientView>& views,
+    const PersonalizationOptions& options) {
+  PersonalizationReport report;
+  const Tensor global = algorithm->global_state();
+  FeatureModel* model = algorithm->GlobalModel();
+  auto params = model->Parameters();
+  Rng rng(options.seed);
+
+  for (const ClientView& view : views) {
+    if (view.test_indices.empty()) {
+      report.global_accuracy.push_back(std::nan(""));
+      report.personalized_accuracy.push_back(std::nan(""));
+      continue;
+    }
+    // Global-model accuracy on this client.
+    LoadParameters(global, params);
+    report.global_accuracy.push_back(
+        EvaluateOnIndices(model, test_data, view.test_indices));
+
+    // Local fine-tuning from the global model.
+    SgdOptimizer optimizer(params, options.lr);
+    Batcher batcher(&train_data, view.train_indices, options.batch_size,
+                    rng.Fork());
+    for (int step = 0; step < options.fine_tune_steps; ++step) {
+      Batch batch = batcher.Next();
+      ModelOutput out = model->Forward(batch);
+      Variable loss = CrossEntropyLoss(out.logits, batch.labels);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+    report.personalized_accuracy.push_back(
+        EvaluateOnIndices(model, test_data, view.test_indices));
+  }
+  // Restore the scratch model to the global state.
+  LoadParameters(global, params);
+  return report;
+}
+
+}  // namespace rfed

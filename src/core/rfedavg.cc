@@ -1,0 +1,73 @@
+#include "core/rfedavg.h"
+
+#include "core/mmd.h"
+#include "util/check.h"
+
+namespace rfed {
+
+RFedAvg::RFedAvg(const FlConfig& config, const RegularizerOptions& reg,
+                 const Dataset* train_data, std::vector<ClientView> clients,
+                 const ModelFactory& model_factory)
+    : FederatedAlgorithm("rFedAvg", config, train_data, std::move(clients),
+                         model_factory),
+      reg_(reg),
+      store_(num_clients(), reg.regularize_logits
+                                ? raw_model()->num_classes()
+                                : raw_model()->feature_dim()),
+      noise_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
+  RFED_CHECK_GE(reg_.lambda, 0.0);
+}
+
+void RFedAvg::OnRoundStart(int round, const std::vector<int>& selected) {
+  // Server broadcasts the full delayed map vector δ_{cE} to each sampled
+  // client (Algorithm 1, line 3): N-1 foreign maps per client.
+  for (size_t i = 0; i < selected.size(); ++i) {
+    comm().Download(store_.BroadcastBytesPairwise());
+  }
+  pending_updates_.clear();
+}
+
+Variable RFedAvg::ExtraLoss(int client, const ModelOutput& output,
+                            const Batch& batch) {
+  if (reg_.lambda == 0.0) return Variable();
+  const Variable& rep =
+      reg_.regularize_logits ? output.logits : output.features;
+  // r'_k: mean squared MMD against every other client's delayed map.
+  std::vector<Tensor> targets = store_.AllExcept(client);
+  Variable r = PairwiseMmdRegularizer(rep, targets);
+  return ag::Scale(r, static_cast<float>(reg_.lambda));
+}
+
+void RFedAvg::OnClientTrained(int round, int client, const Tensor& new_state) {
+  // Algorithm 1, line 10: δ^k_{(c+1)E} from the client's *local* trained
+  // model (the source of the map inconsistency Theorem 2 quantifies).
+  Tensor delta = ComputeClientDelta(client, new_state,
+                                   reg_.regularize_logits);
+  ApplyDpNoise(reg_.dp, &delta, &noise_rng_);
+  pending_updates_.emplace_back(client, std::move(delta));
+  comm().Upload(store_.MapBytes());
+}
+
+void RFedAvg::OnRoundEnd(int round, const std::vector<int>& selected) {
+  // Commit after all clients trained so every client of this round saw
+  // the same delayed snapshot (server updates δ at line 13).
+  for (auto& [client, delta] : pending_updates_) {
+    store_.Update(client, std::move(delta));
+  }
+  pending_updates_.clear();
+}
+
+double RFedAvg::MeanPairwiseMmd() const {
+  const auto& deltas = store_.All();
+  double total = 0.0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    for (size_t j = i + 1; j < deltas.size(); ++j) {
+      total += MmdSquared(deltas[i], deltas[j]);
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+}  // namespace rfed

@@ -1,0 +1,54 @@
+#include "core/rfedavg.h"
+
+#include "core/mmd.h"
+#include "util/check.h"
+
+namespace rfed {
+
+RFedAvgPlus::RFedAvgPlus(const FlConfig& config, const RegularizerOptions& reg,
+                         const Dataset* train_data,
+                         std::vector<ClientView> clients,
+                         const ModelFactory& model_factory)
+    : FederatedAlgorithm("rFedAvg+", config, train_data, std::move(clients),
+                         model_factory),
+      reg_(reg),
+      store_(num_clients(), reg.regularize_logits
+                                ? raw_model()->num_classes()
+                                : raw_model()->feature_dim()),
+      noise_rng_(config.seed ^ 0x7f4a7c159e3779b9ULL) {
+  RFED_CHECK_GE(reg_.lambda, 0.0);
+}
+
+void RFedAvgPlus::OnRoundStart(int round, const std::vector<int>& selected) {
+  // Server ships each sampled client only its leave-one-out averaged map
+  // δ̄^{-k} (Algorithm 2, line 10 input): one map per client, O(d N)
+  // total instead of rFedAvg's O(d N^2).
+  for (size_t i = 0; i < selected.size(); ++i) {
+    comm().Download(store_.BroadcastBytesAveraged());
+  }
+}
+
+Variable RFedAvgPlus::ExtraLoss(int client, const ModelOutput& output,
+                                const Batch& batch) {
+  if (reg_.lambda == 0.0) return Variable();
+  const Variable& rep =
+      reg_.regularize_logits ? output.logits : output.features;
+  Variable r = AveragedMmdRegularizer(rep, store_.LeaveOneOutMean(client));
+  return ag::Scale(r, static_cast<float>(reg_.lambda));
+}
+
+void RFedAvgPlus::OnRoundEnd(int round, const std::vector<int>& selected) {
+  // Second synchronization (Algorithm 2, lines 13-16): the server sends
+  // the freshly aggregated global model back; every sampled client
+  // recomputes its map with that *consistent* model and uploads it.
+  for (int k : selected) {
+    ChargeModelDownload();
+    Tensor delta =
+        ComputeClientDelta(k, global_state(), reg_.regularize_logits);
+    ApplyDpNoise(reg_.dp, &delta, &noise_rng_);
+    store_.Update(k, std::move(delta));
+    comm().Upload(store_.MapBytes());
+  }
+}
+
+}  // namespace rfed

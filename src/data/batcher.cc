@@ -1,0 +1,36 @@
+#include "data/batcher.h"
+
+#include "util/check.h"
+
+namespace rfed {
+
+Batcher::Batcher(const Dataset* dataset, std::vector<int> indices,
+                 int batch_size, Rng rng)
+    : dataset_(dataset),
+      indices_(std::move(indices)),
+      batch_size_(batch_size),
+      rng_(rng) {
+  RFED_CHECK(dataset_ != nullptr);
+  RFED_CHECK_GT(batch_size_, 0);
+  RFED_CHECK(!indices_.empty());
+  rng_.Shuffle(&indices_);
+}
+
+Batch Batcher::Next() {
+  if (cursor_ >= indices_.size()) {
+    cursor_ = 0;
+    rng_.Shuffle(&indices_);
+  }
+  const size_t end =
+      std::min(cursor_ + static_cast<size_t>(batch_size_), indices_.size());
+  std::vector<int> batch_indices(indices_.begin() + static_cast<int64_t>(cursor_),
+                                 indices_.begin() + static_cast<int64_t>(end));
+  cursor_ = end;
+  return dataset_->GetBatch(batch_indices);
+}
+
+int64_t Batcher::BatchesPerEpoch() const {
+  return (num_examples() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace rfed

@@ -1,0 +1,39 @@
+#ifndef RFED_DATA_BATCHER_H_
+#define RFED_DATA_BATCHER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Mini-batch sampler over a client's index view of a shared dataset.
+/// Iterates epochs of a client-local shuffle; the final batch of an epoch
+/// may be smaller than batch_size. Owns its Rng so per-client sampling
+/// streams are independent and reproducible.
+class Batcher {
+ public:
+  Batcher(const Dataset* dataset, std::vector<int> indices, int batch_size,
+          Rng rng);
+
+  /// Next mini-batch, reshuffling at epoch boundaries.
+  Batch Next();
+
+  /// Number of batches per epoch (ceil division).
+  int64_t BatchesPerEpoch() const;
+
+  int64_t num_examples() const { return static_cast<int64_t>(indices_.size()); }
+  const std::vector<int>& indices() const { return indices_; }
+
+ private:
+  const Dataset* dataset_;
+  std::vector<int> indices_;
+  int batch_size_;
+  Rng rng_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_DATA_BATCHER_H_

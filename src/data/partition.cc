@@ -1,0 +1,132 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace rfed {
+
+std::vector<int64_t> ClientSplit::Sizes() const {
+  std::vector<int64_t> sizes;
+  sizes.reserve(client_indices.size());
+  for (const auto& idx : client_indices) {
+    sizes.push_back(static_cast<int64_t>(idx.size()));
+  }
+  return sizes;
+}
+
+std::vector<double> ClientSplit::Weights() const {
+  std::vector<int64_t> sizes = Sizes();
+  const int64_t total = std::accumulate(sizes.begin(), sizes.end(), int64_t{0});
+  RFED_CHECK_GT(total, 0);
+  std::vector<double> weights;
+  weights.reserve(sizes.size());
+  for (int64_t s : sizes) {
+    weights.push_back(static_cast<double>(s) / static_cast<double>(total));
+  }
+  return weights;
+}
+
+ClientSplit SimilarityPartition(const Dataset& dataset, int num_clients,
+                                double similarity, Rng* rng) {
+  RFED_CHECK_GT(num_clients, 0);
+  RFED_CHECK_GE(similarity, 0.0);
+  RFED_CHECK_LE(similarity, 1.0);
+  const int64_t n = dataset.size();
+  RFED_CHECK_GE(n, num_clients);
+
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  const int64_t iid_count =
+      static_cast<int64_t>(std::llround(similarity * static_cast<double>(n)));
+  ClientSplit split;
+  split.client_indices.resize(static_cast<size_t>(num_clients));
+
+  // IID share: deal the shuffled prefix round-robin.
+  for (int64_t i = 0; i < iid_count; ++i) {
+    split.client_indices[static_cast<size_t>(i % num_clients)].push_back(
+        order[static_cast<size_t>(i)]);
+  }
+
+  // Non-IID share: sort by label, then carve into num_clients contiguous
+  // shards (each dominated by one or two adjacent classes).
+  std::vector<int> rest(order.begin() + iid_count, order.end());
+  std::stable_sort(rest.begin(), rest.end(), [&dataset](int a, int b) {
+    return dataset.label(a) < dataset.label(b);
+  });
+  const int64_t rest_n = static_cast<int64_t>(rest.size());
+  for (int k = 0; k < num_clients; ++k) {
+    const int64_t begin = rest_n * k / num_clients;
+    const int64_t end = rest_n * (k + 1) / num_clients;
+    for (int64_t i = begin; i < end; ++i) {
+      split.client_indices[static_cast<size_t>(k)].push_back(
+          rest[static_cast<size_t>(i)]);
+    }
+  }
+  for (const auto& idx : split.client_indices) {
+    RFED_CHECK(!idx.empty()) << "client with no data; reduce num_clients";
+  }
+  return split;
+}
+
+ClientSplit IidPartition(const Dataset& dataset, int num_clients, Rng* rng) {
+  return SimilarityPartition(dataset, num_clients, 1.0, rng);
+}
+
+ClientSplit NaturalPartition(const std::vector<int>& owner_ids, int num_owners,
+                             int num_clients, Rng* rng) {
+  RFED_CHECK_GT(num_clients, 0);
+  RFED_CHECK_GE(num_owners, num_clients);
+  // Randomly group owners into clients (each owner on exactly one client).
+  std::vector<int> owner_to_client(static_cast<size_t>(num_owners));
+  std::vector<int> owner_order(static_cast<size_t>(num_owners));
+  std::iota(owner_order.begin(), owner_order.end(), 0);
+  rng->Shuffle(&owner_order);
+  for (int i = 0; i < num_owners; ++i) {
+    owner_to_client[static_cast<size_t>(owner_order[static_cast<size_t>(i)])] =
+        i % num_clients;
+  }
+  ClientSplit split;
+  split.client_indices.resize(static_cast<size_t>(num_clients));
+  for (size_t i = 0; i < owner_ids.size(); ++i) {
+    const int owner = owner_ids[i];
+    RFED_CHECK_GE(owner, 0);
+    RFED_CHECK_LT(owner, num_owners);
+    split.client_indices[static_cast<size_t>(
+                             owner_to_client[static_cast<size_t>(owner)])]
+        .push_back(static_cast<int>(i));
+  }
+  for (const auto& idx : split.client_indices) {
+    RFED_CHECK(!idx.empty()) << "client with no data; reduce num_clients";
+  }
+  return split;
+}
+
+double LabelSkew(const Dataset& dataset, const ClientSplit& split) {
+  const int classes = dataset.num_classes();
+  std::vector<double> global(static_cast<size_t>(classes), 0.0);
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    global[static_cast<size_t>(dataset.label(i))] += 1.0;
+  }
+  for (double& g : global) g /= static_cast<double>(dataset.size());
+
+  double total_tv = 0.0;
+  for (const auto& idx : split.client_indices) {
+    std::vector<double> local(static_cast<size_t>(classes), 0.0);
+    for (int i : idx) local[static_cast<size_t>(dataset.label(i))] += 1.0;
+    double tv = 0.0;
+    for (int c = 0; c < classes; ++c) {
+      tv += std::fabs(local[static_cast<size_t>(c)] /
+                          static_cast<double>(idx.size()) -
+                      global[static_cast<size_t>(c)]);
+    }
+    total_tv += 0.5 * tv;
+  }
+  return total_tv / static_cast<double>(split.num_clients());
+}
+
+}  // namespace rfed

@@ -1,0 +1,47 @@
+#ifndef RFED_DATA_PARTITION_H_
+#define RFED_DATA_PARTITION_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Assignment of dataset example indices to clients. client_indices[k]
+/// lists the examples owned by client k; clients never share examples.
+struct ClientSplit {
+  std::vector<std::vector<int>> client_indices;
+
+  int num_clients() const { return static_cast<int>(client_indices.size()); }
+  /// Per-client example counts.
+  std::vector<int64_t> Sizes() const;
+  /// FedAvg aggregation weights p_k = n_k / n.
+  std::vector<double> Weights() const;
+};
+
+/// The paper's similarity-s partitioner (following SCAFFOLD [8]): a
+/// fraction `similarity` of the data is allocated IID across clients, the
+/// remainder is sorted by label and dealt to clients in contiguous shards.
+/// similarity = 1.0 is IID, 0.0 is "totally non-IID" (each client's
+/// non-IID share covers ~num_classes/N adjacent classes).
+ClientSplit SimilarityPartition(const Dataset& dataset, int num_clients,
+                                double similarity, Rng* rng);
+
+/// Uniform IID split (equivalent to similarity = 1).
+ClientSplit IidPartition(const Dataset& dataset, int num_clients, Rng* rng);
+
+/// Natural partition by owner id (writer/user): owners are grouped onto
+/// clients, so clients inherit the owners' feature and quantity skew.
+/// owner_ids[i] is the owner of example i; num_owners >= num_clients.
+ClientSplit NaturalPartition(const std::vector<int>& owner_ids,
+                             int num_owners, int num_clients, Rng* rng);
+
+/// Measures label-distribution skew of a split: mean total-variation
+/// distance between each client's label histogram and the global one
+/// (0 = perfectly IID). Used by tests and the partition ablation.
+double LabelSkew(const Dataset& dataset, const ClientSplit& split);
+
+}  // namespace rfed
+
+#endif  // RFED_DATA_PARTITION_H_

@@ -1,0 +1,150 @@
+#include "data/synthetic_images.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+namespace {
+
+/// In-place 3x3 box blur over each channel plane (replicated borders).
+void BoxBlur(Tensor* img, int channels, int size) {
+  Tensor copy = *img;
+  auto clamp = [size](int v) { return std::min(std::max(v, 0), size - 1); };
+  for (int c = 0; c < channels; ++c) {
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        float acc = 0.0f;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            acc += copy.at((c * size + clamp(y + dy)) * size + clamp(x + dx));
+          }
+        }
+        img->at((c * size + y) * size + x) = acc / 9.0f;
+      }
+    }
+  }
+}
+
+struct WriterStyle {
+  float gain;
+  Tensor shift;  // [C*S*S]
+};
+
+}  // namespace
+
+ImageProfile MnistLikeProfile() {
+  ImageProfile p;
+  p.name = "mnist";
+  p.channels = 1;
+  p.image_size = 12;
+  p.num_classes = 10;
+  p.modes_per_class = 1;
+  p.prototype_scale = 1.6f;
+  p.shared_scale = 0.0f;
+  p.noise_stddev = 0.6f;
+  p.blur_passes = 1;
+  return p;
+}
+
+ImageProfile CifarLikeProfile() {
+  ImageProfile p;
+  p.name = "cifar";
+  p.channels = 3;
+  p.image_size = 12;
+  p.num_classes = 10;
+  p.modes_per_class = 2;
+  p.prototype_scale = 1.0f;
+  p.shared_scale = 0.5f;
+  p.noise_stddev = 0.9f;
+  p.blur_passes = 2;
+  return p;
+}
+
+ImageProfile FemnistLikeProfile() {
+  ImageProfile p;
+  p.name = "femnist";
+  p.channels = 1;
+  p.image_size = 12;
+  p.num_classes = 10;
+  p.modes_per_class = 1;
+  p.prototype_scale = 1.2f;
+  p.shared_scale = 0.0f;
+  p.noise_stddev = 0.7f;
+  p.num_writers = 100;
+  p.writer_shift = 0.5f;
+  p.blur_passes = 1;
+  return p;
+}
+
+SyntheticImageData GenerateImageData(const ImageProfile& profile,
+                                     int64_t train_examples,
+                                     int64_t test_examples, Rng* rng) {
+  RFED_CHECK_GT(train_examples, 0);
+  RFED_CHECK_GT(test_examples, 0);
+  const int c = profile.channels;
+  const int s = profile.image_size;
+  const int64_t pixels = static_cast<int64_t>(c) * s * s;
+
+  // Class-and-mode prototypes with shared confusion component.
+  Tensor shared = Tensor::Normal(Shape{pixels}, 0.0f, profile.shared_scale, rng);
+  std::vector<Tensor> prototypes;
+  const int num_modes = profile.num_classes * profile.modes_per_class;
+  prototypes.reserve(static_cast<size_t>(num_modes));
+  for (int m = 0; m < num_modes; ++m) {
+    Tensor proto =
+        Tensor::Normal(Shape{pixels}, 0.0f, profile.prototype_scale, rng);
+    proto.AddInPlace(shared);
+    for (int b = 0; b < profile.blur_passes; ++b) BoxBlur(&proto, c, s);
+    prototypes.push_back(std::move(proto));
+  }
+
+  // Writer styles (femnist profile).
+  std::vector<WriterStyle> writers;
+  for (int w = 0; w < profile.num_writers; ++w) {
+    WriterStyle style;
+    style.gain =
+        1.0f + profile.writer_shift * static_cast<float>(rng->Normal()) * 0.3f;
+    style.shift =
+        Tensor::Normal(Shape{pixels}, 0.0f, profile.writer_shift, rng);
+    for (int b = 0; b < profile.blur_passes; ++b) BoxBlur(&style.shift, c, s);
+    writers.push_back(std::move(style));
+  }
+
+  auto synthesize = [&](int64_t n, bool record_writers,
+                        std::vector<int>* writer_ids) {
+    Tensor images(Shape{n, c, s, s});
+    std::vector<int> labels(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const int label = rng->UniformInt(profile.num_classes);
+      const int mode = rng->UniformInt(profile.modes_per_class);
+      const Tensor& proto =
+          prototypes[static_cast<size_t>(label * profile.modes_per_class + mode)];
+      labels[static_cast<size_t>(i)] = label;
+      float* dst = images.data() + i * pixels;
+      const WriterStyle* style = nullptr;
+      if (!writers.empty()) {
+        const int w = rng->UniformInt(profile.num_writers);
+        style = &writers[static_cast<size_t>(w)];
+        if (record_writers) writer_ids->push_back(w);
+      }
+      for (int64_t p = 0; p < pixels; ++p) {
+        float v = proto.at(p) +
+                  profile.noise_stddev * static_cast<float>(rng->Normal());
+        if (style != nullptr) v = style->gain * v + style->shift.at(p);
+        dst[p] = v;
+      }
+    }
+    return Dataset(std::move(images), std::move(labels), profile.num_classes);
+  };
+
+  std::vector<int> train_writers;
+  Dataset train = synthesize(train_examples, /*record_writers=*/true,
+                             &train_writers);
+  std::vector<int> unused;
+  Dataset test = synthesize(test_examples, /*record_writers=*/false, &unused);
+  return SyntheticImageData{std::move(train), std::move(test),
+                            std::move(train_writers)};
+}
+
+}  // namespace rfed

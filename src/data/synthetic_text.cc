@@ -1,0 +1,83 @@
+#include "data/synthetic_text.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rfed {
+
+TextProfile Sent140LikeProfile() { return TextProfile{}; }
+
+SyntheticTextData GenerateTextData(const TextProfile& profile,
+                                   int64_t train_examples,
+                                   int64_t test_examples, Rng* rng) {
+  RFED_CHECK_GE(profile.vocab_size, 16);
+  RFED_CHECK_EQ(profile.num_classes, 2) << "sentiment corpus is binary";
+  const int v = profile.vocab_size;
+  // Token-id space: [0, v/4) positive band, [v/4, v/2) negative band,
+  // [v/2, v) neutral region hosting the user style bands.
+  const int band = v / 4;
+  const int neutral_begin = v / 2;
+  const int neutral_size = v - neutral_begin;
+  RFED_CHECK_GT(neutral_size, profile.style_band_width);
+
+  struct User {
+    int style_offset;   // start of style band within the neutral region
+    float class_bias;   // P(label = 1) for this user
+  };
+  std::vector<User> users;
+  users.reserve(static_cast<size_t>(profile.num_users));
+  for (int u = 0; u < profile.num_users; ++u) {
+    User user;
+    user.style_offset =
+        rng->UniformInt(neutral_size - profile.style_band_width);
+    user.class_bias = std::clamp(
+        0.5f + profile.user_class_bias * static_cast<float>(rng->Normal()),
+        0.05f, 0.95f);
+    users.push_back(user);
+  }
+
+  auto synthesize = [&](int64_t n, bool record_users,
+                        std::vector<int>* user_ids) {
+    std::vector<std::vector<int>> tokens;
+    std::vector<int> labels;
+    tokens.reserve(static_cast<size_t>(n));
+    labels.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const int u = rng->UniformInt(profile.num_users);
+      const User& user = users[static_cast<size_t>(u)];
+      if (record_users) user_ids->push_back(u);
+      const int label = rng->Uniform() < user.class_bias ? 1 : 0;
+      std::vector<int> seq(static_cast<size_t>(profile.sequence_length));
+      for (int t = 0; t < profile.sequence_length; ++t) {
+        int token = 0;
+        if (rng->Uniform() < profile.sentiment_token_fraction) {
+          // Sentiment token from the label's band, flipped to the
+          // opposite band with probability sentiment_flip.
+          const bool flip = rng->Uniform() < profile.sentiment_flip;
+          const int effective = flip ? 1 - label : label;
+          token = effective * band + rng->UniformInt(band);
+        } else {
+          // Style token from this user's band in the neutral region.
+          token = neutral_begin + user.style_offset +
+                  rng->UniformInt(profile.style_band_width);
+        }
+        seq[static_cast<size_t>(t)] = token;
+      }
+      tokens.push_back(std::move(seq));
+      labels.push_back(label);
+    }
+    return Dataset(std::move(tokens), std::move(labels), profile.num_classes,
+                   profile.vocab_size);
+  };
+
+  std::vector<int> train_users;
+  Dataset train = synthesize(train_examples, /*record_users=*/true,
+                             &train_users);
+  std::vector<int> unused;
+  Dataset test = synthesize(test_examples, /*record_users=*/false, &unused);
+  return SyntheticTextData{std::move(train), std::move(test),
+                           std::move(train_users)};
+}
+
+}  // namespace rfed

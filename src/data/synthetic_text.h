@@ -1,0 +1,52 @@
+#ifndef RFED_DATA_SYNTHETIC_TEXT_H_
+#define RFED_DATA_SYNTHETIC_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Sent140-like synthetic sentiment corpus: fixed-length token sequences
+/// with binary labels, generated per-user. Each user mixes (a) a
+/// class-conditional sentiment-token distribution shared across users and
+/// (b) a user-specific style distribution — so the corpus is *naturally
+/// feature-skewed by user*, the property the paper exploits when sampling
+/// Sent140 users as non-IID clients.
+struct TextProfile {
+  std::string name = "sent140";
+  int vocab_size = 64;
+  int sequence_length = 16;
+  int num_classes = 2;
+  int num_users = 500;
+  /// Fraction of tokens drawn from the sentiment (class) distribution;
+  /// the remainder comes from the user style distribution.
+  float sentiment_token_fraction = 0.35f;
+  /// Probability that a sentiment token is drawn from the *opposite*
+  /// class's band (annotation noise — bounds achievable accuracy the way
+  /// distant supervision bounds Sent140's).
+  float sentiment_flip = 0.2f;
+  /// Width of each user's preferred style band in token-id space.
+  int style_band_width = 12;
+  /// Per-user bias toward one class (class imbalance across users).
+  float user_class_bias = 0.25f;
+};
+
+TextProfile Sent140LikeProfile();
+
+/// Generated corpus; `train_users` maps each training example to its user.
+struct SyntheticTextData {
+  Dataset train;
+  Dataset test;
+  std::vector<int> train_users;
+};
+
+SyntheticTextData GenerateTextData(const TextProfile& profile,
+                                   int64_t train_examples,
+                                   int64_t test_examples, Rng* rng);
+
+}  // namespace rfed
+
+#endif  // RFED_DATA_SYNTHETIC_TEXT_H_

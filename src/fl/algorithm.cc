@@ -1,0 +1,216 @@
+#include "fl/algorithm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fl/model_state.h"
+#include "fl/selection.h"
+#include "nn/loss.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace rfed {
+
+FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
+                                       const Dataset* train_data,
+                                       std::vector<ClientView> clients,
+                                       const ModelFactory& model_factory)
+    : name_(std::move(name)),
+      config_(config),
+      train_data_(train_data),
+      clients_(std::move(clients)),
+      rng_(config.seed) {
+  RFED_CHECK(train_data_ != nullptr);
+  RFED_CHECK(!clients_.empty());
+
+  // FedAvg weights p_k = n_k / n.
+  int64_t total = 0;
+  for (const auto& c : clients_) {
+    RFED_CHECK(!c.train_indices.empty());
+    total += static_cast<int64_t>(c.train_indices.size());
+  }
+  weights_.reserve(clients_.size());
+  for (const auto& c : clients_) {
+    weights_.push_back(static_cast<double>(c.train_indices.size()) /
+                       static_cast<double>(total));
+  }
+
+  Rng init_rng = rng_.Fork();
+  model_ = model_factory(&init_rng);
+  global_state_ = FlattenParameters(model_->Parameters());
+  model_bytes_ = StateBytes(model_->Parameters());
+
+  batchers_.reserve(clients_.size());
+  for (const auto& c : clients_) {
+    batchers_.emplace_back(train_data_, c.train_indices, config_.batch_size,
+                           rng_.Fork());
+  }
+
+  compressor_ = MakeCompressor(config_.upload_compressor);
+  compression_enabled_ = config_.upload_compressor != "none";
+  last_losses_.assign(clients_.size(),
+                      std::numeric_limits<double>::quiet_NaN());
+}
+
+FeatureModel* FederatedAlgorithm::GlobalModel() {
+  LoadParameters(global_state_, model_->Parameters());
+  return model_.get();
+}
+
+std::vector<int> FederatedAlgorithm::SampleClients() {
+  const int n = num_clients();
+  int k = static_cast<int>(std::lround(config_.sample_ratio * n));
+  k = std::clamp(k, 1, n);
+  if (config_.client_selection == "loss" && k < n) {
+    return LossProportionalSelection(last_losses_, k, &rng_);
+  }
+  return UniformSelection(n, k, &rng_);
+}
+
+Tensor FederatedAlgorithm::CompressUploadedState(const Tensor& state) {
+  if (!compression_enabled_) {
+    ChargeModelUpload();
+    return state;
+  }
+  Tensor delta = state;
+  delta.SubInPlace(global_state_);
+  Rng fork = rng_.Fork();
+  Tensor reconstructed = compressor_->RoundTrip(delta, &fork);
+  reconstructed.AddInPlace(global_state_);
+  comm_.Upload(compressor_->WireBytes(state.size()));
+  return reconstructed;
+}
+
+std::vector<int> FederatedAlgorithm::CappedIndices(int client) const {
+  const auto& all = clients_[static_cast<size_t>(client)].train_indices;
+  const int64_t cap = config_.max_examples_per_pass;
+  if (cap <= 0 || static_cast<int64_t>(all.size()) <= cap) return all;
+  // Deterministic per-client subsample: stable stride over the index list.
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(cap));
+  const double stride =
+      static_cast<double>(all.size()) / static_cast<double>(cap);
+  for (int64_t i = 0; i < cap; ++i) {
+    out.push_back(all[static_cast<size_t>(
+        std::min<double>(i * stride, static_cast<double>(all.size() - 1)))]);
+  }
+  return out;
+}
+
+std::pair<Tensor, double> FederatedAlgorithm::LocalTrain(
+    int round, int client, const Tensor& init_state) {
+  auto params = Params();
+  LoadParameters(init_state, params);
+  auto optimizer = MakeOptimizer(config_.optimizer, params, config_.lr);
+  Batcher& batcher = batchers_[static_cast<size_t>(client)];
+
+  const int steps = LocalSteps(client);
+  double loss_sum = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    Batch batch = batcher.Next();
+    ModelOutput out = model_->Forward(batch);
+    Variable loss = CrossEntropyLoss(out.logits, batch.labels);
+    Variable extra = ExtraLoss(client, out, batch);
+    if (extra.valid()) loss = ag::Add(loss, extra);
+    optimizer->ZeroGrad();
+    loss.Backward();
+    PostBackward(client);
+    optimizer->Step();
+    loss_sum += static_cast<double>(loss.value().ToScalar());
+  }
+  return {FlattenParameters(params), loss_sum / static_cast<double>(steps)};
+}
+
+double FederatedAlgorithm::EvaluateLocalLoss(int client, const Tensor& state) {
+  auto params = Params();
+  LoadParameters(state, params);
+  const std::vector<int> indices = CappedIndices(client);
+  Batch batch = train_data_->GetBatch(indices);
+  ModelOutput out = model_->Forward(batch);
+  Variable loss = CrossEntropyLoss(out.logits, batch.labels);
+  return static_cast<double>(loss.value().ToScalar());
+}
+
+Tensor FederatedAlgorithm::ComputeClientDelta(int client, const Tensor& state,
+                                              bool use_logits) {
+  auto params = Params();
+  LoadParameters(state, params);
+  const std::vector<int> indices = CappedIndices(client);
+  Batch batch = train_data_->GetBatch(indices);
+  ModelOutput out = model_->Forward(batch);
+  return MeanRows(use_logits ? out.logits.value() : out.features.value());
+}
+
+void FederatedAlgorithm::ChargeModelDownload() { comm_.Download(model_bytes_); }
+void FederatedAlgorithm::ChargeModelUpload() { comm_.Upload(model_bytes_); }
+
+void FederatedAlgorithm::Aggregate(int round, const std::vector<int>& selected,
+                                   const std::vector<Tensor>& new_states,
+                                   const std::vector<double>& start_losses) {
+  double weight_sum = 0.0;
+  for (int k : selected) weight_sum += weights_[static_cast<size_t>(k)];
+  RFED_CHECK_GT(weight_sum, 0.0);
+  Tensor next(global_state_.shape());
+  for (size_t i = 0; i < selected.size(); ++i) {
+    const double w =
+        weights_[static_cast<size_t>(selected[i])] / weight_sum;
+    next.Axpy(static_cast<float>(w), new_states[i]);
+  }
+  global_state_ = std::move(next);
+}
+
+RoundResult FederatedAlgorithm::RunRound(int round) {
+  comm_.BeginRound();
+  Stopwatch watch;
+  std::vector<int> selected = SampleClients();
+  // Straggler fault injection: drop sampled clients with the configured
+  // probability, keeping at least one. Dropped clients still cost the
+  // server a model download (they failed *after* receiving it).
+  if (config_.dropout_prob > 0.0) {
+    std::vector<int> survivors;
+    for (int k : selected) {
+      if (rng_.Uniform() < config_.dropout_prob) {
+        ChargeModelDownload();  // wasted transfer
+      } else {
+        survivors.push_back(k);
+      }
+    }
+    if (survivors.empty()) survivors.push_back(selected[0]);
+    selected = std::move(survivors);
+  }
+  OnRoundStart(round, selected);
+
+  std::vector<Tensor> new_states;
+  std::vector<double> losses;
+  std::vector<double> start_losses;
+  new_states.reserve(selected.size());
+  losses.reserve(selected.size());
+
+  const bool want_start_losses = RequiresStartLosses();
+  for (int k : selected) {
+    ChargeModelDownload();
+    if (want_start_losses) {
+      start_losses.push_back(EvaluateLocalLoss(k, global_state_));
+    }
+    auto [state, loss] = LocalTrain(round, k, global_state_);
+    OnClientTrained(round, k, state);
+    new_states.push_back(CompressUploadedState(state));
+    losses.push_back(loss);
+    last_losses_[static_cast<size_t>(k)] = loss;
+  }
+
+  Aggregate(round, selected, new_states, start_losses);
+  OnRoundEnd(round, selected);
+
+  // Weighted mean training loss across the cohort.
+  double weight_sum = 0.0, loss_acc = 0.0;
+  for (size_t i = 0; i < selected.size(); ++i) {
+    const double w = weights_[static_cast<size_t>(selected[i])];
+    weight_sum += w;
+    loss_acc += w * losses[i];
+  }
+  return RoundResult{loss_acc / weight_sum, watch.ElapsedSeconds()};
+}
+
+}  // namespace rfed

@@ -1,0 +1,163 @@
+#ifndef RFED_FL_ALGORITHM_H_
+#define RFED_FL_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/batcher.h"
+#include "fl/comm.h"
+#include "fl/compression.h"
+#include "fl/types.h"
+#include "nn/models.h"
+
+namespace rfed {
+
+/// Result of one communication round.
+struct RoundResult {
+  double train_loss = 0.0;   ///< weighted mean local training loss
+  double seconds = 0.0;      ///< wall time spent in local computation
+};
+
+/// Base class of every federated optimization algorithm in this
+/// repository. It implements the FedAvg skeleton — client sampling, E
+/// local SGD/RMSProp steps on each sampled client, weighted server
+/// aggregation, byte-exact communication accounting — and exposes hooks
+/// that subclasses use to become FedProx, SCAFFOLD, q-FedAvg, rFedAvg or
+/// rFedAvg+. The simulation is single-process: one scratch model instance
+/// is re-loaded with each client's state in turn, which keeps memory at
+/// O(model) instead of O(N * model).
+class FederatedAlgorithm {
+ public:
+  FederatedAlgorithm(std::string name, const FlConfig& config,
+                     const Dataset* train_data,
+                     std::vector<ClientView> clients,
+                     const ModelFactory& model_factory);
+  virtual ~FederatedAlgorithm() = default;
+
+  FederatedAlgorithm(const FederatedAlgorithm&) = delete;
+  FederatedAlgorithm& operator=(const FederatedAlgorithm&) = delete;
+
+  const std::string& name() const { return name_; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  const FlConfig& config() const { return config_; }
+  const Tensor& global_state() const { return global_state_; }
+  CommStats& comm() { return comm_; }
+
+  /// The scratch model with the *global* state loaded (for evaluation).
+  FeatureModel* GlobalModel();
+
+  /// Executes one communication round, advancing the global model.
+  virtual RoundResult RunRound(int round);
+
+ protected:
+  // ---- Hooks for subclasses ----
+
+  /// Called once per round before any local training.
+  virtual void OnRoundStart(int round, const std::vector<int>& selected) {}
+
+  /// Extra differentiable loss added to the local objective of `client`
+  /// for one mini-batch (e.g. the λ·r_k distribution regularizer).
+  /// Return an invalid Variable for "none".
+  virtual Variable ExtraLoss(int client, const ModelOutput& output,
+                             const Batch& batch) {
+    return Variable();
+  }
+
+  /// Called after backward and before the optimizer step of each local
+  /// step; may adjust parameter gradients (FedProx, SCAFFOLD).
+  virtual void PostBackward(int client) {}
+
+  /// Called after `client` finished its local steps; `new_state` is its
+  /// trained flat model (rFedAvg computes its δ map here).
+  virtual void OnClientTrained(int round, int client,
+                               const Tensor& new_state) {}
+
+  /// Aggregates client states into the next global state. The default is
+  /// the FedAvg weighted average with weights renormalized over the
+  /// sampled cohort. `start_losses` holds each client's objective at the
+  /// round-start model when RequiresStartLosses() (q-FedAvg).
+  virtual void Aggregate(int round, const std::vector<int>& selected,
+                         const std::vector<Tensor>& new_states,
+                         const std::vector<double>& start_losses);
+
+  /// Called after aggregation (rFedAvg+ runs its second synchronization
+  /// and map refresh here).
+  virtual void OnRoundEnd(int round, const std::vector<int>& selected) {}
+
+  /// Subclasses that need F_k(w_t) at the round-start model (q-FedAvg)
+  /// return true to have start_losses computed (extra forward pass).
+  virtual bool RequiresStartLosses() const { return false; }
+
+  /// Number of local steps `client` runs this round. The default is the
+  /// configured E; FedNova lets it vary with the client's data size.
+  virtual int LocalSteps(int client) const { return config_.local_steps; }
+
+  // ---- Services for subclasses ----
+
+  /// Runs E local steps from `init_state` on `client`; returns the new
+  /// flat state and the mean mini-batch loss.
+  std::pair<Tensor, double> LocalTrain(int round, int client,
+                                       const Tensor& init_state);
+
+  /// Mean loss of `client`'s local objective at `state` (no gradient),
+  /// over at most config.max_examples_per_pass examples.
+  double EvaluateLocalLoss(int client, const Tensor& state);
+
+  /// Mean feature vector δ_k of `client`'s local data under `state`
+  /// (capped full-data pass); the paper's local mapping operator. With
+  /// use_logits the map is taken over the logits layer instead (the
+  /// regularizer-placement ablation).
+  Tensor ComputeClientDelta(int client, const Tensor& state,
+                            bool use_logits = false);
+
+  /// Charges one model download/upload to the communication ledger.
+  void ChargeModelDownload();
+  void ChargeModelUpload();
+
+  std::vector<Variable*> Params() { return model_->Parameters(); }
+  int64_t model_bytes() const { return model_bytes_; }
+  const std::vector<double>& weights() const { return weights_; }
+  const Dataset* train_data() const { return train_data_; }
+  const ClientView& client_view(int k) const {
+    return clients_[static_cast<size_t>(k)];
+  }
+  Rng* rng() { return &rng_; }
+  FeatureModel* raw_model() { return model_.get(); }
+  void SetGlobalState(Tensor state) { global_state_ = std::move(state); }
+
+  /// Picks the round's cohort of round(SR * N) clients using the
+  /// configured selection strategy (uniform or loss-adaptive).
+  std::vector<int> SampleClients();
+
+  /// Applies the configured upload compressor to (state - global): the
+  /// returned state is global + roundtrip(delta). Charges the compressed
+  /// wire size instead of the full model when a compressor is active.
+  Tensor CompressUploadedState(const Tensor& state);
+
+  /// Caps an index list to config.max_examples_per_pass examples
+  /// (deterministic prefix after a client-stable shuffle).
+  std::vector<int> CappedIndices(int client) const;
+
+ private:
+  std::string name_;
+  FlConfig config_;
+  const Dataset* train_data_;
+  std::vector<ClientView> clients_;
+  std::vector<double> weights_;  // p_k = n_k / n over all clients
+  std::unique_ptr<FeatureModel> model_;
+  Tensor global_state_;
+  int64_t model_bytes_;
+  std::vector<Batcher> batchers_;
+  Rng rng_;
+  CommStats comm_;
+  std::unique_ptr<UpdateCompressor> compressor_;
+  bool compression_enabled_;
+  /// Last reported local loss per client (drives adaptive selection).
+  std::vector<double> last_losses_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_ALGORITHM_H_

@@ -1,0 +1,47 @@
+#include "fl/checkpoint.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "tensor/serialize.h"
+#include "util/check.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+
+namespace rfed {
+
+void SaveTensorToFile(const Tensor& tensor, const std::string& path) {
+  std::vector<uint8_t> buffer;
+  SerializeTensor(tensor, &buffer);
+  std::ofstream out(path, std::ios::binary);
+  RFED_CHECK(out.good()) << "cannot open " << path;
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+  RFED_CHECK(out.good()) << "write failed for " << path;
+}
+
+Tensor LoadTensorFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RFED_CHECK(in.good()) << "cannot open " << path;
+  std::vector<uint8_t> buffer((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+  size_t offset = 0;
+  Tensor tensor = DeserializeTensor(buffer, &offset);
+  RFED_CHECK_EQ(offset, buffer.size()) << "trailing bytes in " << path;
+  return tensor;
+}
+
+void SaveHistoryCsv(const RunHistory& history, const std::string& path) {
+  CsvWriter csv(path, {"round", "train_loss", "test_accuracy",
+                       "round_seconds", "round_bytes"});
+  for (const RoundMetrics& r : history.rounds) {
+    csv.WriteRow({std::to_string(r.round), StrFormat("%.6f", r.train_loss),
+                  std::isnan(r.test_accuracy)
+                      ? ""
+                      : StrFormat("%.6f", r.test_accuracy),
+                  StrFormat("%.6f", r.round_seconds),
+                  std::to_string(r.round_bytes)});
+  }
+}
+
+}  // namespace rfed

@@ -1,0 +1,28 @@
+#ifndef RFED_FL_CHECKPOINT_H_
+#define RFED_FL_CHECKPOINT_H_
+
+#include <string>
+
+#include "fl/metrics.h"
+#include "tensor/tensor.h"
+
+namespace rfed {
+
+/// On-disk persistence for long simulations: flat model states round-trip
+/// through the same wire codec the communication ledger charges, and run
+/// histories land as CSV for downstream plotting.
+
+/// Writes a flat model state (or any tensor) to `path`. Aborts on I/O
+/// failure.
+void SaveTensorToFile(const Tensor& tensor, const std::string& path);
+
+/// Reads a tensor written by SaveTensorToFile.
+Tensor LoadTensorFromFile(const std::string& path);
+
+/// Writes a run history as CSV (round, train_loss, test_accuracy,
+/// round_seconds, round_bytes).
+void SaveHistoryCsv(const RunHistory& history, const std::string& path);
+
+}  // namespace rfed
+
+#endif  // RFED_FL_CHECKPOINT_H_

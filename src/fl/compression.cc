@@ -1,0 +1,157 @@
+#include "fl/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rfed {
+namespace {
+
+uint64_t HashMix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+StochasticQuantizer::StochasticQuantizer(int bits) : bits_(bits) {
+  RFED_CHECK_GE(bits, 1);
+  RFED_CHECK_LE(bits, 16);
+}
+
+std::string StochasticQuantizer::Name() const {
+  return StrFormat("q%d", bits_);
+}
+
+Tensor StochasticQuantizer::RoundTrip(const Tensor& update, Rng* rng) {
+  const float max_abs = update.MaxAbs();
+  if (max_abs == 0.0f) return update;
+  const int levels = (1 << bits_) - 1;
+  const float scale = max_abs / static_cast<float>(levels);
+  Tensor out = update;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    const float normalized = out.at(i) / scale;  // in [-levels, levels]
+    const float floor_v = std::floor(normalized);
+    // Stochastic rounding keeps the quantizer unbiased.
+    const float frac = normalized - floor_v;
+    const float q = floor_v + (rng->Uniform() < frac ? 1.0f : 0.0f);
+    out.at(i) = q * scale;
+  }
+  return out;
+}
+
+int64_t StochasticQuantizer::WireBytes(int64_t n) const {
+  // bits_+1 bits per element (sign embedded in the level) plus the scale.
+  const int64_t payload_bits = n * (bits_ + 1);
+  return (payload_bits + 7) / 8 + 4;
+}
+
+TopKSparsifier::TopKSparsifier(double fraction) : fraction_(fraction) {
+  RFED_CHECK_GT(fraction, 0.0);
+  RFED_CHECK_LE(fraction, 1.0);
+}
+
+std::string TopKSparsifier::Name() const {
+  return StrFormat("topk%.0f", 100.0 * fraction_);
+}
+
+Tensor TopKSparsifier::RoundTrip(const Tensor& update, Rng* rng) {
+  const int64_t n = update.size();
+  const int64_t k = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(fraction_ * static_cast<double>(n))));
+  if (k >= n) return update;
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::nth_element(order.begin(), order.begin() + k, order.end(),
+                   [&update](int64_t a, int64_t b) {
+                     return std::fabs(update.at(a)) > std::fabs(update.at(b));
+                   });
+  Tensor out(update.shape());
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t idx = order[static_cast<size_t>(i)];
+    out.at(idx) = update.at(idx);
+  }
+  return out;
+}
+
+int64_t TopKSparsifier::WireBytes(int64_t n) const {
+  const int64_t k = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(fraction_ * static_cast<double>(n))));
+  return 8 * std::min(k, n);  // 4-byte index + 4-byte value each
+}
+
+CountSketchCompressor::CountSketchCompressor(int rows, int64_t width,
+                                             uint64_t seed)
+    : rows_(rows), width_(width), seed_(seed) {
+  RFED_CHECK_GE(rows, 1);
+  RFED_CHECK_GE(width, 1);
+}
+
+std::string CountSketchCompressor::Name() const { return "sketch"; }
+
+Tensor CountSketchCompressor::RoundTrip(const Tensor& update, Rng* rng) {
+  const int64_t n = update.size();
+  std::vector<float> table(static_cast<size_t>(rows_) *
+                           static_cast<size_t>(width_), 0.0f);
+  auto bucket = [this](int row, int64_t i) {
+    return static_cast<int64_t>(
+        HashMix(seed_ + static_cast<uint64_t>(row) * 0x9e3779b9ULL +
+                static_cast<uint64_t>(i)) %
+        static_cast<uint64_t>(width_));
+  };
+  auto sign = [this](int row, int64_t i) {
+    return (HashMix(seed_ * 31 + static_cast<uint64_t>(row) +
+                    static_cast<uint64_t>(i) * 0x85ebca6bULL) &
+            1ULL) != 0
+               ? 1.0f
+               : -1.0f;
+  };
+  // Encode.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int r = 0; r < rows_; ++r) {
+      table[static_cast<size_t>(r) * static_cast<size_t>(width_) +
+            static_cast<size_t>(bucket(r, i))] += sign(r, i) * update.at(i);
+    }
+  }
+  // Decode: median over rows of the signed counters.
+  Tensor out(update.shape());
+  std::vector<float> estimates(static_cast<size_t>(rows_));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int r = 0; r < rows_; ++r) {
+      estimates[static_cast<size_t>(r)] =
+          sign(r, i) *
+          table[static_cast<size_t>(r) * static_cast<size_t>(width_) +
+                static_cast<size_t>(bucket(r, i))];
+    }
+    std::nth_element(estimates.begin(),
+                     estimates.begin() + rows_ / 2, estimates.end());
+    out.at(i) = estimates[static_cast<size_t>(rows_ / 2)];
+  }
+  return out;
+}
+
+int64_t CountSketchCompressor::WireBytes(int64_t n) const {
+  return 4 * static_cast<int64_t>(rows_) * width_;
+}
+
+std::unique_ptr<UpdateCompressor> MakeCompressor(const std::string& name) {
+  if (name == "none") return std::make_unique<NoCompression>();
+  if (name == "q8") return std::make_unique<StochasticQuantizer>(8);
+  if (name == "q4") return std::make_unique<StochasticQuantizer>(4);
+  if (name == "topk10") return std::make_unique<TopKSparsifier>(0.10);
+  if (name == "topk1") return std::make_unique<TopKSparsifier>(0.01);
+  if (name == "sketch") {
+    return std::make_unique<CountSketchCompressor>(5, 2048, 12345);
+  }
+  RFED_CHECK(false) << "unknown compressor " << name;
+  return nullptr;
+}
+
+}  // namespace rfed

@@ -1,0 +1,92 @@
+#ifndef RFED_FL_COMPRESSION_H_
+#define RFED_FL_COMPRESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Lossy update compressors for the client->server direction, the family
+/// of communication-efficiency techniques the paper cites as orthogonal
+/// related work (Konecny et al. quantization; FetchSGD-style sketches).
+/// A compressor maps a flat update to a (smaller) wire representation and
+/// back; WireBytes is what the communication ledger charges.
+///
+/// Compressors are applied to the client's *delta* (new_state - global)
+/// rather than the raw state, which keeps the error magnitude small and
+/// makes plain averaging of decompressed deltas meaningful.
+class UpdateCompressor {
+ public:
+  virtual ~UpdateCompressor() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Returns the reconstruction of `update` after the lossy round trip.
+  virtual Tensor RoundTrip(const Tensor& update, Rng* rng) = 0;
+
+  /// Bytes the compressed form of an `n`-element update puts on the wire.
+  virtual int64_t WireBytes(int64_t n) const = 0;
+};
+
+/// Identity (no compression): 4 bytes/element.
+class NoCompression : public UpdateCompressor {
+ public:
+  std::string Name() const override { return "none"; }
+  Tensor RoundTrip(const Tensor& update, Rng* rng) override { return update; }
+  int64_t WireBytes(int64_t n) const override { return 4 * n; }
+};
+
+/// Stochastic uniform quantization to `bits` bits per element with a
+/// per-tensor scale (QSGD-style). Unbiased: E[decode(encode(x))] = x.
+class StochasticQuantizer : public UpdateCompressor {
+ public:
+  explicit StochasticQuantizer(int bits);
+  std::string Name() const override;
+  Tensor RoundTrip(const Tensor& update, Rng* rng) override;
+  int64_t WireBytes(int64_t n) const override;
+
+ private:
+  int bits_;
+};
+
+/// Magnitude top-k sparsification: keeps the `fraction` largest-|x|
+/// coordinates, zeroes the rest. Wire cost: 8 bytes (index + value) per
+/// kept coordinate.
+class TopKSparsifier : public UpdateCompressor {
+ public:
+  explicit TopKSparsifier(double fraction);
+  std::string Name() const override;
+  Tensor RoundTrip(const Tensor& update, Rng* rng) override;
+  int64_t WireBytes(int64_t n) const override;
+
+ private:
+  double fraction_;
+};
+
+/// Count-sketch compressor (FetchSGD-style): the update is hashed into
+/// `rows` x `width` counters with random signs; decoding takes the median
+/// of the signed counters per coordinate. Unbiased with variance
+/// controlled by width.
+class CountSketchCompressor : public UpdateCompressor {
+ public:
+  CountSketchCompressor(int rows, int64_t width, uint64_t seed);
+  std::string Name() const override;
+  Tensor RoundTrip(const Tensor& update, Rng* rng) override;
+  int64_t WireBytes(int64_t n) const override;
+
+ private:
+  int rows_;
+  int64_t width_;
+  uint64_t seed_;
+};
+
+/// Factory by name: "none", "q8", "q4", "topk10", "topk1", "sketch".
+std::unique_ptr<UpdateCompressor> MakeCompressor(const std::string& name);
+
+}  // namespace rfed
+
+#endif  // RFED_FL_COMPRESSION_H_

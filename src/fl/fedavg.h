@@ -1,0 +1,21 @@
+#ifndef RFED_FL_FEDAVG_H_
+#define RFED_FL_FEDAVG_H_
+
+#include "fl/algorithm.h"
+
+namespace rfed {
+
+/// Vanilla Federated Averaging (McMahan et al., AISTATS'17): E local
+/// SGD steps per sampled client, weighted parameter average at the
+/// server. This is exactly the FederatedAlgorithm skeleton with no hooks.
+class FedAvg : public FederatedAlgorithm {
+ public:
+  FedAvg(const FlConfig& config, const Dataset* train_data,
+         std::vector<ClientView> clients, const ModelFactory& model_factory)
+      : FederatedAlgorithm("FedAvg", config, train_data, std::move(clients),
+                           model_factory) {}
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_FEDAVG_H_

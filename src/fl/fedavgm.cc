@@ -1,0 +1,39 @@
+#include "fl/fedavgm.h"
+
+#include "util/check.h"
+
+namespace rfed {
+
+FedAvgM::FedAvgM(const FlConfig& config, double server_momentum,
+                 const Dataset* train_data, std::vector<ClientView> clients,
+                 const ModelFactory& model_factory)
+    : FederatedAlgorithm("FedAvgM", config, train_data, std::move(clients),
+                         model_factory),
+      beta_(server_momentum),
+      momentum_(global_state().shape()) {
+  RFED_CHECK_GE(beta_, 0.0);
+  RFED_CHECK_LT(beta_, 1.0);
+}
+
+void FedAvgM::Aggregate(int round, const std::vector<int>& selected,
+                        const std::vector<Tensor>& new_states,
+                        const std::vector<double>& start_losses) {
+  double weight_sum = 0.0;
+  for (int k : selected) weight_sum += weights()[static_cast<size_t>(k)];
+  RFED_CHECK_GT(weight_sum, 0.0);
+
+  // Pseudo-gradient: x - avg_k y_k.
+  Tensor pseudo_grad = global_state();
+  for (size_t i = 0; i < selected.size(); ++i) {
+    const double w =
+        weights()[static_cast<size_t>(selected[i])] / weight_sum;
+    pseudo_grad.Axpy(static_cast<float>(-w), new_states[i]);
+  }
+  momentum_.MulInPlace(static_cast<float>(beta_));
+  momentum_.AddInPlace(pseudo_grad);
+  Tensor next = global_state();
+  next.Axpy(-1.0f, momentum_);
+  SetGlobalState(std::move(next));
+}
+
+}  // namespace rfed

@@ -1,0 +1,34 @@
+#ifndef RFED_FL_FEDAVGM_H_
+#define RFED_FL_FEDAVGM_H_
+
+#include "fl/algorithm.h"
+
+namespace rfed {
+
+/// FedAvgM (Hsu et al.): FedAvg with server-side momentum. The server
+/// treats the averaged client displacement as a pseudo-gradient and
+/// applies a momentum update
+///   m <- beta * m + (x - avg_k y_k),   x+ = x - m,
+/// which damps the round-to-round oscillation non-IID cohorts induce —
+/// a frequently used baseline knob in the non-IID FL literature.
+class FedAvgM : public FederatedAlgorithm {
+ public:
+  FedAvgM(const FlConfig& config, double server_momentum,
+          const Dataset* train_data, std::vector<ClientView> clients,
+          const ModelFactory& model_factory);
+
+  double server_momentum() const { return beta_; }
+
+ protected:
+  void Aggregate(int round, const std::vector<int>& selected,
+                 const std::vector<Tensor>& new_states,
+                 const std::vector<double>& start_losses) override;
+
+ private:
+  double beta_;
+  Tensor momentum_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_FEDAVGM_H_

@@ -1,0 +1,36 @@
+#ifndef RFED_FL_FEDNOVA_H_
+#define RFED_FL_FEDNOVA_H_
+
+#include "fl/algorithm.h"
+
+namespace rfed {
+
+/// FedNova (Wang et al., NeurIPS'20) — "tackling the objective
+/// inconsistency problem": when clients run *different numbers of local
+/// steps* (here: one local epoch each, i.e. ceil(n_k / B) steps, capped),
+/// plain FedAvg implicitly optimizes a reweighted objective. FedNova
+/// normalizes each client's cumulative update by its step count before
+/// averaging and rescales by the effective step count:
+///   d_k = (x - y_k) / tau_k,   x+ = x - tau_eff * sum_k p_k d_k,
+///   tau_eff = sum_k p_k tau_k.
+class FedNova : public FederatedAlgorithm {
+ public:
+  /// max_local_steps caps per-client epochs so a huge client cannot
+  /// dominate the round's wall time.
+  FedNova(const FlConfig& config, int max_local_steps,
+          const Dataset* train_data, std::vector<ClientView> clients,
+          const ModelFactory& model_factory);
+
+ protected:
+  int LocalSteps(int client) const override;
+  void Aggregate(int round, const std::vector<int>& selected,
+                 const std::vector<Tensor>& new_states,
+                 const std::vector<double>& start_losses) override;
+
+ private:
+  int max_local_steps_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_FEDNOVA_H_

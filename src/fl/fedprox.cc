@@ -1,0 +1,22 @@
+#include "fl/fedprox.h"
+
+#include "fl/model_state.h"
+
+namespace rfed {
+
+FedProx::FedProx(const FlConfig& config, double mu, const Dataset* train_data,
+                 std::vector<ClientView> clients,
+                 const ModelFactory& model_factory)
+    : FederatedAlgorithm("FedProx", config, train_data, std::move(clients),
+                         model_factory),
+      mu_(mu) {}
+
+void FedProx::OnRoundStart(int round, const std::vector<int>& selected) {
+  round_start_state_ = global_state();
+}
+
+void FedProx::PostBackward(int client) {
+  AddProximalToGradients(round_start_state_, mu_, Params());
+}
+
+}  // namespace rfed

@@ -1,0 +1,29 @@
+#ifndef RFED_FL_FEDPROX_H_
+#define RFED_FL_FEDPROX_H_
+
+#include "fl/algorithm.h"
+
+namespace rfed {
+
+/// FedProx (Li et al., MLSys'20): FedAvg plus a proximal term
+/// (mu/2)||w - w_global||^2 in every local objective, implemented as a
+/// gradient correction mu * (w - w_global) after backward.
+class FedProx : public FederatedAlgorithm {
+ public:
+  FedProx(const FlConfig& config, double mu, const Dataset* train_data,
+          std::vector<ClientView> clients, const ModelFactory& model_factory);
+
+  double mu() const { return mu_; }
+
+ protected:
+  void OnRoundStart(int round, const std::vector<int>& selected) override;
+  void PostBackward(int client) override;
+
+ private:
+  double mu_;
+  Tensor round_start_state_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_FEDPROX_H_

@@ -1,0 +1,61 @@
+#include "fl/message.h"
+
+#include <cstring>
+
+#include "tensor/serialize.h"
+#include "util/check.h"
+
+namespace rfed {
+namespace {
+
+template <typename T>
+void AppendRaw(const T& value, std::vector<uint8_t>* out) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(const std::vector<uint8_t>& buf, size_t* offset) {
+  RFED_CHECK_LE(*offset + sizeof(T), buf.size());
+  T value;
+  std::memcpy(&value, buf.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+int64_t FlMessage::EncodedBytes() const {
+  int64_t bytes = 3 * static_cast<int64_t>(sizeof(int32_t)) +
+                  static_cast<int64_t>(sizeof(int32_t));  // payload count
+  for (const Tensor& t : payload) bytes += SerializedBytes(t);
+  return bytes;
+}
+
+void FlMessage::EncodeTo(std::vector<uint8_t>* out) const {
+  AppendRaw<int32_t>(static_cast<int32_t>(kind), out);
+  AppendRaw<int32_t>(round, out);
+  AppendRaw<int32_t>(sender, out);
+  AppendRaw<int32_t>(static_cast<int32_t>(payload.size()), out);
+  for (const Tensor& t : payload) SerializeTensor(t, out);
+}
+
+FlMessage FlMessage::Decode(const std::vector<uint8_t>& buffer,
+                            size_t* offset) {
+  FlMessage message;
+  const int32_t kind = ReadRaw<int32_t>(buffer, offset);
+  RFED_CHECK_GE(kind, 0);
+  RFED_CHECK_LE(kind, 4);
+  message.kind = static_cast<Kind>(kind);
+  message.round = ReadRaw<int32_t>(buffer, offset);
+  message.sender = ReadRaw<int32_t>(buffer, offset);
+  const int32_t count = ReadRaw<int32_t>(buffer, offset);
+  RFED_CHECK_GE(count, 0);
+  message.payload.reserve(static_cast<size_t>(count));
+  for (int32_t i = 0; i < count; ++i) {
+    message.payload.push_back(DeserializeTensor(buffer, offset));
+  }
+  return message;
+}
+
+}  // namespace rfed

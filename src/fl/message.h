@@ -1,0 +1,46 @@
+#ifndef RFED_FL_MESSAGE_H_
+#define RFED_FL_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rfed {
+
+/// The wire envelope of one server<->client exchange. The in-process
+/// simulator hands Tensors around directly for speed, but every byte the
+/// CommStats ledger charges corresponds to this encoding; Encode/Decode
+/// give a faithful round-trippable serialization for checkpointing runs
+/// or replaying traffic, and its size is asserted against the ledger in
+/// tests.
+struct FlMessage {
+  enum class Kind : int32_t {
+    kModelDownload = 0,   ///< server -> client: global model
+    kModelUpload = 1,     ///< client -> server: trained local model
+    kDeltaBroadcast = 2,  ///< server -> client: δ map(s) (rFedAvg/rFedAvg+)
+    kDeltaUpload = 3,     ///< client -> server: refreshed δ^k
+    kControlVariate = 4,  ///< SCAFFOLD control variates
+  };
+
+  Kind kind = Kind::kModelDownload;
+  int32_t round = 0;
+  int32_t sender = -1;             ///< client id, -1 for the server
+  std::vector<Tensor> payload;
+
+  /// Serialized size in bytes.
+  int64_t EncodedBytes() const;
+
+  /// Appends the encoding to *out.
+  void EncodeTo(std::vector<uint8_t>* out) const;
+
+  /// Decodes one message starting at *offset (advanced past it).
+  /// Aborts on malformed input.
+  static FlMessage Decode(const std::vector<uint8_t>& buffer,
+                          size_t* offset);
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_MESSAGE_H_

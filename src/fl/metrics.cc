@@ -1,0 +1,58 @@
+#include "fl/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+
+double RunHistory::FinalAccuracy() const {
+  for (auto it = rounds.rbegin(); it != rounds.rend(); ++it) {
+    if (!std::isnan(it->test_accuracy)) return it->test_accuracy;
+  }
+  RFED_CHECK(false) << "no evaluated round in history";
+  return 0.0;
+}
+
+double RunHistory::BestAccuracy() const {
+  double best = 0.0;
+  for (const auto& r : rounds) {
+    if (!std::isnan(r.test_accuracy)) best = std::max(best, r.test_accuracy);
+  }
+  return best;
+}
+
+int RunHistory::RoundsToReach(double target) const {
+  for (const auto& r : rounds) {
+    if (!std::isnan(r.test_accuracy) && r.test_accuracy >= target) {
+      return r.round + 1;
+    }
+  }
+  return -1;
+}
+
+double RunHistory::MeanRoundSeconds() const {
+  if (rounds.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : rounds) total += r.round_seconds;
+  return total / static_cast<double>(rounds.size());
+}
+
+int64_t RunHistory::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& r : rounds) total += r.round_bytes;
+  return total;
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  RFED_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  const double mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  return MeanStd{mean, std::sqrt(var)};
+}
+
+}  // namespace rfed

@@ -1,0 +1,47 @@
+#ifndef RFED_FL_METRICS_H_
+#define RFED_FL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace rfed {
+
+/// Per-round measurements recorded by the trainer; each accuracy/loss
+/// curve in the paper's figures is a column of this record.
+struct RoundMetrics {
+  int round = 0;
+  double train_loss = 0.0;     ///< weighted mean local loss this round
+  double test_accuracy = 0.0;  ///< global-model accuracy (NaN if not evaluated)
+  double round_seconds = 0.0;  ///< local-computation wall time of the round
+  int64_t round_bytes = 0;     ///< server<->clients traffic this round
+};
+
+/// Full training history of one run.
+struct RunHistory {
+  std::string algorithm;
+  std::vector<RoundMetrics> rounds;
+
+  /// Final-round test accuracy (requires at least one evaluated round).
+  double FinalAccuracy() const;
+  /// Best test accuracy across rounds.
+  double BestAccuracy() const;
+  /// First (1-based) round whose test accuracy reaches `target`;
+  /// -1 if never reached. Drives Fig. 10a/b.
+  int RoundsToReach(double target) const;
+  /// Mean per-round wall time. Drives Fig. 10c/d.
+  double MeanRoundSeconds() const;
+  /// Total communicated bytes.
+  int64_t TotalBytes() const;
+};
+
+/// Mean and (population) standard deviation of a sample; the tables
+/// report "mean ± std" over seeds.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace rfed
+
+#endif  // RFED_FL_METRICS_H_

@@ -1,0 +1,43 @@
+#ifndef RFED_FL_MODEL_STATE_H_
+#define RFED_FL_MODEL_STATE_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rfed {
+
+// Helpers mapping between a model's parameter list and the flat float
+// vector exchanged between server and clients. Parameter order comes from
+// Module::Parameters(), which is deterministic, so flatten/load round-trips
+// exactly on every simulated node.
+
+/// Total scalar count of a parameter list.
+int64_t ParameterCount(const std::vector<Variable*>& params);
+
+/// Concatenates all parameter values into a rank-1 tensor.
+Tensor FlattenParameters(const std::vector<Variable*>& params);
+
+/// Writes a flat state back into the parameters (shapes must match).
+void LoadParameters(const Tensor& flat, const std::vector<Variable*>& params);
+
+/// Concatenates all parameter gradients (zeros for parameters that have
+/// no accumulated gradient yet).
+Tensor FlattenGradients(const std::vector<Variable*>& params);
+
+/// Adds scale * flat[segment] into each parameter's gradient; used by
+/// SCAFFOLD-style control-variate corrections.
+void AddFlatToGradients(const Tensor& flat, double scale,
+                        const std::vector<Variable*>& params);
+
+/// Adds scale * (param - reference[segment]) into each parameter's
+/// gradient; used by FedProx's proximal term.
+void AddProximalToGradients(const Tensor& reference, double mu,
+                            const std::vector<Variable*>& params);
+
+/// Bytes on the wire for one model-state transfer (float32 payload).
+int64_t StateBytes(const std::vector<Variable*>& params);
+
+}  // namespace rfed
+
+#endif  // RFED_FL_MODEL_STATE_H_

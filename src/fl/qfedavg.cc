@@ -1,0 +1,44 @@
+#include "fl/qfedavg.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+
+QFedAvg::QFedAvg(const FlConfig& config, double q, const Dataset* train_data,
+                 std::vector<ClientView> clients,
+                 const ModelFactory& model_factory)
+    : FederatedAlgorithm("q-FedAvg", config, train_data, std::move(clients),
+                         model_factory),
+      q_(q) {
+  RFED_CHECK_GE(q_, 0.0);
+}
+
+void QFedAvg::Aggregate(int round, const std::vector<int>& selected,
+                        const std::vector<Tensor>& new_states,
+                        const std::vector<double>& start_losses) {
+  RFED_CHECK_EQ(start_losses.size(), selected.size());
+  const double lipschitz = 1.0 / config().lr;
+
+  Tensor numerator(global_state().shape());
+  double denominator = 0.0;
+  for (size_t i = 0; i < selected.size(); ++i) {
+    // Delta_k = L (w_t - w_k).
+    Tensor delta = global_state();
+    delta.SubInPlace(new_states[i]);
+    delta.MulInPlace(static_cast<float>(lipschitz));
+    const double loss = std::max(start_losses[i], 1e-10);
+    const double loss_pow_q = std::pow(loss, q_);
+    const double loss_pow_qm1 = std::pow(loss, q_ - 1.0);
+    const double delta_sq = static_cast<double>(delta.SquaredNorm());
+    numerator.Axpy(static_cast<float>(loss_pow_q), delta);
+    denominator += q_ * loss_pow_qm1 * delta_sq + lipschitz * loss_pow_q;
+  }
+  RFED_CHECK_GT(denominator, 0.0);
+  Tensor next = global_state();
+  next.Axpy(static_cast<float>(-1.0 / denominator), numerator);
+  SetGlobalState(std::move(next));
+}
+
+}  // namespace rfed

@@ -1,0 +1,34 @@
+#ifndef RFED_FL_QFEDAVG_H_
+#define RFED_FL_QFEDAVG_H_
+
+#include "fl/algorithm.h"
+
+namespace rfed {
+
+/// q-FedAvg (Li et al., ICLR'20): fair federated learning. Clients train
+/// locally like FedAvg; the server reweights each client's model delta by
+/// F_k(w_t)^q (its loss at the round-start model raised to the fairness
+/// exponent q) and normalizes by the estimated Lipschitz terms:
+///   Delta_k = L (w_t - w_k),   h_k = q F_k^{q-1} ||Delta_k||^2 + L F_k^q
+///   w_{t+1} = w_t - sum_k F_k^q Delta_k / sum_k h_k,   L = 1 / lr.
+/// q = 0 recovers (an unweighted variant of) FedAvg.
+class QFedAvg : public FederatedAlgorithm {
+ public:
+  QFedAvg(const FlConfig& config, double q, const Dataset* train_data,
+          std::vector<ClientView> clients, const ModelFactory& model_factory);
+
+  double q() const { return q_; }
+
+ protected:
+  bool RequiresStartLosses() const override { return true; }
+  void Aggregate(int round, const std::vector<int>& selected,
+                 const std::vector<Tensor>& new_states,
+                 const std::vector<double>& start_losses) override;
+
+ private:
+  double q_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_QFEDAVG_H_

@@ -1,0 +1,57 @@
+#include "fl/scaffold.h"
+
+#include "fl/model_state.h"
+#include "util/check.h"
+
+namespace rfed {
+
+Scaffold::Scaffold(const FlConfig& config, const Dataset* train_data,
+                   std::vector<ClientView> clients,
+                   const ModelFactory& model_factory)
+    : FederatedAlgorithm("Scaffold", config, train_data, std::move(clients),
+                         model_factory) {
+  global_control_ = Tensor(global_state().shape());
+  client_controls_.assign(static_cast<size_t>(num_clients()),
+                          Tensor(global_state().shape()));
+}
+
+void Scaffold::OnRoundStart(int round, const std::vector<int>& selected) {
+  round_start_state_ = global_state();
+  // The server ships c alongside the model to every sampled client.
+  for (size_t i = 0; i < selected.size(); ++i) {
+    comm().Download(model_bytes());
+  }
+}
+
+void Scaffold::PostBackward(int client) {
+  // g <- g + c - c_k.
+  AddFlatToGradients(global_control_, 1.0, Params());
+  AddFlatToGradients(client_controls_[static_cast<size_t>(client)], -1.0,
+                     Params());
+}
+
+void Scaffold::OnClientTrained(int round, int client,
+                               const Tensor& new_state) {
+  // Option II refresh: c_k+ = c_k - c + (x - y_k) / (E * lr).
+  const double scale =
+      1.0 / (static_cast<double>(config().local_steps) * config().lr);
+  Tensor& ck = client_controls_[static_cast<size_t>(client)];
+  Tensor ck_new = ck;
+  ck_new.Axpy(-1.0f, global_control_);
+  Tensor drift = round_start_state_;
+  drift.SubInPlace(new_state);  // x - y_k
+  ck_new.Axpy(static_cast<float>(scale), drift);
+
+  // Server-side c update uses the cohort mean of (c_k+ - c_k) weighted by
+  // the sampling fraction |S|/N; with per-client application that is
+  // 1/N per trained client.
+  Tensor delta_c = ck_new;
+  delta_c.SubInPlace(ck);
+  global_control_.Axpy(1.0f / static_cast<float>(num_clients()), delta_c);
+  ck = std::move(ck_new);
+
+  // Client uploads its refreshed control variate.
+  comm().Upload(model_bytes());
+}
+
+}  // namespace rfed

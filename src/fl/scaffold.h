@@ -1,0 +1,34 @@
+#ifndef RFED_FL_SCAFFOLD_H_
+#define RFED_FL_SCAFFOLD_H_
+
+#include "fl/algorithm.h"
+
+namespace rfed {
+
+/// SCAFFOLD (Karimireddy et al., ICML'20): stochastic controlled
+/// averaging. Each client keeps a control variate c_k and the server a
+/// global c; local gradients are corrected by (c - c_k), and after local
+/// training c_k is refreshed with option II of the paper:
+///   c_k+ = c_k - c + (x - y_k) / (E * lr).
+/// The server aggregates models like FedAvg (global step eta_g = 1) and
+/// updates c <- c + (|S|/N) * mean_{k in S}(c_k+ - c_k). Control variates
+/// double the per-round communication, which the ledger charges.
+class Scaffold : public FederatedAlgorithm {
+ public:
+  Scaffold(const FlConfig& config, const Dataset* train_data,
+           std::vector<ClientView> clients, const ModelFactory& model_factory);
+
+ protected:
+  void OnRoundStart(int round, const std::vector<int>& selected) override;
+  void PostBackward(int client) override;
+  void OnClientTrained(int round, int client, const Tensor& new_state) override;
+
+ private:
+  Tensor round_start_state_;
+  Tensor global_control_;               // c
+  std::vector<Tensor> client_controls_; // c_k
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_SCAFFOLD_H_

@@ -1,0 +1,53 @@
+#include "fl/secure_agg.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+SecureAggregator::SecureAggregator(int64_t dim, uint64_t session_seed,
+                                   double mask_scale)
+    : dim_(dim), session_seed_(session_seed), mask_scale_(mask_scale) {
+  RFED_CHECK_GT(dim, 0);
+}
+
+Tensor SecureAggregator::PairMask(int a, int b) const {
+  RFED_CHECK_NE(a, b);
+  const int lo = std::min(a, b);
+  const int hi = std::max(a, b);
+  // Both parties derive the identical stream from the shared session
+  // seed and the unordered pair id.
+  Rng rng(session_seed_ ^
+          (static_cast<uint64_t>(lo) * 0x1f123bb5ULL + static_cast<uint64_t>(hi)));
+  return Tensor::Normal(Shape{dim_}, 0.0f, static_cast<float>(mask_scale_),
+                        &rng);
+}
+
+Tensor SecureAggregator::Mask(int client, const Tensor& update,
+                              const std::vector<int>& cohort) const {
+  RFED_CHECK_EQ(update.size(), dim_);
+  Tensor masked = update;
+  bool member = false;
+  for (int other : cohort) {
+    if (other == client) {
+      member = true;
+      continue;
+    }
+    Tensor mask = PairMask(client, other);
+    // Convention: the lower id adds, the higher id subtracts.
+    masked.Axpy(client < other ? 1.0f : -1.0f, mask);
+  }
+  RFED_CHECK(member) << "client " << client << " not in cohort";
+  return masked;
+}
+
+Tensor SecureAggregator::SumMasked(const std::vector<Tensor>& masked_uploads) {
+  RFED_CHECK(!masked_uploads.empty());
+  Tensor sum(masked_uploads[0].shape());
+  for (const Tensor& upload : masked_uploads) sum.AddInPlace(upload);
+  return sum;
+}
+
+}  // namespace rfed

@@ -1,0 +1,53 @@
+#ifndef RFED_FL_SECURE_AGG_H_
+#define RFED_FL_SECURE_AGG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rfed {
+
+/// Simulation of pairwise-additive-mask secure aggregation (Bonawitz et
+/// al. style), the standard mechanism FL deployments combine with
+/// FedAvg-family algorithms so the server only ever sees the *sum* of
+/// client updates. Every cohort pair (i, j), i < j, derives a shared
+/// mask m_ij from a common seed; client i uploads update + Σ_j±m_ij with
+/// sign +1 for j > i and -1 for j < i, so the masks cancel exactly in
+/// the server-side sum.
+///
+/// This is a fidelity substrate: it demonstrates (and tests) that the
+/// algorithms in this repository are compatible with sum-only servers —
+/// FedAvg aggregation and the rFedAvg+ averaged δ map both only need
+/// sums. It is not hardened cryptography (masks come from the simulator
+/// PRG, there is no dropout-recovery protocol).
+class SecureAggregator {
+ public:
+  /// mask_scale controls how large the masks are relative to the data —
+  /// big masks make individual uploads statistically useless.
+  SecureAggregator(int64_t dim, uint64_t session_seed,
+                   double mask_scale = 10.0);
+
+  /// Masked upload of `client`'s update given the round's cohort
+  /// (sorted or not; must contain `client`).
+  Tensor Mask(int client, const Tensor& update,
+              const std::vector<int>& cohort) const;
+
+  /// Server-side aggregate: the plain sum of masked uploads (the masks
+  /// cancel when every cohort member reported).
+  static Tensor SumMasked(const std::vector<Tensor>& masked_uploads);
+
+  int64_t dim() const { return dim_; }
+
+ private:
+  /// Deterministic pairwise mask for the unordered pair {a, b}.
+  Tensor PairMask(int a, int b) const;
+
+  int64_t dim_;
+  uint64_t session_seed_;
+  double mask_scale_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_SECURE_AGG_H_

@@ -1,0 +1,64 @@
+#include "fl/selection.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+
+std::vector<int> UniformSelection(int num_clients, int cohort_size,
+                                  Rng* rng) {
+  RFED_CHECK_GE(num_clients, cohort_size);
+  if (cohort_size == num_clients) {
+    std::vector<int> all(static_cast<size_t>(num_clients));
+    for (int i = 0; i < num_clients; ++i) all[static_cast<size_t>(i)] = i;
+    return all;
+  }
+  return rng->SampleWithoutReplacement(num_clients, cohort_size);
+}
+
+std::vector<int> LossProportionalSelection(
+    const std::vector<double>& last_losses, int cohort_size, Rng* rng) {
+  const int n = static_cast<int>(last_losses.size());
+  RFED_CHECK_GE(n, cohort_size);
+  // Build sampling weights; unknown losses get the mean of known ones.
+  double known_sum = 0.0;
+  int known = 0;
+  for (double loss : last_losses) {
+    if (std::isfinite(loss) && loss > 0.0) {
+      known_sum += loss;
+      ++known;
+    }
+  }
+  const double fallback = known > 0 ? known_sum / known : 1.0;
+  std::vector<double> weights(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double loss = last_losses[static_cast<size_t>(i)];
+    weights[static_cast<size_t>(i)] =
+        (std::isfinite(loss) && loss > 0.0) ? loss : fallback;
+  }
+  // Weighted sampling without replacement (sequential draws).
+  std::vector<int> selected;
+  selected.reserve(static_cast<size_t>(cohort_size));
+  std::vector<bool> taken(static_cast<size_t>(n), false);
+  for (int draw = 0; draw < cohort_size; ++draw) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (!taken[static_cast<size_t>(i)]) total += weights[static_cast<size_t>(i)];
+    }
+    double target = rng->Uniform() * total;
+    int pick = -1;
+    for (int i = 0; i < n; ++i) {
+      if (taken[static_cast<size_t>(i)]) continue;
+      target -= weights[static_cast<size_t>(i)];
+      pick = i;
+      if (target <= 0.0) break;
+    }
+    RFED_CHECK_GE(pick, 0);
+    taken[static_cast<size_t>(pick)] = true;
+    selected.push_back(pick);
+  }
+  return selected;
+}
+
+}  // namespace rfed

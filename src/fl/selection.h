@@ -1,0 +1,27 @@
+#ifndef RFED_FL_SELECTION_H_
+#define RFED_FL_SELECTION_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Cohort selection strategies. FedAvg samples uniformly without
+/// replacement; the adaptive strategy (the "adaptive participant
+/// selection" future-work direction of the paper, in the spirit of
+/// Power-of-Choice) over-samples clients whose last known local loss is
+/// high, which speeds convergence on skewed data at some fairness risk.
+
+/// Uniform sample of k of n clients.
+std::vector<int> UniformSelection(int num_clients, int cohort_size, Rng* rng);
+
+/// Loss-proportional sampling without replacement: client k is drawn
+/// with probability proportional to max(last_losses[k], floor). Clients
+/// that never reported a loss (NaN/<=0 entries) get the mean weight.
+std::vector<int> LossProportionalSelection(
+    const std::vector<double>& last_losses, int cohort_size, Rng* rng);
+
+}  // namespace rfed
+
+#endif  // RFED_FL_SELECTION_H_

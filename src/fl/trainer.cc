@@ -1,0 +1,96 @@
+#include "fl/trainer.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "nn/loss.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace rfed {
+
+FederatedTrainer::FederatedTrainer(FederatedAlgorithm* algorithm,
+                                   const Dataset* test_data,
+                                   const TrainerOptions& options)
+    : algorithm_(algorithm), test_data_(test_data), options_(options) {
+  RFED_CHECK(algorithm_ != nullptr);
+  RFED_CHECK(test_data_ != nullptr);
+  RFED_CHECK_GE(options_.eval_every, 1);
+  const int64_t n = test_data_->size();
+  int64_t take = n;
+  if (options_.eval_max_examples > 0) {
+    take = std::min(take, options_.eval_max_examples);
+  }
+  // Deterministic stride subsample of the test set.
+  eval_indices_.reserve(static_cast<size_t>(take));
+  const double stride = static_cast<double>(n) / static_cast<double>(take);
+  for (int64_t i = 0; i < take; ++i) {
+    eval_indices_.push_back(static_cast<int>(
+        std::min<double>(i * stride, static_cast<double>(n - 1))));
+  }
+}
+
+double FederatedTrainer::EvaluateOn(const Dataset* data,
+                                    const std::vector<int>& indices) {
+  RFED_CHECK(!indices.empty());
+  FeatureModel* model = algorithm_->GlobalModel();
+  int64_t correct = 0;
+  for (size_t begin = 0; begin < indices.size();
+       begin += static_cast<size_t>(options_.eval_batch_size)) {
+    const size_t end = std::min(
+        begin + static_cast<size_t>(options_.eval_batch_size), indices.size());
+    std::vector<int> chunk(indices.begin() + static_cast<int64_t>(begin),
+                           indices.begin() + static_cast<int64_t>(end));
+    Batch batch = data->GetBatch(chunk);
+    ModelOutput out = model->Forward(batch);
+    const std::vector<int> pred = ArgmaxRows(out.logits.value());
+    for (size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == batch.labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(indices.size());
+}
+
+double FederatedTrainer::EvaluateGlobal() {
+  return EvaluateOn(test_data_, eval_indices_);
+}
+
+std::vector<double> FederatedTrainer::PerClientAccuracy(
+    const Dataset* client_test_data, const std::vector<ClientView>& views) {
+  std::vector<double> out;
+  out.reserve(views.size());
+  for (const auto& view : views) {
+    if (view.test_indices.empty()) {
+      out.push_back(std::nan(""));
+    } else {
+      out.push_back(EvaluateOn(client_test_data, view.test_indices));
+    }
+  }
+  return out;
+}
+
+RunHistory FederatedTrainer::Run(int rounds) {
+  RunHistory history;
+  history.algorithm = algorithm_->name();
+  history.rounds.reserve(static_cast<size_t>(rounds));
+  for (int round = 0; round < rounds; ++round) {
+    RoundResult result = algorithm_->RunRound(round);
+    RoundMetrics metrics;
+    metrics.round = round;
+    metrics.train_loss = result.train_loss;
+    metrics.round_seconds = result.seconds;
+    metrics.round_bytes = algorithm_->comm().round_bytes();
+    const bool eval_now =
+        (round % options_.eval_every == 0) || round == rounds - 1;
+    metrics.test_accuracy = eval_now ? EvaluateGlobal() : std::nan("");
+    if (options_.verbose && eval_now) {
+      RFED_LOG(Info) << algorithm_->name() << " round " << round
+                     << " loss=" << metrics.train_loss
+                     << " acc=" << metrics.test_accuracy;
+    }
+    history.rounds.push_back(metrics);
+  }
+  return history;
+}
+
+}  // namespace rfed

@@ -1,0 +1,50 @@
+#ifndef RFED_FL_TRAINER_H_
+#define RFED_FL_TRAINER_H_
+
+#include <vector>
+
+#include "fl/algorithm.h"
+#include "fl/metrics.h"
+
+namespace rfed {
+
+/// Options of the simulation driver (evaluation cadence and sizes).
+struct TrainerOptions {
+  int eval_every = 1;            ///< evaluate the global model every k rounds
+  int64_t eval_max_examples = 1024;  ///< test subsample cap (0 = all)
+  int eval_batch_size = 64;
+  bool verbose = false;          ///< log each evaluated round
+};
+
+/// Drives a federated algorithm for C rounds against a held-out test set
+/// and records the loss/accuracy/time/traffic history behind the paper's
+/// curves and tables.
+class FederatedTrainer {
+ public:
+  FederatedTrainer(FederatedAlgorithm* algorithm, const Dataset* test_data,
+                   const TrainerOptions& options);
+
+  /// Runs `rounds` communication rounds; returns the full history.
+  RunHistory Run(int rounds);
+
+  /// Accuracy of the current global model on the (subsampled) test set.
+  double EvaluateGlobal();
+
+  /// Accuracy of the current global model on each client's private test
+  /// slice (requires ClientView::test_indices); drives the fairness
+  /// evaluation (Fig. 11). Clients without a test slice get NaN.
+  std::vector<double> PerClientAccuracy(const Dataset* client_test_data,
+                                        const std::vector<ClientView>& views);
+
+ private:
+  double EvaluateOn(const Dataset* data, const std::vector<int>& indices);
+
+  FederatedAlgorithm* algorithm_;
+  const Dataset* test_data_;
+  TrainerOptions options_;
+  std::vector<int> eval_indices_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_TRAINER_H_

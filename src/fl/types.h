@@ -1,0 +1,50 @@
+#ifndef RFED_FL_TYPES_H_
+#define RFED_FL_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/optimizer.h"
+
+namespace rfed {
+
+/// One client's view of the shared corpus: the examples it owns for local
+/// training and an optional private test slice used by the fairness
+/// evaluation (Fig. 11).
+struct ClientView {
+  std::vector<int> train_indices;
+  std::vector<int> test_indices;
+};
+
+/// Hyperparameters shared by all federated algorithms; mirrors the paper's
+/// experimental settings (Sec. VI-A): C communication rounds, E local
+/// steps, mini-batch size B, sample ratio SR and the local optimizer.
+struct FlConfig {
+  int rounds = 60;            ///< C
+  int local_steps = 5;        ///< E
+  int batch_size = 32;        ///< B
+  double sample_ratio = 1.0;  ///< SR; 1.0 = full participation
+  double lr = 0.1;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  uint64_t seed = 1;
+  /// Max examples per client used when computing δ maps / local losses
+  /// that require a full-data pass (caps simulator cost; 0 = no cap).
+  int64_t max_examples_per_pass = 256;
+  /// Lossy compressor applied to client->server model updates (see
+  /// fl/compression.h): "none", "q8", "q4", "topk10", "topk1", "sketch".
+  std::string upload_compressor = "none";
+  /// How the server picks the round's cohort (see fl/selection.h):
+  /// "uniform" (FedAvg's sampling) or "loss" (adaptive, biased toward
+  /// high-loss clients — the paper's future-work direction).
+  std::string client_selection = "uniform";
+  /// Probability that a sampled client drops out (straggler/network
+  /// failure) after downloading the model but before reporting back; its
+  /// round is wasted and the server aggregates over the survivors. At
+  /// least one client always survives. 0 disables the fault model.
+  double dropout_prob = 0.0;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_TYPES_H_

@@ -1,0 +1,30 @@
+#ifndef RFED_NN_CONV_H_
+#define RFED_NN_CONV_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// 2-d convolution over NCHW inputs with a square kernel. Weights are kept
+/// in im2col layout [Cout, Cin*K*K].
+class Conv2dLayer : public Module {
+ public:
+  Conv2dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel,
+              int64_t stride, int64_t pad, Rng* rng);
+
+  /// x: [B, Cin, H, W] -> [B, Cout, Ho, Wo].
+  Variable Forward(const Variable& x);
+
+  const Conv2dSpec& spec() const { return spec_; }
+
+ private:
+  Conv2dSpec spec_;
+  Variable* weight_;
+  Variable* bias_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_NN_CONV_H_

@@ -1,0 +1,22 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng* rng) {
+  RFED_CHECK_GT(fan_in + fan_out, 0);
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform(std::move(shape), -a, a, rng);
+}
+
+Tensor KaimingNormal(Shape shape, int64_t fan_in, Rng* rng) {
+  RFED_CHECK_GT(fan_in, 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Normal(std::move(shape), 0.0f, stddev, rng);
+}
+
+}  // namespace rfed

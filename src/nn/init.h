@@ -1,0 +1,19 @@
+#ifndef RFED_NN_INIT_H_
+#define RFED_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Xavier/Glorot uniform initialization: U(-a, a) with
+/// a = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Kaiming/He normal initialization for ReLU layers:
+/// N(0, sqrt(2 / fan_in)).
+Tensor KaimingNormal(Shape shape, int64_t fan_in, Rng* rng);
+
+}  // namespace rfed
+
+#endif  // RFED_NN_INIT_H_

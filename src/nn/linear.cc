@@ -1,0 +1,19 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace rfed {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight", XavierUniform(Shape{in_features, out_features}, in_features,
+                              out_features, rng));
+  bias_ = RegisterParameter("bias", Tensor(Shape{out_features}));
+}
+
+Variable Linear::Forward(const Variable& x) {
+  return ag::AddRowBroadcast(ag::MatMul(x, *weight_), *bias_);
+}
+
+}  // namespace rfed

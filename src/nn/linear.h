@@ -1,0 +1,30 @@
+#ifndef RFED_NN_LINEAR_H_
+#define RFED_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Fully connected layer: y = x W + b with W [in, out], b [out].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng);
+
+  /// x: [batch, in] -> [batch, out].
+  Variable Forward(const Variable& x);
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Variable* weight_;
+  Variable* bias_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_NN_LINEAR_H_

@@ -1,0 +1,33 @@
+#include "nn/loss.h"
+
+#include "util/check.h"
+
+namespace rfed {
+
+std::vector<int> ArgmaxRows(const Tensor& logits) {
+  RFED_CHECK_EQ(logits.rank(), 2);
+  const int64_t rows = logits.dim(0), cols = logits.dim(1);
+  std::vector<int> out(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = logits.data() + r * cols;
+    int best = 0;
+    for (int64_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) best = static_cast<int>(c);
+    }
+    out[static_cast<size_t>(r)] = best;
+  }
+  return out;
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  RFED_CHECK_EQ(logits.dim(0), static_cast<int64_t>(labels.size()));
+  RFED_CHECK_GT(labels.size(), 0u);
+  const std::vector<int> pred = ArgmaxRows(logits);
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace rfed

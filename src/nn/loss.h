@@ -1,0 +1,24 @@
+#ifndef RFED_NN_LOSS_H_
+#define RFED_NN_LOSS_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace rfed {
+
+/// Mean softmax cross-entropy (differentiable scalar).
+inline Variable CrossEntropyLoss(const Variable& logits,
+                                 const std::vector<int>& labels) {
+  return ag::SoftmaxCrossEntropy(logits, labels);
+}
+
+/// Fraction of rows whose argmax logit equals the label.
+double Accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Row-wise argmax of a [rows, cols] tensor.
+std::vector<int> ArgmaxRows(const Tensor& logits);
+
+}  // namespace rfed
+
+#endif  // RFED_NN_LOSS_H_

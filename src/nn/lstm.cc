@@ -1,0 +1,53 @@
+#include "nn/lstm.h"
+
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace rfed {
+
+LstmLayer::LstmLayer(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  wx_ = RegisterParameter(
+      "wx", XavierUniform(Shape{input_dim, 4 * hidden_dim}, input_dim,
+                          hidden_dim, rng));
+  wh_ = RegisterParameter(
+      "wh", XavierUniform(Shape{hidden_dim, 4 * hidden_dim}, hidden_dim,
+                          hidden_dim, rng));
+  Tensor b(Shape{4 * hidden_dim});
+  // Forget gate slice [H, 2H) starts at 1.0.
+  for (int64_t i = hidden_dim; i < 2 * hidden_dim; ++i) b.at(i) = 1.0f;
+  bias_ = RegisterParameter("bias", std::move(b));
+}
+
+LstmLayer::State LstmLayer::InitialState(int64_t batch) const {
+  return State{Variable(Tensor(Shape{batch, hidden_dim_})),
+               Variable(Tensor(Shape{batch, hidden_dim_}))};
+}
+
+LstmLayer::State LstmLayer::Step(const Variable& x_t, const State& prev) {
+  RFED_CHECK_EQ(x_t.value().dim(1), input_dim_);
+  Variable gates = ag::AddRowBroadcast(
+      ag::Add(ag::MatMul(x_t, *wx_), ag::MatMul(prev.h, *wh_)), *bias_);
+  const int64_t h = hidden_dim_;
+  Variable i = ag::Sigmoid(ag::SliceCols(gates, 0, h));
+  Variable f = ag::Sigmoid(ag::SliceCols(gates, h, 2 * h));
+  Variable g = ag::Tanh(ag::SliceCols(gates, 2 * h, 3 * h));
+  Variable o = ag::Sigmoid(ag::SliceCols(gates, 3 * h, 4 * h));
+  Variable c = ag::Add(ag::Mul(f, prev.c), ag::Mul(i, g));
+  Variable h_out = ag::Mul(o, ag::Tanh(c));
+  return State{h_out, c};
+}
+
+std::vector<Variable> LstmLayer::Unroll(const std::vector<Variable>& x_seq) {
+  RFED_CHECK(!x_seq.empty());
+  State state = InitialState(x_seq[0].value().dim(0));
+  std::vector<Variable> outputs;
+  outputs.reserve(x_seq.size());
+  for (const Variable& x_t : x_seq) {
+    state = Step(x_t, state);
+    outputs.push_back(state.h);
+  }
+  return outputs;
+}
+
+}  // namespace rfed

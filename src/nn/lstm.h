@@ -1,0 +1,47 @@
+#ifndef RFED_NN_LSTM_H_
+#define RFED_NN_LSTM_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Single LSTM layer. Gate weights are fused: Wx [input_dim, 4H],
+/// Wh [H, 4H], b [4H] with gate order (input, forget, cell, output).
+/// The forget-gate bias is initialized to 1, the standard trick for
+/// stable training from random init.
+class LstmLayer : public Module {
+ public:
+  LstmLayer(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  struct State {
+    Variable h;  // [B, H]
+    Variable c;  // [B, H]
+  };
+
+  /// Zero state for a batch of the given size.
+  State InitialState(int64_t batch) const;
+
+  /// One timestep: consumes x_t [B, input_dim] and the previous state,
+  /// returns the next state (state.h is the layer output at this step).
+  State Step(const Variable& x_t, const State& prev);
+
+  /// Unrolls over a full sequence; returns the per-step hidden outputs.
+  std::vector<Variable> Unroll(const std::vector<Variable>& x_seq);
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  Variable* wx_;
+  Variable* wh_;
+  Variable* bias_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_NN_LSTM_H_

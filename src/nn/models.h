@@ -1,0 +1,150 @@
+#ifndef RFED_NN_MODELS_H_
+#define RFED_NN_MODELS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/conv.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace rfed {
+
+/// Forward products of a classification model. `features` is the output
+/// of the last hidden FC layer — the representation φ(x; w̃) the paper's
+/// distribution regularizer (Eq. 5) is computed on; `logits` feeds the
+/// cross-entropy term.
+struct ModelOutput {
+  Variable features;  ///< [B, feature_dim]
+  Variable logits;    ///< [B, num_classes]
+};
+
+/// A trainable classifier exposing its feature layer. All FL algorithms
+/// operate on this interface; rFedAvg/rFedAvg+ additionally read
+/// `features` to build the δ maps.
+class FeatureModel : public Module {
+ public:
+  virtual ModelOutput Forward(const Batch& batch) = 0;
+
+  virtual int64_t feature_dim() const = 0;
+  virtual int num_classes() const = 0;
+  /// Which optimizer the paper pairs with this architecture.
+  virtual OptimizerKind default_optimizer() const = 0;
+};
+
+/// Factory producing identically configured models; the FL trainer uses
+/// it to instantiate the server template and per-client scratch models.
+using ModelFactory = std::function<std::unique_ptr<FeatureModel>(Rng*)>;
+
+/// Configuration of the paper's CNN (conv5-pool-conv5-pool-FC-FC, feature
+/// layer = first FC output; the paper uses feature_dim = 512, benches use
+/// a narrower default for CPU speed — Table III reports both).
+struct CnnConfig {
+  int64_t in_channels = 1;
+  int64_t image_size = 12;
+  int64_t conv1_channels = 8;
+  int64_t conv2_channels = 16;
+  int64_t feature_dim = 64;
+  int num_classes = 10;
+};
+
+class CnnModel : public FeatureModel {
+ public:
+  CnnModel(const CnnConfig& config, Rng* rng);
+
+  ModelOutput Forward(const Batch& batch) override;
+  int64_t feature_dim() const override { return config_.feature_dim; }
+  int num_classes() const override { return config_.num_classes; }
+  OptimizerKind default_optimizer() const override {
+    return OptimizerKind::kSgd;
+  }
+
+  const CnnConfig& config() const { return config_; }
+
+ private:
+  CnnConfig config_;
+  Conv2dLayer conv1_;
+  Conv2dLayer conv2_;
+  Linear fc1_;
+  Linear fc2_;
+  int64_t flat_dim_;
+};
+
+/// Configuration of the paper's Sent140 model: embedding -> 2-layer LSTM
+/// -> FC feature layer -> FC classifier, trained with RMSProp.
+struct LstmConfig {
+  int vocab_size = 64;
+  int64_t embed_dim = 16;
+  int64_t hidden_dim = 32;
+  int64_t feature_dim = 32;
+  int num_classes = 2;
+};
+
+class LstmModel : public FeatureModel {
+ public:
+  LstmModel(const LstmConfig& config, Rng* rng);
+
+  ModelOutput Forward(const Batch& batch) override;
+  int64_t feature_dim() const override { return config_.feature_dim; }
+  int num_classes() const override { return config_.num_classes; }
+  OptimizerKind default_optimizer() const override {
+    return OptimizerKind::kRmsProp;
+  }
+
+  const LstmConfig& config() const { return config_; }
+
+ private:
+  LstmConfig config_;
+  Embedding embedding_;
+  LstmLayer lstm1_;
+  LstmLayer lstm2_;
+  Linear fc1_;
+  Linear fc2_;
+};
+
+/// Configuration of the fully connected "2NN" of McMahan et al. (the
+/// other image model of the FedAvg paper): flatten -> FC -> ReLU -> FC
+/// feature layer -> classifier. Cheaper than the CNN; useful for quick
+/// sweeps and as a second architecture in tests.
+struct MlpConfig {
+  int64_t in_channels = 1;
+  int64_t image_size = 12;
+  int64_t hidden_dim = 64;
+  int64_t feature_dim = 32;
+  int num_classes = 10;
+};
+
+class MlpModel : public FeatureModel {
+ public:
+  MlpModel(const MlpConfig& config, Rng* rng);
+
+  ModelOutput Forward(const Batch& batch) override;
+  int64_t feature_dim() const override { return config_.feature_dim; }
+  int num_classes() const override { return config_.num_classes; }
+  OptimizerKind default_optimizer() const override {
+    return OptimizerKind::kSgd;
+  }
+
+  const MlpConfig& config() const { return config_; }
+
+ private:
+  MlpConfig config_;
+  int64_t flat_dim_;
+  Linear fc1_;
+  Linear fc2_;
+  Linear fc3_;
+};
+
+/// Factory helpers binding a config.
+ModelFactory MakeCnnFactory(const CnnConfig& config);
+ModelFactory MakeLstmFactory(const LstmConfig& config);
+ModelFactory MakeMlpFactory(const MlpConfig& config);
+
+}  // namespace rfed
+
+#endif  // RFED_NN_MODELS_H_

@@ -1,0 +1,48 @@
+#include "nn/module.h"
+
+#include "util/check.h"
+
+namespace rfed {
+
+std::vector<Variable*> Module::Parameters() {
+  std::vector<Variable*> out;
+  for (auto& entry : own_params_) out.push_back(entry.var.get());
+  for (auto& [name, sub] : submodules_) {
+    for (Variable* p : sub->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::string> Module::ParameterNames() const {
+  std::vector<std::string> out;
+  for (const auto& entry : own_params_) out.push_back(entry.name);
+  for (const auto& [name, sub] : submodules_) {
+    for (const std::string& sub_name : sub->ParameterNames()) {
+      out.push_back(name + "." + sub_name);
+    }
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() {
+  int64_t n = 0;
+  for (Variable* p : Parameters()) n += p->value().size();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (Variable* p : Parameters()) p->ZeroGrad();
+}
+
+Variable* Module::RegisterParameter(const std::string& name, Tensor init) {
+  own_params_.push_back(
+      {name, std::make_unique<Variable>(std::move(init), /*requires_grad=*/true)});
+  return own_params_.back().var.get();
+}
+
+void Module::RegisterSubmodule(const std::string& name, Module* submodule) {
+  RFED_CHECK(submodule != nullptr);
+  submodules_.emplace_back(name, submodule);
+}
+
+}  // namespace rfed

@@ -1,0 +1,58 @@
+#ifndef RFED_NN_MODULE_H_
+#define RFED_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rfed {
+
+/// Base class for trainable components. A Module owns leaf Variables
+/// (parameters, requires_grad = true) and may contain sub-modules;
+/// Parameters() returns all parameters in a stable, registration order —
+/// the FL layer relies on that order to flatten/unflatten model state
+/// deterministically across server and clients.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its registered sub-modules.
+  std::vector<Variable*> Parameters();
+
+  /// Parameter names (same order as Parameters()), for debugging.
+  std::vector<std::string> ParameterNames() const;
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+ protected:
+  Module() = default;
+
+  /// Registers a leaf parameter initialized with `init`; returns a stable
+  /// pointer owned by this module.
+  Variable* RegisterParameter(const std::string& name, Tensor init);
+
+  /// Registers a sub-module whose parameters are appended after this
+  /// module's own (does not take ownership).
+  void RegisterSubmodule(const std::string& name, Module* submodule);
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Variable> var;
+  };
+  std::vector<Entry> own_params_;
+  std::vector<std::pair<std::string, Module*>> submodules_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_NN_MODULE_H_

@@ -1,0 +1,32 @@
+#include "nn/norm.h"
+
+#include "util/check.h"
+
+namespace rfed {
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : dim_(dim), eps_(eps) {
+  RFED_CHECK_GT(dim, 0);
+  gamma_ = RegisterParameter("gamma", Tensor::Full(Shape{dim}, 1.0f));
+  beta_ = RegisterParameter("beta", Tensor(Shape{dim}));
+}
+
+Variable LayerNorm::Forward(const Variable& x) {
+  RFED_CHECK_EQ(x.value().dim(1), dim_);
+  Variable normalized = ag::NormalizeRows(x, eps_);
+  return ag::AddRowBroadcast(ag::MulRowBroadcast(normalized, *gamma_),
+                             *beta_);
+}
+
+Variable Dropout(const Variable& x, double rate, bool train, Rng* rng) {
+  RFED_CHECK_GE(rate, 0.0);
+  RFED_CHECK_LT(rate, 1.0);
+  if (!train || rate == 0.0) return x;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate));
+  Tensor mask(x.value().shape());
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask.at(i) = rng->Uniform() < rate ? 0.0f : keep_scale;
+  }
+  return ag::MulConst(x, mask);
+}
+
+}  // namespace rfed

@@ -1,0 +1,38 @@
+#ifndef RFED_NN_NORM_H_
+#define RFED_NN_NORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Layer normalization over the last dimension of a [rows, dim] input
+/// with learnable gain/bias: y = x̂ * gamma + beta. Normalization layers
+/// are the standard stabilizer for deeper federated models; tests verify
+/// the gradient and that it composes with the FL state flattening.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+  /// x: [rows, dim] -> [rows, dim].
+  Variable Forward(const Variable& x);
+
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t dim_;
+  float eps_;
+  Variable* gamma_;
+  Variable* beta_;
+};
+
+/// Inverted dropout: during training each element survives with
+/// probability (1 - rate) and is scaled by 1/(1 - rate); identity at
+/// evaluation. Stateless (the mask comes from the caller's Rng), so the
+/// FL state flattening is unaffected.
+Variable Dropout(const Variable& x, double rate, bool train, Rng* rng);
+
+}  // namespace rfed
+
+#endif  // RFED_NN_NORM_H_

@@ -1,0 +1,85 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+
+void Optimizer::ZeroGrad() {
+  for (Variable* p : params_) p->ZeroGrad();
+}
+
+SgdOptimizer::SgdOptimizer(std::vector<Variable*> params, double lr,
+                           double momentum, double weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ != 0.0) {
+    velocity_.reserve(params_.size());
+    for (Variable* p : params_) velocity_.emplace_back(p->value().shape());
+  }
+}
+
+void SgdOptimizer::Step() {
+  const float lr = static_cast<float>(lr_);
+  const float wd = static_cast<float>(weight_decay_);
+  const float mom = static_cast<float>(momentum_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable* p = params_[i];
+    if (!p->has_grad()) continue;
+    Tensor& w = p->mutable_value();
+    const Tensor& g = p->grad();
+    if (mom == 0.0f) {
+      for (int64_t j = 0; j < w.size(); ++j) {
+        w.at(j) -= lr * (g.at(j) + wd * w.at(j));
+      }
+    } else {
+      Tensor& v = velocity_[i];
+      for (int64_t j = 0; j < w.size(); ++j) {
+        v.at(j) = mom * v.at(j) + g.at(j) + wd * w.at(j);
+        w.at(j) -= lr * v.at(j);
+      }
+    }
+  }
+}
+
+RmsPropOptimizer::RmsPropOptimizer(std::vector<Variable*> params, double lr,
+                                   double alpha, double eps)
+    : Optimizer(std::move(params), lr), alpha_(alpha), eps_(eps) {
+  mean_square_.reserve(params_.size());
+  for (Variable* p : params_) mean_square_.emplace_back(p->value().shape());
+}
+
+void RmsPropOptimizer::Step() {
+  const float lr = static_cast<float>(lr_);
+  const float alpha = static_cast<float>(alpha_);
+  const float eps = static_cast<float>(eps_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable* p = params_[i];
+    if (!p->has_grad()) continue;
+    Tensor& w = p->mutable_value();
+    const Tensor& g = p->grad();
+    Tensor& ms = mean_square_[i];
+    for (int64_t j = 0; j < w.size(); ++j) {
+      const float gj = g.at(j);
+      ms.at(j) = alpha * ms.at(j) + (1.0f - alpha) * gj * gj;
+      w.at(j) -= lr * gj / (std::sqrt(ms.at(j)) + eps);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         std::vector<Variable*> params,
+                                         double lr) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<SgdOptimizer>(std::move(params), lr);
+    case OptimizerKind::kRmsProp:
+      return std::make_unique<RmsPropOptimizer>(std::move(params), lr);
+  }
+  RFED_CHECK(false) << "unknown optimizer kind";
+  return nullptr;
+}
+
+}  // namespace rfed

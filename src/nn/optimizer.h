@@ -1,0 +1,76 @@
+#ifndef RFED_NN_OPTIMIZER_H_
+#define RFED_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rfed {
+
+/// Base class for first-order optimizers over a fixed parameter list.
+/// The FL clients rebuild an optimizer at the start of every round (the
+/// paper's algorithms reset local optimizer state on synchronization).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable*> params, double lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad();
+
+  double lr() const { return lr_; }
+  /// Supports decaying schedules such as the η_t = 2/(μ(γ+t)) rate used
+  /// in the convergence theory harness.
+  void set_lr(double lr) { lr_ = lr; }
+
+ protected:
+  std::vector<Variable*> params_;
+  double lr_;
+};
+
+/// Plain SGD with optional momentum and weight decay.
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(std::vector<Variable*> params, double lr,
+               double momentum = 0.0, double weight_decay = 0.0);
+
+  void Step() override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// RMSProp (the optimizer the paper uses for the Sent140 LSTM).
+class RmsPropOptimizer : public Optimizer {
+ public:
+  RmsPropOptimizer(std::vector<Variable*> params, double lr,
+                   double alpha = 0.99, double eps = 1e-8);
+
+  void Step() override;
+
+ private:
+  double alpha_;
+  double eps_;
+  std::vector<Tensor> mean_square_;
+};
+
+/// Names accepted by MakeOptimizer.
+enum class OptimizerKind { kSgd, kRmsProp };
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         std::vector<Variable*> params,
+                                         double lr);
+
+}  // namespace rfed
+
+#endif  // RFED_NN_OPTIMIZER_H_

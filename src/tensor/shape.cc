@@ -1,0 +1,51 @@
+#include "tensor/shape.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rfed {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) RFED_CHECK_GE(d, 0);
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) RFED_CHECK_GE(d, 0);
+}
+
+int64_t Shape::dim(int axis) const {
+  if (axis < 0) axis += rank();
+  RFED_CHECK_GE(axis, 0);
+  RFED_CHECK_LT(axis, rank());
+  return dims_[static_cast<size_t>(axis)];
+}
+
+int64_t Shape::num_elements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+Shape Shape::WithoutAxis(int axis) const {
+  if (axis < 0) axis += rank();
+  RFED_CHECK_GE(axis, 0);
+  RFED_CHECK_LT(axis, rank());
+  std::vector<int64_t> out;
+  out.reserve(dims_.size() - 1);
+  for (int i = 0; i < rank(); ++i) {
+    if (i != axis) out.push_back(dims_[static_cast<size_t>(i)]);
+  }
+  return Shape(std::move(out));
+}
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace rfed

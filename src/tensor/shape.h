@@ -1,0 +1,43 @@
+#ifndef RFED_TENSOR_SHAPE_H_
+#define RFED_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace rfed {
+
+/// Dense row-major shape: a short list of non-negative dimensions.
+/// Rank 0 denotes a scalar with one element.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims);
+  explicit Shape(std::vector<int64_t> dims);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Dimension at axis; negative axes count from the back (-1 == last).
+  int64_t dim(int axis) const;
+
+  /// Total number of elements (1 for rank 0).
+  int64_t num_elements() const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Shape with `axis` removed (e.g. reduction output shape).
+  Shape WithoutAxis(int axis) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_TENSOR_SHAPE_H_

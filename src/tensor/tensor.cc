@@ -1,0 +1,135 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rfed {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_.num_elements()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_.num_elements()), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  RFED_CHECK_EQ(static_cast<int64_t>(data_.size()), shape_.num_elements());
+}
+
+Tensor Tensor::Uniform(Shape shape, float lo, float hi, Rng* rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.at(i) = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Normal(Shape shape, float mean, float stddev, Rng* rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.at(i) = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return t;
+}
+
+float& Tensor::at2(int64_t r, int64_t c) {
+  RFED_CHECK_EQ(rank(), 2);
+  return data_[static_cast<size_t>(r * dim(1) + c)];
+}
+
+float Tensor::at2(int64_t r, int64_t c) const {
+  RFED_CHECK_EQ(rank(), 2);
+  return data_[static_cast<size_t>(r * dim(1) + c)];
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  RFED_CHECK_EQ(new_shape.num_elements(), shape_.num_elements())
+      << new_shape.ToString() << " vs " << shape_.ToString();
+  return Tensor(std::move(new_shape), data_);
+}
+
+float Tensor::ToScalar() const {
+  RFED_CHECK_EQ(size(), 1);
+  return data_[0];
+}
+
+Tensor& Tensor::AddInPlace(const Tensor& other) {
+  RFED_CHECK(shape_ == other.shape_)
+      << shape_.ToString() << " vs " << other.shape_.ToString();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::SubInPlace(const Tensor& other) {
+  RFED_CHECK(shape_ == other.shape_)
+      << shape_.ToString() << " vs " << other.shape_.ToString();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::MulInPlace(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+Tensor& Tensor::Axpy(float scalar, const Tensor& other) {
+  RFED_CHECK(shape_ == other.shape_)
+      << shape_.ToString() << " vs " << other.shape_.ToString();
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scalar * other.data_[i];
+  }
+  return *this;
+}
+
+void Tensor::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+float Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::Mean() const {
+  RFED_CHECK_GT(size(), 0);
+  return Sum() / static_cast<float>(size());
+}
+
+float Tensor::MaxAbs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::SquaredNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+std::string Tensor::ToString(int max_elements) const {
+  std::string out = "Tensor" + shape_.ToString() + " {";
+  const int64_t n = std::min<int64_t>(size(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.4g", static_cast<double>(data_[static_cast<size_t>(i)]));
+  }
+  if (size() > n) out += ", ...";
+  out += "}";
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float tol) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.at(i) - b.at(i)) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace rfed

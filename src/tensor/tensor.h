@@ -1,0 +1,90 @@
+#ifndef RFED_TENSOR_TENSOR_H_
+#define RFED_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Dense row-major float32 tensor with value semantics (copyable,
+/// movable). This is the single numeric container used throughout the
+/// repository: model parameters, activations, gradients, datasets and the
+/// communicated δ maps are all Tensors.
+class Tensor {
+ public:
+  /// Empty rank-1 tensor with zero elements.
+  Tensor() : shape_({0}) {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Tensor adopting the given data; data.size() must match the shape.
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  /// Elements iid Uniform(lo, hi).
+  static Tensor Uniform(Shape shape, float lo, float hi, Rng* rng);
+  /// Elements iid Normal(mean, stddev).
+  static Tensor Normal(Shape shape, float mean, float stddev, Rng* rng);
+
+  const Shape& shape() const { return shape_; }
+  int rank() const { return shape_.rank(); }
+  int64_t dim(int axis) const { return shape_.dim(axis); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// 2-d accessors (row-major). Requires rank 2.
+  float& at2(int64_t r, int64_t c);
+  float at2(int64_t r, int64_t c) const;
+
+  /// Returns a tensor viewing the same data with a different shape.
+  /// Element counts must match.
+  Tensor Reshaped(Shape new_shape) const;
+
+  /// Scalar extraction; requires exactly one element.
+  float ToScalar() const;
+
+  // ---- In-place arithmetic (shape-checked) ----
+  Tensor& AddInPlace(const Tensor& other);
+  Tensor& SubInPlace(const Tensor& other);
+  Tensor& MulInPlace(float scalar);
+  /// this += scalar * other  (fused multiply-add over all elements).
+  Tensor& Axpy(float scalar, const Tensor& other);
+  void Fill(float value);
+
+  // ---- Reductions ----
+  float Sum() const;
+  float Mean() const;
+  float MaxAbs() const;
+  /// Squared L2 norm of all elements.
+  float SquaredNorm() const;
+
+  std::string ToString(int max_elements = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// True iff the tensors have the same shape and all elements differ by at
+/// most `tol`.
+bool AllClose(const Tensor& a, const Tensor& b, float tol);
+
+}  // namespace rfed
+
+#endif  // RFED_TENSOR_TENSOR_H_

@@ -1,0 +1,493 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  RFED_CHECK(a.shape() == b.shape())
+      << a.shape().ToString() << " vs " << b.shape().ToString();
+}
+
+/// im2col: unfolds x[b] into a [Cin*K*K, Ho*Wo] column matrix.
+void Im2Col(const float* x, int64_t cin, int64_t h, int64_t w,
+            const Conv2dSpec& spec, float* cols) {
+  const int64_t k = spec.kernel;
+  const int64_t ho = spec.OutDim(h);
+  const int64_t wo = spec.OutDim(w);
+  const int64_t out_area = ho * wo;
+  int64_t row = 0;
+  for (int64_t c = 0; c < cin; ++c) {
+    for (int64_t ky = 0; ky < k; ++ky) {
+      for (int64_t kx = 0; kx < k; ++kx, ++row) {
+        float* dst = cols + row * out_area;
+        for (int64_t oy = 0; oy < ho; ++oy) {
+          const int64_t iy = oy * spec.stride + ky - spec.pad;
+          for (int64_t ox = 0; ox < wo; ++ox) {
+            const int64_t ix = ox * spec.stride + kx - spec.pad;
+            const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < w;
+            dst[oy * wo + ox] =
+                inside ? x[(c * h + iy) * w + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// col2im: folds a [Cin*K*K, Ho*Wo] column gradient back into dx[b]
+/// (accumulating overlapping windows).
+void Col2Im(const float* cols, int64_t cin, int64_t h, int64_t w,
+            const Conv2dSpec& spec, float* dx) {
+  const int64_t k = spec.kernel;
+  const int64_t ho = spec.OutDim(h);
+  const int64_t wo = spec.OutDim(w);
+  const int64_t out_area = ho * wo;
+  int64_t row = 0;
+  for (int64_t c = 0; c < cin; ++c) {
+    for (int64_t ky = 0; ky < k; ++ky) {
+      for (int64_t kx = 0; kx < k; ++kx, ++row) {
+        const float* src = cols + row * out_area;
+        for (int64_t oy = 0; oy < ho; ++oy) {
+          const int64_t iy = oy * spec.stride + ky - spec.pad;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t ox = 0; ox < wo; ++ox) {
+            const int64_t ix = ox * spec.stride + kx - spec.pad;
+            if (ix < 0 || ix >= w) continue;
+            dx[(c * h + iy) * w + ix] += src[oy * wo + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// C[m,n] (+)= A[m,k] * B[k,n] over raw pointers, ikj order for locality.
+void GemmAccumulate(const float* a, const float* b, int64_t m, int64_t k,
+                    int64_t n, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a;
+  out.AddInPlace(b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a;
+  out.SubInPlace(b);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out = a;
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) *= b.at(i);
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  out.MulInPlace(s);
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out = a;
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) += s;
+  return out;
+}
+
+Tensor Relu(const Tensor& x) {
+  Tensor out = x;
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) = std::max(0.0f, out.at(i));
+  return out;
+}
+
+Tensor ReluBackward(const Tensor& grad, const Tensor& x) {
+  CheckSameShape(grad, x);
+  Tensor out = grad;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (x.at(i) <= 0.0f) out.at(i) = 0.0f;
+  }
+  return out;
+}
+
+Tensor Tanh(const Tensor& x) {
+  Tensor out = x;
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) = std::tanh(out.at(i));
+  return out;
+}
+
+Tensor TanhBackwardFromOutput(const Tensor& grad, const Tensor& y) {
+  CheckSameShape(grad, y);
+  Tensor out = grad;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.at(i) *= 1.0f - y.at(i) * y.at(i);
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  Tensor out = x;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.at(i) = 1.0f / (1.0f + std::exp(-out.at(i)));
+  }
+  return out;
+}
+
+Tensor SigmoidBackwardFromOutput(const Tensor& grad, const Tensor& y) {
+  CheckSameShape(grad, y);
+  Tensor out = grad;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.at(i) *= y.at(i) * (1.0f - y.at(i));
+  }
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  RFED_CHECK_EQ(a.rank(), 2);
+  RFED_CHECK_EQ(b.rank(), 2);
+  RFED_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c(Shape{m, n});
+  GemmAccumulate(a.data(), b.data(), m, k, n, c.data());
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  RFED_CHECK_EQ(a.rank(), 2);
+  RFED_CHECK_EQ(b.rank(), 2);
+  RFED_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c(Shape{k, n});
+  // c[p, j] = sum_i a[i, p] * b[i, j]
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    const float* brow = b.data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  RFED_CHECK_EQ(a.rank(), 2);
+  RFED_CHECK_EQ(b.rank(), 2);
+  RFED_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t m = a.dim(0), n = a.dim(1), k = b.dim(0);
+  Tensor c(Shape{m, k});
+  // c[i, p] = sum_j a[i, j] * b[p, j]  (dot of contiguous rows)
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * n;
+    float* crow = c.data() + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b.data() + p * n;
+      double acc = 0.0;
+      for (int64_t j = 0; j < n; ++j) acc += static_cast<double>(arow[j]) * brow[j];
+      crow[p] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor Transpose2d(const Tensor& a) {
+  RFED_CHECK_EQ(a.rank(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out.at2(j, i) = a.at2(i, j);
+  }
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
+  RFED_CHECK_EQ(x.rank(), 2);
+  RFED_CHECK_EQ(bias.rank(), 1);
+  RFED_CHECK_EQ(x.dim(1), bias.dim(0));
+  Tensor out = x;
+  const int64_t rows = x.dim(0), cols = x.dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = out.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) row[c] += bias.at(c);
+  }
+  return out;
+}
+
+Tensor MulRowBroadcast(const Tensor& x, const Tensor& scale) {
+  RFED_CHECK_EQ(x.rank(), 2);
+  RFED_CHECK_EQ(scale.rank(), 1);
+  RFED_CHECK_EQ(x.dim(1), scale.dim(0));
+  Tensor out = x;
+  const int64_t rows = x.dim(0), cols = x.dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = out.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) row[c] *= scale.at(c);
+  }
+  return out;
+}
+
+Tensor SumRows(const Tensor& x) {
+  RFED_CHECK_EQ(x.rank(), 2);
+  const int64_t rows = x.dim(0), cols = x.dim(1);
+  Tensor out(Shape{cols});
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) out.at(c) += row[c];
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& x) {
+  RFED_CHECK_GT(x.dim(0), 0);
+  Tensor out = SumRows(x);
+  out.MulInPlace(1.0f / static_cast<float>(x.dim(0)));
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  RFED_CHECK_EQ(logits.rank(), 2);
+  const int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out = logits;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = out.data() + r * cols;
+    float max_v = row[0];
+    for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, row[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+  return out;
+}
+
+float SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
+                          Tensor* dlogits) {
+  RFED_CHECK_EQ(logits.rank(), 2);
+  const int64_t rows = logits.dim(0), cols = logits.dim(1);
+  RFED_CHECK_EQ(static_cast<int64_t>(labels.size()), rows);
+  Tensor probs = SoftmaxRows(logits);
+  double loss = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int label = labels[static_cast<size_t>(r)];
+    RFED_CHECK_GE(label, 0);
+    RFED_CHECK_LT(label, cols);
+    loss -= std::log(std::max(probs.at2(r, label), 1e-12f));
+  }
+  loss /= static_cast<double>(rows);
+  if (dlogits != nullptr) {
+    *dlogits = probs;
+    const float inv_rows = 1.0f / static_cast<float>(rows);
+    for (int64_t r = 0; r < rows; ++r) {
+      dlogits->at2(r, labels[static_cast<size_t>(r)]) -= 1.0f;
+      for (int64_t c = 0; c < cols; ++c) dlogits->at2(r, c) *= inv_rows;
+    }
+  }
+  return static_cast<float>(loss);
+}
+
+Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b,
+                     const Conv2dSpec& spec) {
+  RFED_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0), cin = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  RFED_CHECK_EQ(cin, spec.in_channels);
+  const int64_t patch = cin * spec.kernel * spec.kernel;
+  RFED_CHECK(w.shape() == Shape({spec.out_channels, patch}))
+      << w.shape().ToString();
+  RFED_CHECK_EQ(b.dim(0), spec.out_channels);
+  const int64_t ho = spec.OutDim(h), wo = spec.OutDim(wd);
+  RFED_CHECK_GT(ho, 0);
+  RFED_CHECK_GT(wo, 0);
+  const int64_t out_area = ho * wo;
+  Tensor out(Shape{batch, spec.out_channels, ho, wo});
+  std::vector<float> cols(static_cast<size_t>(patch * out_area));
+  for (int64_t i = 0; i < batch; ++i) {
+    Im2Col(x.data() + i * cin * h * wd, cin, h, wd, spec, cols.data());
+    float* out_i = out.data() + i * spec.out_channels * out_area;
+    GemmAccumulate(w.data(), cols.data(), spec.out_channels, patch, out_area,
+                   out_i);
+    for (int64_t oc = 0; oc < spec.out_channels; ++oc) {
+      float* plane = out_i + oc * out_area;
+      const float bias = b.at(oc);
+      for (int64_t p = 0; p < out_area; ++p) plane[p] += bias;
+    }
+  }
+  return out;
+}
+
+void Conv2dBackward(const Tensor& grad_out, const Tensor& x, const Tensor& w,
+                    const Conv2dSpec& spec, Tensor* dx, Tensor* dw,
+                    Tensor* db) {
+  const int64_t batch = x.dim(0), cin = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const int64_t patch = cin * spec.kernel * spec.kernel;
+  const int64_t ho = spec.OutDim(h), wo = spec.OutDim(wd);
+  const int64_t out_area = ho * wo;
+  RFED_CHECK(grad_out.shape() == Shape({batch, spec.out_channels, ho, wo}));
+
+  if (dx != nullptr) *dx = Tensor(x.shape());
+  if (dw != nullptr) *dw = Tensor(w.shape());
+  if (db != nullptr) *db = Tensor(Shape{spec.out_channels});
+
+  std::vector<float> cols(static_cast<size_t>(patch * out_area));
+  std::vector<float> dcols(static_cast<size_t>(patch * out_area));
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* go = grad_out.data() + i * spec.out_channels * out_area;
+    if (db != nullptr) {
+      for (int64_t oc = 0; oc < spec.out_channels; ++oc) {
+        const float* plane = go + oc * out_area;
+        double acc = 0.0;
+        for (int64_t p = 0; p < out_area; ++p) acc += plane[p];
+        db->at(oc) += static_cast<float>(acc);
+      }
+    }
+    if (dw != nullptr) {
+      Im2Col(x.data() + i * cin * h * wd, cin, h, wd, spec, cols.data());
+      // dw[oc, p] += sum_a go[oc, a] * cols[p, a]
+      for (int64_t oc = 0; oc < spec.out_channels; ++oc) {
+        const float* grow = go + oc * out_area;
+        float* dwrow = dw->data() + oc * patch;
+        for (int64_t p = 0; p < patch; ++p) {
+          const float* crow = cols.data() + p * out_area;
+          double acc = 0.0;
+          for (int64_t a = 0; a < out_area; ++a) acc += static_cast<double>(grow[a]) * crow[a];
+          dwrow[p] += static_cast<float>(acc);
+        }
+      }
+    }
+    if (dx != nullptr) {
+      // dcols[p, a] = sum_oc w[oc, p] * go[oc, a]
+      std::fill(dcols.begin(), dcols.end(), 0.0f);
+      for (int64_t oc = 0; oc < spec.out_channels; ++oc) {
+        const float* wrow = w.data() + oc * patch;
+        const float* grow = go + oc * out_area;
+        for (int64_t p = 0; p < patch; ++p) {
+          const float wv = wrow[p];
+          if (wv == 0.0f) continue;
+          float* drow = dcols.data() + p * out_area;
+          for (int64_t a = 0; a < out_area; ++a) drow[a] += wv * grow[a];
+        }
+      }
+      Col2Im(dcols.data(), cin, h, wd, spec, dx->data() + i * cin * h * wd);
+    }
+  }
+}
+
+Tensor MaxPool2x2Forward(const Tensor& x, std::vector<int64_t>* argmax) {
+  RFED_CHECK_EQ(x.rank(), 4);
+  const int64_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+  RFED_CHECK_EQ(h % 2, 0);
+  RFED_CHECK_EQ(w % 2, 0);
+  const int64_t ho = h / 2, wo = w / 2;
+  Tensor out(Shape{batch, ch, ho, wo});
+  argmax->assign(static_cast<size_t>(out.size()), 0);
+  int64_t oi = 0;
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t c = 0; c < ch; ++c) {
+      const float* plane = x.data() + (b * ch + c) * h * w;
+      const int64_t plane_off = (b * ch + c) * h * w;
+      for (int64_t oy = 0; oy < ho; ++oy) {
+        for (int64_t ox = 0; ox < wo; ++ox, ++oi) {
+          const int64_t y0 = 2 * oy, x0 = 2 * ox;
+          int64_t best = y0 * w + x0;
+          float best_v = plane[best];
+          const int64_t cand[3] = {y0 * w + x0 + 1, (y0 + 1) * w + x0,
+                                   (y0 + 1) * w + x0 + 1};
+          for (int64_t idx : cand) {
+            if (plane[idx] > best_v) {
+              best_v = plane[idx];
+              best = idx;
+            }
+          }
+          out.at(oi) = best_v;
+          (*argmax)[static_cast<size_t>(oi)] = plane_off + best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2x2Backward(const Tensor& grad_out, const Shape& input_shape,
+                          const std::vector<int64_t>& argmax) {
+  RFED_CHECK_EQ(static_cast<int64_t>(argmax.size()), grad_out.size());
+  Tensor dx(input_shape);
+  for (int64_t i = 0; i < grad_out.size(); ++i) {
+    dx.at(argmax[static_cast<size_t>(i)]) += grad_out.at(i);
+  }
+  return dx;
+}
+
+Tensor GatherRows(const Tensor& table, const std::vector<int>& ids) {
+  RFED_CHECK_EQ(table.rank(), 2);
+  const int64_t cols = table.dim(1);
+  Tensor out(Shape{static_cast<int64_t>(ids.size()), cols});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    RFED_CHECK_GE(ids[i], 0);
+    RFED_CHECK_LT(ids[i], table.dim(0));
+    const float* src = table.data() + static_cast<int64_t>(ids[i]) * cols;
+    std::copy(src, src + cols, out.data() + static_cast<int64_t>(i) * cols);
+  }
+  return out;
+}
+
+void ScatterAddRows(const Tensor& grad, const std::vector<int>& ids,
+                    Tensor* table_grad) {
+  RFED_CHECK_EQ(grad.rank(), 2);
+  RFED_CHECK_EQ(table_grad->rank(), 2);
+  RFED_CHECK_EQ(grad.dim(0), static_cast<int64_t>(ids.size()));
+  RFED_CHECK_EQ(grad.dim(1), table_grad->dim(1));
+  const int64_t cols = grad.dim(1);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float* src = grad.data() + static_cast<int64_t>(i) * cols;
+    float* dst = table_grad->data() + static_cast<int64_t>(ids[i]) * cols;
+    for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+  }
+}
+
+Tensor SliceRows(const Tensor& x, int64_t begin, int64_t end) {
+  RFED_CHECK_EQ(x.rank(), 2);
+  RFED_CHECK_GE(begin, 0);
+  RFED_CHECK_LE(end, x.dim(0));
+  RFED_CHECK_LE(begin, end);
+  const int64_t cols = x.dim(1);
+  Tensor out(Shape{end - begin, cols});
+  std::copy(x.data() + begin * cols, x.data() + end * cols, out.data());
+  return out;
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  RFED_CHECK_EQ(a.rank(), 2);
+  RFED_CHECK_EQ(b.rank(), 2);
+  RFED_CHECK_EQ(a.dim(1), b.dim(1));
+  Tensor out(Shape{a.dim(0) + b.dim(0), a.dim(1)});
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  std::copy(b.data(), b.data() + b.size(), out.data() + a.size());
+  return out;
+}
+
+}  // namespace rfed

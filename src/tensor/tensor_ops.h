@@ -1,0 +1,95 @@
+#ifndef RFED_TENSOR_TENSOR_OPS_H_
+#define RFED_TENSOR_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rfed {
+
+// Raw numeric kernels over Tensors. These are pure functions (or write to
+// explicit outputs) with no knowledge of autograd; the autograd layer
+// composes them into differentiable ops.
+
+// ---- Elementwise ----
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float s);
+Tensor AddScalar(const Tensor& a, float s);
+
+Tensor Relu(const Tensor& x);
+/// dL/dx given upstream grad and forward input.
+Tensor ReluBackward(const Tensor& grad, const Tensor& x);
+Tensor Tanh(const Tensor& x);
+/// dL/dx given upstream grad and forward *output* y = tanh(x).
+Tensor TanhBackwardFromOutput(const Tensor& grad, const Tensor& y);
+Tensor Sigmoid(const Tensor& x);
+/// dL/dx given upstream grad and forward *output* y = sigmoid(x).
+Tensor SigmoidBackwardFromOutput(const Tensor& grad, const Tensor& y);
+
+// ---- Linear algebra ----
+/// C[m,n] = A[m,k] * B[k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// C[k,n] = A[m,k]^T * B[m,n].
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+/// C[m,k] = A[m,n] * B[k,n]^T.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+Tensor Transpose2d(const Tensor& a);
+
+/// y[r, c] = x[r, c] + bias[c]  for x of shape [rows, cols].
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias);
+/// y[r, c] = x[r, c] * scale[c]  for x of shape [rows, cols].
+Tensor MulRowBroadcast(const Tensor& x, const Tensor& scale);
+/// Column-sum of a [rows, cols] tensor -> [cols] (bias gradient).
+Tensor SumRows(const Tensor& x);
+/// Mean over axis 0 of a [rows, cols] tensor -> [cols] (feature mean δ).
+Tensor MeanRows(const Tensor& x);
+
+// ---- Softmax / losses ----
+/// Row-wise softmax of [rows, cols].
+Tensor SoftmaxRows(const Tensor& logits);
+/// Mean negative log-likelihood of `labels` under row-softmax(logits);
+/// also returns d(loss)/d(logits) in *dlogits if non-null.
+float SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
+                          Tensor* dlogits);
+
+// ---- Convolution (NCHW) ----
+struct Conv2dSpec {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 0;   // square kernel
+  int64_t stride = 1;
+  int64_t pad = 0;
+  int64_t OutDim(int64_t in) const { return (in + 2 * pad - kernel) / stride + 1; }
+};
+
+/// x: [B, Cin, H, W], w: [Cout, Cin*K*K], b: [Cout] -> [B, Cout, Ho, Wo].
+Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b,
+                     const Conv2dSpec& spec);
+/// Gradients of Conv2dForward. Any output pointer may be null to skip.
+void Conv2dBackward(const Tensor& grad_out, const Tensor& x, const Tensor& w,
+                    const Conv2dSpec& spec, Tensor* dx, Tensor* dw,
+                    Tensor* db);
+
+/// 2x2 max pooling with stride 2 over [B, C, H, W] (H, W even);
+/// records flat argmax indices for the backward pass.
+Tensor MaxPool2x2Forward(const Tensor& x, std::vector<int64_t>* argmax);
+Tensor MaxPool2x2Backward(const Tensor& grad_out, const Shape& input_shape,
+                          const std::vector<int64_t>& argmax);
+
+// ---- Indexing ----
+/// rows: out[i, :] = table[ids[i], :], table [V, D] -> [n, D].
+Tensor GatherRows(const Tensor& table, const std::vector<int>& ids);
+/// Scatter-add of grad rows back into a [V, D] gradient table.
+void ScatterAddRows(const Tensor& grad, const std::vector<int>& ids,
+                    Tensor* table_grad);
+
+/// Extracts rows [begin, end) of a [rows, cols] tensor.
+Tensor SliceRows(const Tensor& x, int64_t begin, int64_t end);
+/// Concatenates [r1, c] and [r2, c] along axis 0.
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
+
+}  // namespace rfed
+
+#endif  // RFED_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,16 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rfed {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[RFED_CHECK failed] %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rfed

@@ -1,0 +1,62 @@
+#ifndef RFED_UTIL_CHECK_H_
+#define RFED_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace rfed {
+
+/// Aborts the process with a message identifying the failed invariant.
+/// Used by the RFED_CHECK* macros; never call directly.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace internal_check {
+
+/// Stream-style message builder so call sites can write
+/// `RFED_CHECK(x > 0) << "x was " << x;`.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace rfed
+
+/// Fatal assertion enabled in all build types. Learning code depends on
+/// shape invariants that silently corrupt results if violated, so these
+/// stay on in Release builds too.
+#define RFED_CHECK(condition)                                    \
+  if (condition) {                                               \
+  } else /* NOLINT */                                            \
+    ::rfed::internal_check::CheckMessageBuilder(__FILE__, __LINE__, \
+                                                #condition)
+
+#define RFED_CHECK_EQ(a, b) RFED_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RFED_CHECK_NE(a, b) RFED_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RFED_CHECK_LT(a, b) RFED_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RFED_CHECK_LE(a, b) RFED_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RFED_CHECK_GT(a, b) RFED_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RFED_CHECK_GE(a, b) RFED_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // RFED_UTIL_CHECK_H_

@@ -1,0 +1,25 @@
+#include "util/csv_writer.h"
+
+#include "util/check.h"
+
+namespace rfed {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), num_columns_(header.size()), out_(path) {
+  RFED_CHECK(out_.good()) << "cannot open " << path;
+  WriteRow(header);
+}
+
+CsvWriter::~CsvWriter() { out_.flush(); }
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  RFED_CHECK_EQ(cells.size(), num_columns_) << "in " << path_;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace rfed

@@ -1,0 +1,35 @@
+#ifndef RFED_UTIL_CSV_WRITER_H_
+#define RFED_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rfed {
+
+/// Minimal CSV emitter used by the benchmark harness to persist the series
+/// behind every reproduced table/figure. Values are written as-is (no
+/// quoting) since all emitted fields are numeric or simple identifiers.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Aborts on I/O error.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row; must have as many cells as the header.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  size_t num_columns_;
+  std::ofstream out_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_UTIL_CSV_WRITER_H_

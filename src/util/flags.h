@@ -1,0 +1,34 @@
+#ifndef RFED_UTIL_FLAGS_H_
+#define RFED_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rfed {
+
+/// Minimal --key=value / --key value command-line parser for the example
+/// binaries and the experiment CLI. Unknown keys are kept and can be
+/// listed, so callers can reject typos explicitly.
+class FlagParser {
+ public:
+  /// Parses argv; aborts on malformed arguments (missing value).
+  FlagParser(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int GetInt(const std::string& key, int default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// All parsed keys (for validation / usage messages).
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_UTIL_FLAGS_H_

@@ -1,0 +1,44 @@
+#ifndef RFED_UTIL_LOGGING_H_
+#define RFED_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rfed {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace rfed
+
+#define RFED_LOG(level)                                        \
+  ::rfed::internal_log::LogMessage(::rfed::LogLevel::k##level, \
+                                   __FILE__, __LINE__)
+
+#endif  // RFED_UTIL_LOGGING_H_

@@ -1,0 +1,60 @@
+#ifndef RFED_UTIL_RNG_H_
+#define RFED_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rfed {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// splitmix64). All stochastic components of the simulator (data synthesis,
+/// partitioning, client sampling, mini-batching, init, DP noise) draw from
+/// explicitly passed Rng instances so every experiment is reproducible from
+/// a single seed. Never uses std::random_device or global state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int UniformInt(int n);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Normal with given mean/stddev.
+  double Normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (int i = static_cast<int>(v->size()) - 1; i > 0; --i) {
+      int j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) uniformly (k <= n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Derives an independent child generator; used to give each client or
+  /// each round its own stream without correlation.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_UTIL_RNG_H_

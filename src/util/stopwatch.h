@@ -1,0 +1,29 @@
+#ifndef RFED_UTIL_STOPWATCH_H_
+#define RFED_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rfed {
+
+/// Monotonic wall-clock stopwatch used for the per-round training-time
+/// measurements in the efficiency evaluation (Fig. 10c/d).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_UTIL_STOPWATCH_H_

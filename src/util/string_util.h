@@ -1,0 +1,21 @@
+#ifndef RFED_UTIL_STRING_UTIL_H_
+#define RFED_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace rfed {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with a separator, e.g. JoinInts({1,2,3}, "x") == "1x2x3".
+std::string JoinInts(const std::vector<int>& values, const std::string& sep);
+
+/// Formats a double with fixed precision, trimming to a compact table cell.
+std::string FormatFixed(double value, int digits);
+
+}  // namespace rfed
+
+#endif  // RFED_UTIL_STRING_UTIL_H_

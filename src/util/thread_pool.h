@@ -1,0 +1,47 @@
+#ifndef RFED_UTIL_THREAD_POOL_H_
+#define RFED_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rfed {
+
+/// Fixed-size worker pool. The FL simulator trains sampled clients of a
+/// round through ParallelFor; on single-core machines (num_threads <= 1)
+/// it degrades to an in-caller sequential loop so results and timing stay
+/// deterministic and comparable.
+class ThreadPool {
+ public:
+  /// num_threads == 0 means hardware_concurrency().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for i in [0, n) and blocks until all complete. fn must be
+  /// safe to call concurrently for distinct i.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> tasks_;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_UTIL_THREAD_POOL_H_

@@ -1,0 +1,111 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats.h"
+#include "analysis/tsne.h"
+#include "util/rng.h"
+
+namespace rfed {
+namespace {
+
+TEST(StatsTest, QuantileInterpolates) {
+  EXPECT_NEAR(Quantile({1, 2, 3, 4, 5}, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(Quantile({1, 2, 3, 4, 5}, 1.0), 5.0, 1e-12);
+  EXPECT_NEAR(Quantile({1, 2, 3, 4, 5}, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(Quantile({1, 2, 3, 4}, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(Quantile({4, 1, 3, 2}, 0.5), 2.5, 1e-12);  // unsorted input
+}
+
+TEST(StatsTest, WorstKMean) {
+  EXPECT_NEAR(WorstKMean({0.9, 0.1, 0.5, 0.2}, 2), 0.15, 1e-12);
+  EXPECT_NEAR(WorstKMean({3.0}, 1), 3.0, 1e-12);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_EQ(MinOf({3, 1, 2}), 1.0);
+  EXPECT_EQ(MaxOf({3, 1, 2}), 3.0);
+}
+
+TEST(StatsTest, DropNan) {
+  const auto out = DropNan({1.0, std::nan(""), 2.0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], 2.0);
+}
+
+TEST(StatsTest, PearsonCorrelationSigns) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-9);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-9);
+  EXPECT_LT(std::fabs(PearsonCorrelation({1, 2, 3, 4, 5, 6},
+                                         {2, 1, 2, 1, 2, 1})),
+            0.5);
+}
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(1);
+  Tensor features = Tensor::Normal(Shape{30, 8}, 0, 1, &rng);
+  TsneOptions options;
+  options.perplexity = 5.0;
+  options.iterations = 50;
+  Tensor embedding = TsneEmbed(features, options, &rng);
+  EXPECT_EQ(embedding.shape(), Shape({30, 2}));
+  for (int64_t i = 0; i < embedding.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(embedding.at(i)));
+  }
+}
+
+TEST(TsneTest, SeparatedClustersStaySeparated) {
+  // Two far-apart Gaussian blobs in 10-d must map to two blobs whose
+  // centroids are farther apart than their internal spread.
+  Rng rng(2);
+  const int per_cluster = 20;
+  Tensor features(Shape{2 * per_cluster, 10});
+  for (int i = 0; i < per_cluster; ++i) {
+    for (int64_t d = 0; d < 10; ++d) {
+      features.at2(i, d) = static_cast<float>(rng.Normal(0.0, 0.3));
+      features.at2(per_cluster + i, d) =
+          static_cast<float>(rng.Normal(8.0, 0.3));
+    }
+  }
+  TsneOptions options;
+  options.perplexity = 8.0;
+  options.iterations = 300;
+  Tensor y = TsneEmbed(features, options, &rng);
+
+  auto centroid = [&](int begin) {
+    double cx = 0, cy = 0;
+    for (int i = begin; i < begin + per_cluster; ++i) {
+      cx += y.at2(i, 0);
+      cy += y.at2(i, 1);
+    }
+    return std::pair<double, double>{cx / per_cluster, cy / per_cluster};
+  };
+  auto [ax, ay] = centroid(0);
+  auto [bx, by] = centroid(per_cluster);
+  const double between =
+      std::sqrt((ax - bx) * (ax - bx) + (ay - by) * (ay - by));
+
+  double spread = 0.0;
+  for (int i = 0; i < per_cluster; ++i) {
+    spread += std::sqrt((y.at2(i, 0) - ax) * (y.at2(i, 0) - ax) +
+                        (y.at2(i, 1) - ay) * (y.at2(i, 1) - ay));
+  }
+  spread /= per_cluster;
+  EXPECT_GT(between, 2.0 * spread);
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  Rng data_rng(3);
+  Tensor features = Tensor::Normal(Shape{20, 4}, 0, 1, &data_rng);
+  TsneOptions options;
+  options.perplexity = 5.0;
+  options.iterations = 40;
+  Rng a(7), b(7);
+  Tensor ya = TsneEmbed(features, options, &a);
+  Tensor yb = TsneEmbed(features, options, &b);
+  EXPECT_TRUE(AllClose(ya, yb, 0.0f));
+}
+
+}  // namespace
+}  // namespace rfed

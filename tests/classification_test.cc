@@ -1,0 +1,96 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/classification.h"
+#include "util/rng.h"
+
+namespace rfed {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix cm(3);
+  cm.AddAll({0, 0, 1, 2, 2, 2}, {0, 1, 1, 2, 2, 0});
+  EXPECT_EQ(cm.total(), 6);
+  EXPECT_EQ(cm.Count(0, 0), 1);
+  EXPECT_EQ(cm.Count(0, 1), 1);
+  EXPECT_EQ(cm.Count(2, 0), 1);
+  EXPECT_NEAR(cm.Accuracy(), 4.0 / 6.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // label 0: 3 examples, 2 predicted 0, 1 predicted 1.
+  // label 1: 2 examples, 1 predicted 0, 1 predicted 1.
+  cm.AddAll({0, 0, 0, 1, 1}, {0, 0, 1, 0, 1});
+  EXPECT_NEAR(cm.Recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.Precision(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.Recall(1), 0.5, 1e-12);
+  EXPECT_NEAR(cm.Precision(1), 0.5, 1e-12);
+  EXPECT_NEAR(cm.F1(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.MacroF1(), (2.0 / 3.0 + 0.5) / 2.0, 1e-12);
+  EXPECT_NEAR(cm.WorstClassRecall(), 0.5, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, AbsentClassIsNan) {
+  ConfusionMatrix cm(3);
+  cm.AddAll({0, 1}, {0, 1});  // class 2 never occurs nor predicted
+  EXPECT_TRUE(std::isnan(cm.Recall(2)));
+  EXPECT_TRUE(std::isnan(cm.Precision(2)));
+  EXPECT_TRUE(std::isnan(cm.F1(2)));
+  // MacroF1 averages only over present classes.
+  EXPECT_NEAR(cm.MacroF1(), 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, NeverPredictedClassGetsZeroF1) {
+  ConfusionMatrix cm(2);
+  cm.AddAll({1, 1}, {0, 0});  // class 1 occurs but is never predicted
+  EXPECT_NEAR(cm.Recall(1), 0.0, 1e-12);
+  EXPECT_NEAR(cm.F1(1), 0.0, 1e-12);
+  EXPECT_NEAR(cm.WorstClassRecall(), 0.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, PerfectPredictionIsOneEverywhere) {
+  ConfusionMatrix cm(4);
+  cm.AddAll({0, 1, 2, 3}, {0, 1, 2, 3});
+  EXPECT_EQ(cm.Accuracy(), 1.0);
+  EXPECT_EQ(cm.MacroF1(), 1.0);
+  EXPECT_EQ(cm.WorstClassRecall(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 1);
+  const std::string s = cm.ToString();
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(BootstrapTest, IntervalContainsMeanAndOrdersBounds) {
+  Rng rng(1);
+  std::vector<double> values{0.4, 0.45, 0.5, 0.55, 0.6};
+  BootstrapInterval ci = BootstrapMeanInterval(values, 0.95, 2000, &rng);
+  EXPECT_NEAR(ci.mean, 0.5, 1e-12);
+  EXPECT_LE(ci.lower, ci.mean);
+  EXPECT_GE(ci.upper, ci.mean);
+  EXPECT_GT(ci.upper - ci.lower, 0.0);
+  EXPECT_LT(ci.upper - ci.lower, 0.2);
+}
+
+TEST(BootstrapTest, DegenerateSampleHasZeroWidth) {
+  Rng rng(2);
+  BootstrapInterval ci =
+      BootstrapMeanInterval({0.7, 0.7, 0.7}, 0.9, 500, &rng);
+  EXPECT_NEAR(ci.lower, 0.7, 1e-12);
+  EXPECT_NEAR(ci.upper, 0.7, 1e-12);
+}
+
+TEST(BootstrapTest, WiderConfidenceWiderInterval) {
+  std::vector<double> values{0.1, 0.3, 0.5, 0.7, 0.9, 0.2, 0.8};
+  Rng a(3), b(3);
+  BootstrapInterval narrow = BootstrapMeanInterval(values, 0.5, 4000, &a);
+  BootstrapInterval wide = BootstrapMeanInterval(values, 0.99, 4000, &b);
+  EXPECT_GT(wide.upper - wide.lower, narrow.upper - narrow.lower);
+}
+
+}  // namespace
+}  // namespace rfed

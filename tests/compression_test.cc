@@ -1,0 +1,119 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fl/compression.h"
+#include "util/rng.h"
+
+namespace rfed {
+namespace {
+
+Tensor RandomUpdate(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Normal(Shape{n}, 0.0f, 0.1f, &rng);
+}
+
+TEST(CompressionTest, NoCompressionIsIdentity) {
+  NoCompression none;
+  Rng rng(1);
+  Tensor update = RandomUpdate(100, 1);
+  EXPECT_TRUE(AllClose(none.RoundTrip(update, &rng), update, 0.0f));
+  EXPECT_EQ(none.WireBytes(100), 400);
+  EXPECT_EQ(none.Name(), "none");
+}
+
+TEST(CompressionTest, QuantizerBoundsError) {
+  StochasticQuantizer q8(8);
+  Rng rng(2);
+  Tensor update = RandomUpdate(500, 2);
+  Tensor back = q8.RoundTrip(update, &rng);
+  // Per-element error bounded by one quantization level.
+  const float level = update.MaxAbs() / 255.0f;
+  for (int64_t i = 0; i < update.size(); ++i) {
+    EXPECT_LE(std::fabs(back.at(i) - update.at(i)), level + 1e-6f);
+  }
+}
+
+TEST(CompressionTest, QuantizerIsUnbiased) {
+  StochasticQuantizer q4(4);
+  Rng rng(3);
+  Tensor update(Shape{1}, {0.123f});
+  double mean = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    mean += q4.RoundTrip(update, &rng).at(0);
+  }
+  mean /= trials;
+  EXPECT_NEAR(mean, 0.123, 0.002);
+}
+
+TEST(CompressionTest, QuantizerWireBytesShrink) {
+  StochasticQuantizer q8(8);
+  StochasticQuantizer q4(4);
+  NoCompression none;
+  EXPECT_LT(q8.WireBytes(1000), none.WireBytes(1000));
+  EXPECT_LT(q4.WireBytes(1000), q8.WireBytes(1000));
+}
+
+TEST(CompressionTest, QuantizerHandlesZeroUpdate) {
+  StochasticQuantizer q8(8);
+  Rng rng(4);
+  Tensor zero(Shape{10});
+  EXPECT_TRUE(AllClose(q8.RoundTrip(zero, &rng), zero, 0.0f));
+}
+
+TEST(CompressionTest, TopKKeepsLargestMagnitudes) {
+  TopKSparsifier topk(0.25);
+  Rng rng(5);
+  Tensor update(Shape{8}, {0.1f, -5.0f, 0.2f, 4.0f, -0.3f, 0.1f, 0.2f, 0.1f});
+  Tensor back = topk.RoundTrip(update, &rng);
+  EXPECT_EQ(back.at(1), -5.0f);
+  EXPECT_EQ(back.at(3), 4.0f);
+  float rest = 0.0f;
+  for (int64_t i : {0, 2, 4, 5, 6, 7}) rest += std::fabs(back.at(i));
+  EXPECT_EQ(rest, 0.0f);
+}
+
+TEST(CompressionTest, TopKWireBytesProportionalToK) {
+  TopKSparsifier topk(0.10);
+  EXPECT_EQ(topk.WireBytes(1000), 8 * 100);
+}
+
+TEST(CompressionTest, SketchApproximatesSparseUpdates) {
+  // Sketch recovery is accurate when the update is dominated by a few
+  // heavy coordinates (its design regime).
+  CountSketchCompressor sketch(5, 512, 99);
+  Rng rng(6);
+  Tensor update(Shape{200});
+  update.at(17) = 3.0f;
+  update.at(101) = -2.0f;
+  Tensor back = sketch.RoundTrip(update, &rng);
+  EXPECT_NEAR(back.at(17), 3.0f, 0.5f);
+  EXPECT_NEAR(back.at(101), -2.0f, 0.5f);
+}
+
+TEST(CompressionTest, SketchWireBytesIndependentOfDim) {
+  CountSketchCompressor sketch(5, 512, 99);
+  EXPECT_EQ(sketch.WireBytes(100), sketch.WireBytes(1000000));
+}
+
+TEST(CompressionTest, FactoryNames) {
+  for (const char* name : {"none", "q8", "q4", "topk10", "topk1", "sketch"}) {
+    auto compressor = MakeCompressor(name);
+    ASSERT_NE(compressor, nullptr) << name;
+    EXPECT_GT(compressor->WireBytes(100), 0) << name;
+  }
+}
+
+TEST(CompressionTest, RoundTripPreservesShape) {
+  Rng rng(7);
+  for (const char* name : {"q8", "topk10", "sketch"}) {
+    auto compressor = MakeCompressor(name);
+    Tensor update = RandomUpdate(333, 8);
+    Tensor back = compressor->RoundTrip(update, &rng);
+    EXPECT_EQ(back.shape(), update.shape()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rfed

@@ -1,0 +1,193 @@
+// Second parameterized property suite: compression, secure aggregation,
+// optimizers on quadratics, checkpointing, FedAvgM, and dataset
+// invariants swept across families of configurations.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "fl/checkpoint.h"
+#include "fl/compression.h"
+#include "fl/fedavgm.h"
+#include "fl/secure_agg.h"
+#include "fl/trainer.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace rfed {
+namespace {
+
+// ---- Property: every compressor keeps reconstruction error bounded
+//      relative to the update norm and saves (or matches) bytes ----
+
+class CompressorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(CompressorPropertyTest, BoundedErrorAndAccountedBytes) {
+  auto [name, dim] = GetParam();
+  auto compressor = MakeCompressor(name);
+  Rng rng(static_cast<uint64_t>(dim) * 31 + 7);
+  Tensor update = Tensor::Normal(Shape{dim}, 0.0f, 0.05f, &rng);
+  Tensor back = compressor->RoundTrip(update, &rng);
+  ASSERT_EQ(back.shape(), update.shape());
+  for (int64_t i = 0; i < back.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(back.at(i)));
+  }
+  EXPECT_GT(compressor->WireBytes(dim), 0);
+  if (std::string(name) == "none") {
+    EXPECT_TRUE(AllClose(back, update, 0.0f));
+  }
+  if (std::string(name) == "q8") {
+    Tensor err = back;
+    err.SubInPlace(update);
+    // 8-bit quantization error is tiny relative to the signal.
+    EXPECT_LT(err.SquaredNorm(), 0.01f * update.SquaredNorm() + 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompressorPropertyTest,
+    ::testing::Combine(::testing::Values("none", "q8", "q4", "topk10",
+                                         "topk1", "sketch"),
+                       ::testing::Values(64, 500, 4096)));
+
+// ---- Property: secure aggregation sums are exact for any cohort ----
+
+class SecureAggPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SecureAggPropertyTest, SumExactForCohortSize) {
+  const int cohort_size = GetParam();
+  const int64_t dim = 40;
+  SecureAggregator agg(dim, /*session_seed=*/99);
+  Rng rng(static_cast<uint64_t>(cohort_size));
+  std::vector<int> cohort;
+  for (int i = 0; i < cohort_size; ++i) cohort.push_back(i * 3 + 1);
+  std::vector<Tensor> masked;
+  Tensor expected(Shape{dim});
+  for (int k : cohort) {
+    Tensor update = Tensor::Normal(Shape{dim}, 0, 1, &rng);
+    expected.AddInPlace(update);
+    masked.push_back(agg.Mask(k, update, cohort));
+  }
+  EXPECT_TRUE(AllClose(SecureAggregator::SumMasked(masked), expected,
+                       1e-3f * static_cast<float>(cohort_size)));
+}
+
+INSTANTIATE_TEST_SUITE_P(CohortSizes, SecureAggPropertyTest,
+                         ::testing::Values(1, 2, 3, 8, 16));
+
+// ---- Property: optimizers minimize a convex quadratic ----
+
+class OptimizerConvergenceTest
+    : public ::testing::TestWithParam<OptimizerKind> {};
+
+TEST_P(OptimizerConvergenceTest, MinimizesQuadratic) {
+  // f(w) = 0.5 * ||w - target||^2, gradient w - target.
+  const OptimizerKind kind = GetParam();
+  Variable w(Tensor(Shape{4}, {5.0f, -3.0f, 2.0f, 0.5f}), true);
+  Tensor target(Shape{4}, {1.0f, 1.0f, 1.0f, 1.0f});
+  auto optimizer = MakeOptimizer(kind, {&w}, 0.05);
+  for (int step = 0; step < 800; ++step) {
+    optimizer->ZeroGrad();
+    Tensor grad = w.value();
+    grad.SubInPlace(target);
+    w.grad().AddInPlace(grad);
+    optimizer->Step();
+  }
+  Tensor err = w.value();
+  err.SubInPlace(target);
+  EXPECT_LT(err.SquaredNorm(), 1e-3f) << "kind " << static_cast<int>(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, OptimizerConvergenceTest,
+                         ::testing::Values(OptimizerKind::kSgd,
+                                           OptimizerKind::kRmsProp));
+
+// ---- Checkpointing round trips ----
+
+TEST(CheckpointTest, TensorFileRoundTrip) {
+  Rng rng(5);
+  Tensor t = Tensor::Normal(Shape{7, 3}, 0, 1, &rng);
+  const std::string path = ::testing::TempDir() + "/ckpt_tensor.bin";
+  SaveTensorToFile(t, path);
+  Tensor back = LoadTensorFromFile(path);
+  EXPECT_TRUE(AllClose(t, back, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, HistoryCsvHasAllRounds) {
+  RunHistory history;
+  history.algorithm = "x";
+  history.rounds = {{0, 1.0, 0.5, 0.01, 100}, {1, 0.9, std::nan(""), 0.01, 100}};
+  const std::string path = ::testing::TempDir() + "/ckpt_history.csv";
+  SaveHistoryCsv(history, path);
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3);  // header + 2 rounds
+  std::remove(path.c_str());
+}
+
+// ---- FedAvgM ----
+
+class FedAvgMTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FedAvgMTest, LearnsWithServerMomentum) {
+  const double beta = GetParam();
+  Rng rng(41);
+  auto data = GenerateImageData(MnistLikeProfile(), 600, 200, &rng);
+  auto split = SimilarityPartition(data.train, 5, 0.0, &rng);
+  std::vector<ClientView> views;
+  for (auto& idx : split.client_indices) views.push_back({idx, {}});
+  CnnConfig mc;
+  mc.conv1_channels = 4;
+  mc.conv2_channels = 8;
+  mc.feature_dim = 16;
+  FlConfig config;
+  config.local_steps = 3;
+  config.batch_size = 16;
+  config.lr = 0.05;
+  config.seed = 3;
+  FedAvgM algo(config, beta, &data.train, views, MakeCnnFactory(mc));
+  TrainerOptions options;
+  options.eval_max_examples = 200;
+  FederatedTrainer trainer(&algo, &data.test, options);
+  const double before = trainer.EvaluateGlobal();
+  RunHistory history = trainer.Run(8);
+  EXPECT_GT(history.BestAccuracy(), before + 0.15) << "beta " << beta;
+  for (int64_t i = 0; i < algo.global_state().size(); ++i) {
+    ASSERT_TRUE(std::isfinite(algo.global_state().at(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, FedAvgMTest, ::testing::Values(0.0, 0.5, 0.9));
+
+// ---- Dataset determinism across profiles ----
+
+class ProfileDeterminismTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileDeterminismTest, SameSeedSameData) {
+  const std::string name = GetParam();
+  ImageProfile profile = name == "cifar"    ? CifarLikeProfile()
+                         : name == "femnist" ? FemnistLikeProfile()
+                                             : MnistLikeProfile();
+  Rng a(9), b(9);
+  auto da = GenerateImageData(profile, 80, 20, &a);
+  auto db = GenerateImageData(profile, 80, 20, &b);
+  EXPECT_EQ(da.train.labels(), db.train.labels());
+  EXPECT_TRUE(AllClose(da.test.GetBatch({0, 5}).images,
+                       db.test.GetBatch({0, 5}).images, 0.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileDeterminismTest,
+                         ::testing::Values("mnist", "cifar", "femnist"));
+
+}  // namespace
+}  // namespace rfed

@@ -1,0 +1,244 @@
+// Failure-injection and boundary-condition tests: checked invariants must
+// abort loudly (RFED_CHECK), and edge-case configurations — tiny clients,
+// extreme sampling, degenerate batches — must train without corruption.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rfedavg.h"
+#include "data/batcher.h"
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "fl/fedavg.h"
+#include "fl/message.h"
+#include "fl/trainer.h"
+#include "tensor/serialize.h"
+
+namespace rfed {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(CheckedInvariantsDeathTest, ShapeMismatchAborts) {
+  Tensor a(Shape{2});
+  Tensor b(Shape{3});
+  EXPECT_DEATH(a.AddInPlace(b), "RFED_CHECK failed");
+}
+
+TEST(CheckedInvariantsDeathTest, BadLabelAborts) {
+  Tensor images(Shape{2, 1, 2, 2});
+  EXPECT_DEATH(Dataset(std::move(images), {0, 7}, /*num_classes=*/3),
+               "RFED_CHECK failed");
+}
+
+TEST(CheckedInvariantsDeathTest, TruncatedDeserializeAborts) {
+  Tensor t(Shape{4}, {1, 2, 3, 4});
+  std::vector<uint8_t> buffer;
+  SerializeTensor(t, &buffer);
+  buffer.resize(buffer.size() - 5);  // chop the payload
+  size_t offset = 0;
+  EXPECT_DEATH(DeserializeTensor(buffer, &offset), "RFED_CHECK failed");
+}
+
+TEST(CheckedInvariantsDeathTest, MalformedMessageKindAborts) {
+  // Kind byte outside the enum range.
+  std::vector<uint8_t> buffer(16, 0);
+  buffer[0] = 200;
+  size_t offset = 0;
+  EXPECT_DEATH(FlMessage::Decode(buffer, &offset), "RFED_CHECK failed");
+}
+
+TEST(CheckedInvariantsDeathTest, ScalarBackwardOnlyFromScalar) {
+  Variable x(Tensor(Shape{3}), true);
+  EXPECT_DEATH(x.Backward(), "must start from a scalar");
+}
+
+TEST(CheckedInvariantsDeathTest, EmptyClientAborts) {
+  Rng rng(1);
+  auto data = GenerateImageData(MnistLikeProfile(), 40, 10, &rng);
+  std::vector<ClientView> views(2);
+  views[0].train_indices = {0, 1, 2};
+  // views[1] left empty.
+  CnnConfig mc;
+  mc.conv1_channels = 2;
+  mc.conv2_channels = 4;
+  mc.feature_dim = 8;
+  FlConfig config;
+  EXPECT_DEATH(FedAvg(config, &data.train, views, MakeCnnFactory(mc)),
+               "RFED_CHECK failed");
+}
+
+TEST(RobustnessTest, SingleExampleClientTrains) {
+  Rng rng(2);
+  auto data = GenerateImageData(MnistLikeProfile(), 120, 40, &rng);
+  // Client 0 owns exactly one example; others share the rest.
+  std::vector<ClientView> views(3);
+  views[0].train_indices = {0};
+  for (int i = 1; i < 120; ++i) {
+    views[static_cast<size_t>(1 + (i % 2))].train_indices.push_back(i);
+  }
+  CnnConfig mc;
+  mc.conv1_channels = 2;
+  mc.conv2_channels = 4;
+  mc.feature_dim = 8;
+  FlConfig config;
+  config.local_steps = 2;
+  config.batch_size = 16;  // larger than client 0's data
+  config.lr = 0.05;
+  config.seed = 1;
+  FedAvg algo(config, &data.train, views, MakeCnnFactory(mc));
+  for (int r = 0; r < 3; ++r) algo.RunRound(r);
+  for (int64_t i = 0; i < algo.global_state().size(); ++i) {
+    ASSERT_TRUE(std::isfinite(algo.global_state().at(i)));
+  }
+}
+
+TEST(RobustnessTest, MinimalSampleRatioStillSelectsOneClient) {
+  Rng rng(3);
+  auto data = GenerateImageData(MnistLikeProfile(), 120, 40, &rng);
+  auto split = SimilarityPartition(data.train, 6, 0.5, &rng);
+  std::vector<ClientView> views;
+  for (auto& idx : split.client_indices) views.push_back({idx, {}});
+  CnnConfig mc;
+  mc.conv1_channels = 2;
+  mc.conv2_channels = 4;
+  mc.feature_dim = 8;
+  FlConfig config;
+  config.sample_ratio = 1e-6;  // rounds to zero; must clamp to one client
+  config.local_steps = 1;
+  config.seed = 2;
+  FedAvg algo(config, &data.train, views, MakeCnnFactory(mc));
+  algo.RunRound(0);
+  // Exactly one model down + one up.
+  EXPECT_EQ(algo.comm().down_messages(), 1);
+  EXPECT_EQ(algo.comm().up_messages(), 1);
+}
+
+TEST(RobustnessTest, RegularizerSurvivesBatchOfOne) {
+  Rng rng(4);
+  auto data = GenerateImageData(MnistLikeProfile(), 60, 20, &rng);
+  auto split = SimilarityPartition(data.train, 3, 0.0, &rng);
+  std::vector<ClientView> views;
+  for (auto& idx : split.client_indices) views.push_back({idx, {}});
+  CnnConfig mc;
+  mc.conv1_channels = 2;
+  mc.conv2_channels = 4;
+  mc.feature_dim = 8;
+  FlConfig config;
+  config.batch_size = 1;  // feature-mean of a single example
+  config.local_steps = 2;
+  config.lr = 0.05;
+  config.seed = 3;
+  RegularizerOptions reg;
+  reg.lambda = 1e-3;
+  RFedAvgPlus algo(config, reg, &data.train, views, MakeCnnFactory(mc));
+  for (int r = 0; r < 2; ++r) algo.RunRound(r);
+  for (int64_t i = 0; i < algo.global_state().size(); ++i) {
+    ASSERT_TRUE(std::isfinite(algo.global_state().at(i)));
+  }
+}
+
+TEST(RobustnessTest, UnevenTestSlicesInFairnessEval) {
+  Rng rng(5);
+  auto data = GenerateImageData(MnistLikeProfile(), 120, 60, &rng);
+  auto split = SimilarityPartition(data.train, 4, 0.0, &rng);
+  std::vector<ClientView> views;
+  for (auto& idx : split.client_indices) views.push_back({idx, {}});
+  views[0].test_indices = {0};          // one-example test slice
+  views[2].test_indices = {1, 2, 3, 4};
+  CnnConfig mc;
+  mc.conv1_channels = 2;
+  mc.conv2_channels = 4;
+  mc.feature_dim = 8;
+  FlConfig config;
+  config.local_steps = 1;
+  config.seed = 4;
+  FedAvg algo(config, &data.train, views, MakeCnnFactory(mc));
+  TrainerOptions options;
+  FederatedTrainer trainer(&algo, &data.test, options);
+  trainer.Run(1);
+  const auto per_client = trainer.PerClientAccuracy(&data.test, views);
+  EXPECT_FALSE(std::isnan(per_client[0]));
+  EXPECT_TRUE(std::isnan(per_client[1]));  // no slice
+  EXPECT_FALSE(std::isnan(per_client[2]));
+}
+
+TEST(RobustnessTest, ClientDropoutKeepsTrainingAlive) {
+  Rng rng(7);
+  auto data = GenerateImageData(MnistLikeProfile(), 300, 100, &rng);
+  auto split = SimilarityPartition(data.train, 6, 0.0, &rng);
+  std::vector<ClientView> views;
+  for (auto& idx : split.client_indices) views.push_back({idx, {}});
+  CnnConfig mc;
+  mc.conv1_channels = 2;
+  mc.conv2_channels = 4;
+  mc.feature_dim = 8;
+  FlConfig config;
+  config.local_steps = 2;
+  config.batch_size = 16;
+  config.lr = 0.05;
+  config.seed = 6;
+  config.dropout_prob = 0.4;  // heavy straggler rate
+  FedAvg algo(config, &data.train, views, MakeCnnFactory(mc));
+  TrainerOptions options;
+  options.eval_max_examples = 100;
+  FederatedTrainer trainer(&algo, &data.test, options);
+  const double before = trainer.EvaluateGlobal();
+  RunHistory history = trainer.Run(18);
+  EXPECT_GT(history.BestAccuracy(), before + 0.1);
+}
+
+TEST(RobustnessTest, DropoutChargesWastedDownloads) {
+  Rng rng(8);
+  auto data = GenerateImageData(MnistLikeProfile(), 120, 40, &rng);
+  auto split = SimilarityPartition(data.train, 4, 0.5, &rng);
+  std::vector<ClientView> views;
+  for (auto& idx : split.client_indices) views.push_back({idx, {}});
+  CnnConfig mc;
+  mc.conv1_channels = 2;
+  mc.conv2_channels = 4;
+  mc.feature_dim = 8;
+  FlConfig config;
+  config.local_steps = 1;
+  config.seed = 7;
+  config.dropout_prob = 0.999;  // nearly everyone fails
+  FedAvg algo(config, &data.train, views, MakeCnnFactory(mc));
+  algo.RunRound(0);
+  // Every sampled client is charged a download (wasted for dropouts; the
+  // forced survivor re-downloads in the training loop), but only the
+  // survivors upload.
+  EXPECT_GE(algo.comm().down_messages(), 4);
+  EXPECT_LE(algo.comm().down_messages(), 5);
+  EXPECT_GE(algo.comm().up_messages(), 1);
+  EXPECT_LT(algo.comm().up_messages(), 4);
+}
+
+TEST(RobustnessTest, ZeroLambdaDpNoiseIsHarmless) {
+  // DP noise configured but lambda = 0: maps are still communicated and
+  // perturbed, training must match plain FedAvg dynamics in accuracy
+  // terms (the reg term contributes nothing).
+  Rng rng(6);
+  auto data = GenerateImageData(MnistLikeProfile(), 120, 60, &rng);
+  auto split = SimilarityPartition(data.train, 3, 0.5, &rng);
+  std::vector<ClientView> views;
+  for (auto& idx : split.client_indices) views.push_back({idx, {}});
+  CnnConfig mc;
+  mc.conv1_channels = 2;
+  mc.conv2_channels = 4;
+  mc.feature_dim = 8;
+  FlConfig config;
+  config.local_steps = 2;
+  config.seed = 5;
+  RegularizerOptions reg;
+  reg.lambda = 0.0;
+  reg.dp = DpNoiseConfig{10.0, 1.0, 8};
+  RFedAvgPlus noisy(config, reg, &data.train, views, MakeCnnFactory(mc));
+  FedAvg plain(config, &data.train, views, MakeCnnFactory(mc));
+  noisy.RunRound(0);
+  plain.RunRound(0);
+  EXPECT_TRUE(AllClose(noisy.global_state(), plain.global_state(), 1e-6f));
+}
+
+}  // namespace
+}  // namespace rfed

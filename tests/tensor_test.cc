@@ -1,0 +1,148 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/serialize.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rfed {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.num_elements(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(ShapeTest, ScalarShape) {
+  Shape s{};
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.num_elements(), 1);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2}), Shape({2, 1}));
+}
+
+TEST(ShapeTest, WithoutAxis) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.WithoutAxis(1), Shape({2, 4}));
+  EXPECT_EQ(s.WithoutAxis(-1), Shape({2, 3}));
+}
+
+TEST(ShapeTest, ToString) { EXPECT_EQ(Shape({2, 3}).ToString(), "[2, 3]"); }
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape{3, 3});
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FullFills) {
+  Tensor t = Tensor::Full(Shape{5}, 2.5f);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(t.at(i), 2.5f);
+}
+
+TEST(TensorTest, FromData) {
+  Tensor t(Shape{2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at2(0, 1), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+}
+
+TEST(TensorTest, ReshapedSharesValues) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped(Shape{3, 2});
+  EXPECT_EQ(r.at2(2, 1), 6.0f);
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+}
+
+TEST(TensorTest, InPlaceArithmetic) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{3}, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a.at(2), 33.0f);
+  a.SubInPlace(b);
+  EXPECT_EQ(a.at(2), 3.0f);
+  a.MulInPlace(2.0f);
+  EXPECT_EQ(a.at(0), 2.0f);
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a.at(1), 14.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t(Shape{4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.Sum(), -2.0f);
+  EXPECT_FLOAT_EQ(t.Mean(), -0.5f);
+  EXPECT_FLOAT_EQ(t.MaxAbs(), 4.0f);
+  EXPECT_FLOAT_EQ(t.SquaredNorm(), 1 + 4 + 9 + 16);
+}
+
+TEST(TensorTest, ToScalar) {
+  Tensor t(Shape{}, {42.0f});
+  EXPECT_EQ(t.ToScalar(), 42.0f);
+}
+
+TEST(TensorTest, UniformRespectsRange) {
+  Rng rng(1);
+  Tensor t = Tensor::Uniform(Shape{1000}, -0.5f, 0.5f, &rng);
+  EXPECT_LE(t.MaxAbs(), 0.5f);
+  EXPECT_NEAR(t.Mean(), 0.0f, 0.05f);
+}
+
+TEST(TensorTest, NormalMoments) {
+  Rng rng(2);
+  Tensor t = Tensor::Normal(Shape{20000}, 1.0f, 2.0f, &rng);
+  EXPECT_NEAR(t.Mean(), 1.0f, 0.1f);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    var += (t.at(i) - 1.0) * (t.at(i) - 1.0);
+  }
+  EXPECT_NEAR(var / static_cast<double>(t.size()), 4.0, 0.3);
+}
+
+TEST(TensorTest, AllCloseDetectsDeviation) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor b(Shape{2}, {1.0f, 2.0001f});
+  EXPECT_TRUE(AllClose(a, b, 1e-3f));
+  EXPECT_FALSE(AllClose(a, b, 1e-6f));
+  EXPECT_FALSE(AllClose(a, Tensor(Shape{3}), 1.0f));
+}
+
+TEST(SerializeTest, RoundTrip) {
+  Rng rng(3);
+  Tensor t = Tensor::Normal(Shape{3, 4, 5}, 0.0f, 1.0f, &rng);
+  std::vector<uint8_t> buf;
+  SerializeTensor(t, &buf);
+  EXPECT_EQ(static_cast<int64_t>(buf.size()), SerializedBytes(t));
+  size_t offset = 0;
+  Tensor back = DeserializeTensor(buf, &offset);
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_TRUE(AllClose(t, back, 0.0f));
+}
+
+TEST(SerializeTest, MultipleTensorsInOneBuffer) {
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b(Shape{}, {9});
+  std::vector<uint8_t> buf;
+  SerializeTensor(a, &buf);
+  SerializeTensor(b, &buf);
+  size_t offset = 0;
+  Tensor a2 = DeserializeTensor(buf, &offset);
+  Tensor b2 = DeserializeTensor(buf, &offset);
+  EXPECT_TRUE(AllClose(a, a2, 0.0f));
+  EXPECT_TRUE(AllClose(b, b2, 0.0f));
+}
+
+TEST(SerializeTest, PayloadBytesMatchesFloat32) {
+  Tensor t(Shape{7, 3});
+  EXPECT_EQ(PayloadBytes(t), 7 * 3 * 4);
+}
+
+}  // namespace
+}  // namespace rfed
