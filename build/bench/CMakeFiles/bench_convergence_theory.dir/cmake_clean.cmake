@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_convergence_theory.dir/bench_convergence_theory.cc.o"
+  "CMakeFiles/bench_convergence_theory.dir/bench_convergence_theory.cc.o.d"
+  "bench_convergence_theory"
+  "bench_convergence_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convergence_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

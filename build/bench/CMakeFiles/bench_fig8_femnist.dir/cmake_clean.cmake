@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_femnist.dir/bench_fig8_femnist.cc.o"
+  "CMakeFiles/bench_fig8_femnist.dir/bench_fig8_femnist.cc.o.d"
+  "bench_fig8_femnist"
+  "bench_fig8_femnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_femnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

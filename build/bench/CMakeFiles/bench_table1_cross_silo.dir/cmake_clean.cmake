@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cross_silo.dir/bench_table1_cross_silo.cc.o"
+  "CMakeFiles/bench_table1_cross_silo.dir/bench_table1_cross_silo.cc.o.d"
+  "bench_table1_cross_silo"
+  "bench_table1_cross_silo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cross_silo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

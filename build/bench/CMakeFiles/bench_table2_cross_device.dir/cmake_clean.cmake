@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cross_device.dir/bench_table2_cross_device.cc.o"
+  "CMakeFiles/bench_table2_cross_device.dir/bench_table2_cross_device.cc.o.d"
+  "bench_table2_cross_device"
+  "bench_table2_cross_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cross_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_delta_size.dir/bench_table3_delta_size.cc.o"
+  "CMakeFiles/bench_table3_delta_size.dir/bench_table3_delta_size.cc.o.d"
+  "bench_table3_delta_size"
+  "bench_table3_delta_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_delta_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfed_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/rfed_bench_common.dir/bench_common.cc.o.d"
+  "librfed_bench_common.a"
+  "librfed_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfed_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

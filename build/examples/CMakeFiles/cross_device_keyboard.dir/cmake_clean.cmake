@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_device_keyboard.dir/cross_device_keyboard.cpp.o"
+  "CMakeFiles/cross_device_keyboard.dir/cross_device_keyboard.cpp.o.d"
+  "cross_device_keyboard"
+  "cross_device_keyboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_device_keyboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

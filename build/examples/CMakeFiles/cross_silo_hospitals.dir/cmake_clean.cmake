@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_silo_hospitals.dir/cross_silo_hospitals.cpp.o"
+  "CMakeFiles/cross_silo_hospitals.dir/cross_silo_hospitals.cpp.o.d"
+  "cross_silo_hospitals"
+  "cross_silo_hospitals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_silo_hospitals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

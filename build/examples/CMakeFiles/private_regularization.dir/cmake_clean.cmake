@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_regularization.dir/private_regularization.cpp.o"
+  "CMakeFiles/private_regularization.dir/private_regularization.cpp.o.d"
+  "private_regularization"
+  "private_regularization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_regularization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

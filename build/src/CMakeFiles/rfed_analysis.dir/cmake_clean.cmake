@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfed_analysis.dir/analysis/classification.cc.o"
+  "CMakeFiles/rfed_analysis.dir/analysis/classification.cc.o.d"
+  "CMakeFiles/rfed_analysis.dir/analysis/stats.cc.o"
+  "CMakeFiles/rfed_analysis.dir/analysis/stats.cc.o.d"
+  "CMakeFiles/rfed_analysis.dir/analysis/tsne.cc.o"
+  "CMakeFiles/rfed_analysis.dir/analysis/tsne.cc.o.d"
+  "librfed_analysis.a"
+  "librfed_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfed_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

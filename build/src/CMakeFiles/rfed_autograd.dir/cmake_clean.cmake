@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfed_autograd.dir/autograd/ops.cc.o"
+  "CMakeFiles/rfed_autograd.dir/autograd/ops.cc.o.d"
+  "CMakeFiles/rfed_autograd.dir/autograd/variable.cc.o"
+  "CMakeFiles/rfed_autograd.dir/autograd/variable.cc.o.d"
+  "librfed_autograd.a"
+  "librfed_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfed_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/convex_objective.cc" "src/CMakeFiles/rfed_core.dir/core/convex_objective.cc.o" "gcc" "src/CMakeFiles/rfed_core.dir/core/convex_objective.cc.o.d"
+  "/root/repo/src/core/delta_map.cc" "src/CMakeFiles/rfed_core.dir/core/delta_map.cc.o" "gcc" "src/CMakeFiles/rfed_core.dir/core/delta_map.cc.o.d"
+  "/root/repo/src/core/dp_noise.cc" "src/CMakeFiles/rfed_core.dir/core/dp_noise.cc.o" "gcc" "src/CMakeFiles/rfed_core.dir/core/dp_noise.cc.o.d"
+  "/root/repo/src/core/mmd.cc" "src/CMakeFiles/rfed_core.dir/core/mmd.cc.o" "gcc" "src/CMakeFiles/rfed_core.dir/core/mmd.cc.o.d"
+  "/root/repo/src/core/personalization.cc" "src/CMakeFiles/rfed_core.dir/core/personalization.cc.o" "gcc" "src/CMakeFiles/rfed_core.dir/core/personalization.cc.o.d"
+  "/root/repo/src/core/rfedavg.cc" "src/CMakeFiles/rfed_core.dir/core/rfedavg.cc.o" "gcc" "src/CMakeFiles/rfed_core.dir/core/rfedavg.cc.o.d"
+  "/root/repo/src/core/rfedavg_plus.cc" "src/CMakeFiles/rfed_core.dir/core/rfedavg_plus.cc.o" "gcc" "src/CMakeFiles/rfed_core.dir/core/rfedavg_plus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfed_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

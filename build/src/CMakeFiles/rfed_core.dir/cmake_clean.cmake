@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfed_core.dir/core/convex_objective.cc.o"
+  "CMakeFiles/rfed_core.dir/core/convex_objective.cc.o.d"
+  "CMakeFiles/rfed_core.dir/core/delta_map.cc.o"
+  "CMakeFiles/rfed_core.dir/core/delta_map.cc.o.d"
+  "CMakeFiles/rfed_core.dir/core/dp_noise.cc.o"
+  "CMakeFiles/rfed_core.dir/core/dp_noise.cc.o.d"
+  "CMakeFiles/rfed_core.dir/core/mmd.cc.o"
+  "CMakeFiles/rfed_core.dir/core/mmd.cc.o.d"
+  "CMakeFiles/rfed_core.dir/core/personalization.cc.o"
+  "CMakeFiles/rfed_core.dir/core/personalization.cc.o.d"
+  "CMakeFiles/rfed_core.dir/core/rfedavg.cc.o"
+  "CMakeFiles/rfed_core.dir/core/rfedavg.cc.o.d"
+  "CMakeFiles/rfed_core.dir/core/rfedavg_plus.cc.o"
+  "CMakeFiles/rfed_core.dir/core/rfedavg_plus.cc.o.d"
+  "librfed_core.a"
+  "librfed_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/batcher.cc" "src/CMakeFiles/rfed_data.dir/data/batcher.cc.o" "gcc" "src/CMakeFiles/rfed_data.dir/data/batcher.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/rfed_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/rfed_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/partition.cc" "src/CMakeFiles/rfed_data.dir/data/partition.cc.o" "gcc" "src/CMakeFiles/rfed_data.dir/data/partition.cc.o.d"
+  "/root/repo/src/data/synthetic_images.cc" "src/CMakeFiles/rfed_data.dir/data/synthetic_images.cc.o" "gcc" "src/CMakeFiles/rfed_data.dir/data/synthetic_images.cc.o.d"
+  "/root/repo/src/data/synthetic_text.cc" "src/CMakeFiles/rfed_data.dir/data/synthetic_text.cc.o" "gcc" "src/CMakeFiles/rfed_data.dir/data/synthetic_text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfed_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

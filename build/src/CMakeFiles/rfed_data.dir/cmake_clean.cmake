@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfed_data.dir/data/batcher.cc.o"
+  "CMakeFiles/rfed_data.dir/data/batcher.cc.o.d"
+  "CMakeFiles/rfed_data.dir/data/dataset.cc.o"
+  "CMakeFiles/rfed_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/rfed_data.dir/data/partition.cc.o"
+  "CMakeFiles/rfed_data.dir/data/partition.cc.o.d"
+  "CMakeFiles/rfed_data.dir/data/synthetic_images.cc.o"
+  "CMakeFiles/rfed_data.dir/data/synthetic_images.cc.o.d"
+  "CMakeFiles/rfed_data.dir/data/synthetic_text.cc.o"
+  "CMakeFiles/rfed_data.dir/data/synthetic_text.cc.o.d"
+  "librfed_data.a"
+  "librfed_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfed_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/algorithm.cc" "src/CMakeFiles/rfed_fl.dir/fl/algorithm.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/algorithm.cc.o.d"
+  "/root/repo/src/fl/checkpoint.cc" "src/CMakeFiles/rfed_fl.dir/fl/checkpoint.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/checkpoint.cc.o.d"
+  "/root/repo/src/fl/compression.cc" "src/CMakeFiles/rfed_fl.dir/fl/compression.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/compression.cc.o.d"
+  "/root/repo/src/fl/fedavgm.cc" "src/CMakeFiles/rfed_fl.dir/fl/fedavgm.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/fedavgm.cc.o.d"
+  "/root/repo/src/fl/fednova.cc" "src/CMakeFiles/rfed_fl.dir/fl/fednova.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/fednova.cc.o.d"
+  "/root/repo/src/fl/fedprox.cc" "src/CMakeFiles/rfed_fl.dir/fl/fedprox.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/fedprox.cc.o.d"
+  "/root/repo/src/fl/message.cc" "src/CMakeFiles/rfed_fl.dir/fl/message.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/message.cc.o.d"
+  "/root/repo/src/fl/metrics.cc" "src/CMakeFiles/rfed_fl.dir/fl/metrics.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/metrics.cc.o.d"
+  "/root/repo/src/fl/model_state.cc" "src/CMakeFiles/rfed_fl.dir/fl/model_state.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/model_state.cc.o.d"
+  "/root/repo/src/fl/qfedavg.cc" "src/CMakeFiles/rfed_fl.dir/fl/qfedavg.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/qfedavg.cc.o.d"
+  "/root/repo/src/fl/scaffold.cc" "src/CMakeFiles/rfed_fl.dir/fl/scaffold.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/scaffold.cc.o.d"
+  "/root/repo/src/fl/secure_agg.cc" "src/CMakeFiles/rfed_fl.dir/fl/secure_agg.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/secure_agg.cc.o.d"
+  "/root/repo/src/fl/selection.cc" "src/CMakeFiles/rfed_fl.dir/fl/selection.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/selection.cc.o.d"
+  "/root/repo/src/fl/trainer.cc" "src/CMakeFiles/rfed_fl.dir/fl/trainer.cc.o" "gcc" "src/CMakeFiles/rfed_fl.dir/fl/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfed_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

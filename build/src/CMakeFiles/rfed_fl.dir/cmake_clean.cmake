@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfed_fl.dir/fl/algorithm.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/algorithm.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/checkpoint.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/checkpoint.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/compression.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/compression.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/fedavgm.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/fedavgm.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/fednova.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/fednova.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/fedprox.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/fedprox.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/message.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/message.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/metrics.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/metrics.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/model_state.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/model_state.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/qfedavg.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/qfedavg.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/scaffold.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/scaffold.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/secure_agg.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/secure_agg.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/selection.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/selection.cc.o.d"
+  "CMakeFiles/rfed_fl.dir/fl/trainer.cc.o"
+  "CMakeFiles/rfed_fl.dir/fl/trainer.cc.o.d"
+  "librfed_fl.a"
+  "librfed_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfed_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv.cc" "src/CMakeFiles/rfed_nn.dir/nn/conv.cc.o" "gcc" "src/CMakeFiles/rfed_nn.dir/nn/conv.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/rfed_nn.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/rfed_nn.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/rfed_nn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/rfed_nn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/rfed_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/rfed_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/rfed_nn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/rfed_nn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/CMakeFiles/rfed_nn.dir/nn/lstm.cc.o" "gcc" "src/CMakeFiles/rfed_nn.dir/nn/lstm.cc.o.d"
+  "/root/repo/src/nn/models.cc" "src/CMakeFiles/rfed_nn.dir/nn/models.cc.o" "gcc" "src/CMakeFiles/rfed_nn.dir/nn/models.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/rfed_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/rfed_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/norm.cc" "src/CMakeFiles/rfed_nn.dir/nn/norm.cc.o" "gcc" "src/CMakeFiles/rfed_nn.dir/nn/norm.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/rfed_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/rfed_nn.dir/nn/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfed_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfed_nn.dir/nn/conv.cc.o"
+  "CMakeFiles/rfed_nn.dir/nn/conv.cc.o.d"
+  "CMakeFiles/rfed_nn.dir/nn/embedding.cc.o"
+  "CMakeFiles/rfed_nn.dir/nn/embedding.cc.o.d"
+  "CMakeFiles/rfed_nn.dir/nn/init.cc.o"
+  "CMakeFiles/rfed_nn.dir/nn/init.cc.o.d"
+  "CMakeFiles/rfed_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/rfed_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/rfed_nn.dir/nn/loss.cc.o"
+  "CMakeFiles/rfed_nn.dir/nn/loss.cc.o.d"
+  "CMakeFiles/rfed_nn.dir/nn/lstm.cc.o"
+  "CMakeFiles/rfed_nn.dir/nn/lstm.cc.o.d"
+  "CMakeFiles/rfed_nn.dir/nn/models.cc.o"
+  "CMakeFiles/rfed_nn.dir/nn/models.cc.o.d"
+  "CMakeFiles/rfed_nn.dir/nn/module.cc.o"
+  "CMakeFiles/rfed_nn.dir/nn/module.cc.o.d"
+  "CMakeFiles/rfed_nn.dir/nn/norm.cc.o"
+  "CMakeFiles/rfed_nn.dir/nn/norm.cc.o.d"
+  "CMakeFiles/rfed_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/rfed_nn.dir/nn/optimizer.cc.o.d"
+  "librfed_nn.a"
+  "librfed_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfed_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

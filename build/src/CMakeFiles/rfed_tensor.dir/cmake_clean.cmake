@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfed_tensor.dir/tensor/serialize.cc.o"
+  "CMakeFiles/rfed_tensor.dir/tensor/serialize.cc.o.d"
+  "CMakeFiles/rfed_tensor.dir/tensor/shape.cc.o"
+  "CMakeFiles/rfed_tensor.dir/tensor/shape.cc.o.d"
+  "CMakeFiles/rfed_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/rfed_tensor.dir/tensor/tensor.cc.o.d"
+  "CMakeFiles/rfed_tensor.dir/tensor/tensor_ops.cc.o"
+  "CMakeFiles/rfed_tensor.dir/tensor/tensor_ops.cc.o.d"
+  "librfed_tensor.a"
+  "librfed_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfed_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

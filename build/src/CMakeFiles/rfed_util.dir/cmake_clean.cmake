@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfed_util.dir/util/check.cc.o"
+  "CMakeFiles/rfed_util.dir/util/check.cc.o.d"
+  "CMakeFiles/rfed_util.dir/util/csv_writer.cc.o"
+  "CMakeFiles/rfed_util.dir/util/csv_writer.cc.o.d"
+  "CMakeFiles/rfed_util.dir/util/flags.cc.o"
+  "CMakeFiles/rfed_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/rfed_util.dir/util/logging.cc.o"
+  "CMakeFiles/rfed_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/rfed_util.dir/util/rng.cc.o"
+  "CMakeFiles/rfed_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/rfed_util.dir/util/string_util.cc.o"
+  "CMakeFiles/rfed_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/rfed_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/rfed_util.dir/util/thread_pool.cc.o.d"
+  "librfed_util.a"
+  "librfed_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfed_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

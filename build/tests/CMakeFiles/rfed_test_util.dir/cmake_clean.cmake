@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfed_test_util.dir/test_util.cc.o"
+  "CMakeFiles/rfed_test_util.dir/test_util.cc.o.d"
+  "librfed_test_util.a"
+  "librfed_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfed_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

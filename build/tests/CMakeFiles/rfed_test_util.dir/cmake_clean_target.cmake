@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfed_test_util.a"
+)
