@@ -20,6 +20,8 @@
 //   --model cnn|mlp (cnn, image datasets only)
 //   --train_examples (1500) --test_examples (400)   --seed (1)
 //   --fine_tune (false: also report personalized accuracy)
+//   --drop/--corrupt/--duplicate/--delay 0..1 (0)   fault channel probs
+//   --mean_delay_ms (50)    --timeout_ms (250, 0=off) --retries (0)
 
 #include <cstdio>
 
@@ -93,6 +95,13 @@ int main(int argc, char** argv) {
   fl.seed = seed;
   fl.upload_compressor = flags.GetString("compressor", "none");
   fl.client_selection = flags.GetString("selection", "uniform");
+  fl.fault.drop_prob = flags.GetDouble("drop", 0.0);
+  fl.fault.corrupt_prob = flags.GetDouble("corrupt", 0.0);
+  fl.fault.duplicate_prob = flags.GetDouble("duplicate", 0.0);
+  fl.fault.delay_prob = flags.GetDouble("delay", 0.0);
+  fl.fault.mean_delay_ms = flags.GetDouble("mean_delay_ms", 50.0);
+  fl.fault.round_timeout_ms = flags.GetDouble("timeout_ms", 250.0);
+  fl.fault.max_retries = flags.GetInt("retries", 0);
 
   RegularizerOptions reg;
   reg.lambda = flags.GetDouble("lambda", is_text ? 1e-4 : 1e-3);
@@ -166,6 +175,12 @@ int main(int argc, char** argv) {
               method.c_str(), dataset.c_str(), history.FinalAccuracy(),
               history.BestAccuracy(),
               static_cast<long long>(algorithm->comm().total_bytes()));
+  if (fl.fault.enabled()) {
+    std::printf("channel: delivered=%lld dropped=%lld retried=%lld\n",
+                static_cast<long long>(history.TotalDelivered()),
+                static_cast<long long>(history.TotalDropped()),
+                static_cast<long long>(history.TotalRetried()));
+  }
 
   if (flags.GetBool("fine_tune", false) && !views[0].test_indices.empty()) {
     PersonalizationOptions popt;

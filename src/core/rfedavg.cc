@@ -16,13 +16,18 @@ RFedAvg::RFedAvg(const FlConfig& config, const RegularizerOptions& reg,
                                 : raw_model()->feature_dim()),
       noise_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
   RFED_CHECK_GE(reg_.lambda, 0.0);
+  map_received_.assign(static_cast<size_t>(num_clients()), 1);
 }
 
 void RFedAvg::OnRoundStart(int round, const std::vector<int>& selected) {
   // Server broadcasts the full delayed map vector δ_{cE} to each sampled
-  // client (Algorithm 1, line 3): N-1 foreign maps per client.
-  for (size_t i = 0; i < selected.size(); ++i) {
-    comm().Download(store_.BroadcastBytesPairwise());
+  // client (Algorithm 1, line 3): N-1 foreign maps per client. A client
+  // whose broadcast is lost has no targets to regularize against and
+  // degrades to a plain FedAvg round.
+  map_received_.assign(static_cast<size_t>(num_clients()), 0);
+  for (int k : selected) {
+    map_received_[static_cast<size_t>(k)] =
+        channel().Download(store_.BroadcastBytesPairwise()) ? 1 : 0;
   }
   pending_updates_.clear();
 }
@@ -30,6 +35,7 @@ void RFedAvg::OnRoundStart(int round, const std::vector<int>& selected) {
 Variable RFedAvg::ExtraLoss(int client, const ModelOutput& output,
                             const Batch& batch) {
   if (reg_.lambda == 0.0) return Variable();
+  if (!map_received_[static_cast<size_t>(client)]) return Variable();
   const Variable& rep =
       reg_.regularize_logits ? output.logits : output.features;
   // r'_k: mean squared MMD against every other client's delayed map.
@@ -41,11 +47,14 @@ Variable RFedAvg::ExtraLoss(int client, const ModelOutput& output,
 void RFedAvg::OnClientTrained(int round, int client, const Tensor& new_state) {
   // Algorithm 1, line 10: δ^k_{(c+1)E} from the client's *local* trained
   // model (the source of the map inconsistency Theorem 2 quantifies).
+  // A map upload lost on the channel never reaches the store; the server
+  // keeps that client's previous (delayed) map.
   Tensor delta = ComputeClientDelta(client, new_state,
                                    reg_.regularize_logits);
   ApplyDpNoise(reg_.dp, &delta, &noise_rng_);
-  pending_updates_.emplace_back(client, std::move(delta));
-  comm().Upload(store_.MapBytes());
+  if (channel().Upload(store_.MapBytes())) {
+    pending_updates_.emplace_back(client, std::move(delta));
+  }
 }
 
 void RFedAvg::OnRoundEnd(int round, const std::vector<int>& selected) {

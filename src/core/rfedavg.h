@@ -57,6 +57,9 @@ class RFedAvg : public FederatedAlgorithm {
   /// Maps computed this round, committed at round end so that all clients
   /// of a round see the same delayed snapshot.
   std::vector<std::pair<int, Tensor>> pending_updates_;
+  /// Whether this round's map broadcast reached each client; a client
+  /// whose copy was lost trains without the regularizer this round.
+  std::vector<char> map_received_;
   Rng noise_rng_;
 };
 
@@ -85,6 +88,8 @@ class RFedAvgPlus : public FederatedAlgorithm {
  private:
   RegularizerOptions reg_;
   DeltaMapStore store_;
+  /// Whether this round's averaged-map broadcast reached each client.
+  std::vector<char> map_received_;
   Rng noise_rng_;
 };
 

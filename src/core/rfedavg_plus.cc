@@ -17,20 +17,25 @@ RFedAvgPlus::RFedAvgPlus(const FlConfig& config, const RegularizerOptions& reg,
                                 : raw_model()->feature_dim()),
       noise_rng_(config.seed ^ 0x7f4a7c159e3779b9ULL) {
   RFED_CHECK_GE(reg_.lambda, 0.0);
+  map_received_.assign(static_cast<size_t>(num_clients()), 1);
 }
 
 void RFedAvgPlus::OnRoundStart(int round, const std::vector<int>& selected) {
   // Server ships each sampled client only its leave-one-out averaged map
   // δ̄^{-k} (Algorithm 2, line 10 input): one map per client, O(d N)
-  // total instead of rFedAvg's O(d N^2).
-  for (size_t i = 0; i < selected.size(); ++i) {
-    comm().Download(store_.BroadcastBytesAveraged());
+  // total instead of rFedAvg's O(d N^2). A client whose copy is lost
+  // trains without the regularizer this round.
+  map_received_.assign(static_cast<size_t>(num_clients()), 0);
+  for (int k : selected) {
+    map_received_[static_cast<size_t>(k)] =
+        channel().Download(store_.BroadcastBytesAveraged()) ? 1 : 0;
   }
 }
 
 Variable RFedAvgPlus::ExtraLoss(int client, const ModelOutput& output,
                                 const Batch& batch) {
   if (reg_.lambda == 0.0) return Variable();
+  if (!map_received_[static_cast<size_t>(client)]) return Variable();
   const Variable& rep =
       reg_.regularize_logits ? output.logits : output.features;
   Variable r = AveragedMmdRegularizer(rep, store_.LeaveOneOutMean(client));
@@ -39,15 +44,20 @@ Variable RFedAvgPlus::ExtraLoss(int client, const ModelOutput& output,
 
 void RFedAvgPlus::OnRoundEnd(int round, const std::vector<int>& selected) {
   // Second synchronization (Algorithm 2, lines 13-16): the server sends
-  // the freshly aggregated global model back; every sampled client
-  // recomputes its map with that *consistent* model and uploads it.
+  // the freshly aggregated global model back; every surviving client
+  // recomputes its map with that *consistent* model and uploads it. Both
+  // legs ride the fault channel: a client that never receives the new
+  // model cannot recompute, and a map upload lost in flight leaves the
+  // store holding that client's previous map — the server's averaged map
+  // is always the mean of the maps it actually *received*.
   for (int k : selected) {
-    ChargeModelDownload();
+    if (!ChargeModelDownload()) continue;
     Tensor delta =
         ComputeClientDelta(k, global_state(), reg_.regularize_logits);
     ApplyDpNoise(reg_.dp, &delta, &noise_rng_);
-    store_.Update(k, std::move(delta));
-    comm().Upload(store_.MapBytes());
+    if (channel().Upload(store_.MapBytes())) {
+      store_.Update(k, std::move(delta));
+    }
   }
 }
 

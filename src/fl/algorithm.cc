@@ -20,7 +20,10 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
       config_(config),
       train_data_(train_data),
       clients_(std::move(clients)),
-      rng_(config.seed) {
+      rng_(config.seed),
+      // The channel draws from its own stream so that enabling faults
+      // never perturbs sampling/batching/init randomness.
+      channel_(config.fault, config.seed ^ 0xfa171c4a11e1ULL, &comm_) {
   RFED_CHECK(train_data_ != nullptr);
   RFED_CHECK(!clients_.empty());
 
@@ -68,9 +71,11 @@ std::vector<int> FederatedAlgorithm::SampleClients() {
   return UniformSelection(n, k, &rng_);
 }
 
-Tensor FederatedAlgorithm::CompressUploadedState(const Tensor& state) {
+Tensor FederatedAlgorithm::CompressUploadedState(const Tensor& state,
+                                                 bool* delivered) {
   if (!compression_enabled_) {
-    ChargeModelUpload();
+    const bool ok = ChargeModelUpload();
+    if (delivered != nullptr) *delivered = ok;
     return state;
   }
   Tensor delta = state;
@@ -78,7 +83,8 @@ Tensor FederatedAlgorithm::CompressUploadedState(const Tensor& state) {
   Rng fork = rng_.Fork();
   Tensor reconstructed = compressor_->RoundTrip(delta, &fork);
   reconstructed.AddInPlace(global_state_);
-  comm_.Upload(compressor_->WireBytes(state.size()));
+  const bool ok = channel_.Upload(compressor_->WireBytes(state.size()));
+  if (delivered != nullptr) *delivered = ok;
   return reconstructed;
 }
 
@@ -142,8 +148,12 @@ Tensor FederatedAlgorithm::ComputeClientDelta(int client, const Tensor& state,
   return MeanRows(use_logits ? out.logits.value() : out.features.value());
 }
 
-void FederatedAlgorithm::ChargeModelDownload() { comm_.Download(model_bytes_); }
-void FederatedAlgorithm::ChargeModelUpload() { comm_.Upload(model_bytes_); }
+bool FederatedAlgorithm::ChargeModelDownload() {
+  return channel_.Download(model_bytes_);
+}
+bool FederatedAlgorithm::ChargeModelUpload() {
+  return channel_.Upload(model_bytes_);
+}
 
 void FederatedAlgorithm::Aggregate(int round, const std::vector<int>& selected,
                                    const std::vector<Tensor>& new_states,
@@ -162,6 +172,7 @@ void FederatedAlgorithm::Aggregate(int round, const std::vector<int>& selected,
 
 RoundResult FederatedAlgorithm::RunRound(int round) {
   comm_.BeginRound();
+  channel_.BeginRound();
   Stopwatch watch;
   std::vector<int> selected = SampleClients();
   // Straggler fault injection: drop sampled clients with the configured
@@ -181,36 +192,49 @@ RoundResult FederatedAlgorithm::RunRound(int round) {
   }
   OnRoundStart(round, selected);
 
+  // Dropout-tolerant round: a client whose model download is lost never
+  // trains; a client whose upload is lost trains for nothing. Only the
+  // survivors — clients whose updates actually reached the server — are
+  // aggregated, with weights renormalized over that set.
+  std::vector<int> survivors;
   std::vector<Tensor> new_states;
-  std::vector<double> losses;
   std::vector<double> start_losses;
+  survivors.reserve(selected.size());
   new_states.reserve(selected.size());
-  losses.reserve(selected.size());
 
   const bool want_start_losses = RequiresStartLosses();
+  double trained_weight = 0.0, trained_loss = 0.0;
   for (int k : selected) {
-    ChargeModelDownload();
+    if (!ChargeModelDownload()) continue;  // broadcast lost: client sits out
+    double start_loss = 0.0;
     if (want_start_losses) {
-      start_losses.push_back(EvaluateLocalLoss(k, global_state_));
+      start_loss = EvaluateLocalLoss(k, global_state_);
     }
     auto [state, loss] = LocalTrain(round, k, global_state_);
-    OnClientTrained(round, k, state);
-    new_states.push_back(CompressUploadedState(state));
-    losses.push_back(loss);
     last_losses_[static_cast<size_t>(k)] = loss;
+    // The weighted mean training loss covers every client that trained,
+    // whether or not its update made it back.
+    const double w = weights_[static_cast<size_t>(k)];
+    trained_weight += w;
+    trained_loss += w * loss;
+    bool delivered = true;
+    Tensor uploaded = CompressUploadedState(state, &delivered);
+    if (!delivered) continue;  // update lost in flight
+    OnClientTrained(round, k, state);
+    survivors.push_back(k);
+    new_states.push_back(std::move(uploaded));
+    if (want_start_losses) start_losses.push_back(start_loss);
   }
 
-  Aggregate(round, selected, new_states, start_losses);
-  OnRoundEnd(round, selected);
-
-  // Weighted mean training loss across the cohort.
-  double weight_sum = 0.0, loss_acc = 0.0;
-  for (size_t i = 0; i < selected.size(); ++i) {
-    const double w = weights_[static_cast<size_t>(selected[i])];
-    weight_sum += w;
-    loss_acc += w * losses[i];
+  if (!survivors.empty()) {
+    Aggregate(round, survivors, new_states, start_losses);
   }
-  return RoundResult{loss_acc / weight_sum, watch.ElapsedSeconds()};
+  // If every update was lost the server keeps w_{t+1} = w_t.
+  OnRoundEnd(round, survivors);
+
+  return RoundResult{trained_weight > 0.0 ? trained_loss / trained_weight
+                                          : 0.0,
+                     watch.ElapsedSeconds()};
 }
 
 }  // namespace rfed

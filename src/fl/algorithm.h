@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/batcher.h"
+#include "fl/channel.h"
 #include "fl/comm.h"
 #include "fl/compression.h"
 #include "fl/types.h"
@@ -44,6 +45,9 @@ class FederatedAlgorithm {
   const FlConfig& config() const { return config_; }
   const Tensor& global_state() const { return global_state_; }
   CommStats& comm() { return comm_; }
+  /// The fault-injecting transport every transfer goes through. With the
+  /// default (fault-free) FaultOptions it is a transparent pass-through.
+  const FaultChannel& channel() const { return channel_; }
 
   /// The scratch model with the *global* state loaded (for evaluation).
   FeatureModel* GlobalModel();
@@ -74,16 +78,20 @@ class FederatedAlgorithm {
   virtual void OnClientTrained(int round, int client,
                                const Tensor& new_state) {}
 
-  /// Aggregates client states into the next global state. The default is
-  /// the FedAvg weighted average with weights renormalized over the
-  /// sampled cohort. `start_losses` holds each client's objective at the
-  /// round-start model when RequiresStartLosses() (q-FedAvg).
+  /// Aggregates client states into the next global state. `selected`
+  /// holds the round's *survivors* — clients whose updates reached the
+  /// server through the fault channel (the full sampled cohort when no
+  /// faults are configured). The default is the FedAvg weighted average
+  /// with weights renormalized over that set, so dropped clients never
+  /// skew the mean. `start_losses` holds each survivor's objective at
+  /// the round-start model when RequiresStartLosses() (q-FedAvg). Not
+  /// called at all if every update was lost (the global state holds).
   virtual void Aggregate(int round, const std::vector<int>& selected,
                          const std::vector<Tensor>& new_states,
                          const std::vector<double>& start_losses);
 
-  /// Called after aggregation (rFedAvg+ runs its second synchronization
-  /// and map refresh here).
+  /// Called after aggregation with the round's survivors (rFedAvg+ runs
+  /// its second synchronization and map refresh here).
   virtual void OnRoundEnd(int round, const std::vector<int>& selected) {}
 
   /// Subclasses that need F_k(w_t) at the round-start model (q-FedAvg)
@@ -112,9 +120,10 @@ class FederatedAlgorithm {
   Tensor ComputeClientDelta(int client, const Tensor& state,
                             bool use_logits = false);
 
-  /// Charges one model download/upload to the communication ledger.
-  void ChargeModelDownload();
-  void ChargeModelUpload();
+  /// Sends one full model through the fault channel (charging the
+  /// ledger); returns true iff the transfer was delivered this round.
+  bool ChargeModelDownload();
+  bool ChargeModelUpload();
 
   std::vector<Variable*> Params() { return model_->Parameters(); }
   int64_t model_bytes() const { return model_bytes_; }
@@ -134,7 +143,13 @@ class FederatedAlgorithm {
   /// Applies the configured upload compressor to (state - global): the
   /// returned state is global + roundtrip(delta). Charges the compressed
   /// wire size instead of the full model when a compressor is active.
-  Tensor CompressUploadedState(const Tensor& state);
+  /// *delivered (may be null) reports whether the upload survived the
+  /// fault channel; an undelivered state must not be aggregated.
+  Tensor CompressUploadedState(const Tensor& state,
+                               bool* delivered = nullptr);
+
+  /// Mutable channel for subclasses routing their own transfers.
+  FaultChannel& channel() { return channel_; }
 
   /// Caps an index list to config.max_examples_per_pass examples
   /// (deterministic prefix after a client-stable shuffle).
@@ -152,6 +167,7 @@ class FederatedAlgorithm {
   std::vector<Batcher> batchers_;
   Rng rng_;
   CommStats comm_;
+  FaultChannel channel_;
   std::unique_ptr<UpdateCompressor> compressor_;
   bool compression_enabled_;
   /// Last reported local loss per client (drives adaptive selection).

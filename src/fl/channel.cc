@@ -1,0 +1,164 @@
+#include "fl/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+
+FaultChannel::FaultChannel(const FaultOptions& options, uint64_t seed,
+                           CommStats* ledger)
+    : options_(options), ledger_(ledger), rng_(seed) {
+  RFED_CHECK(ledger_ != nullptr);
+  RFED_CHECK_GE(options_.drop_prob, 0.0);
+  RFED_CHECK_LE(options_.drop_prob, 1.0);
+  RFED_CHECK_GE(options_.corrupt_prob, 0.0);
+  RFED_CHECK_LE(options_.corrupt_prob, 1.0);
+  RFED_CHECK_GE(options_.duplicate_prob, 0.0);
+  RFED_CHECK_LE(options_.duplicate_prob, 1.0);
+  RFED_CHECK_GE(options_.delay_prob, 0.0);
+  RFED_CHECK_LE(options_.delay_prob, 1.0);
+  RFED_CHECK_GE(options_.max_retries, 0);
+}
+
+void FaultChannel::Charge(ChannelDirection direction, int64_t bytes) {
+  if (direction == ChannelDirection::kDownload) {
+    ledger_->Download(bytes);
+  } else {
+    ledger_->Upload(bytes);
+  }
+}
+
+FaultChannel::Attempt FaultChannel::AttemptOnce(double* latency_ms) {
+  if (options_.drop_prob > 0.0 && rng_.Uniform() < options_.drop_prob) {
+    return Attempt::kDropped;
+  }
+  if (options_.corrupt_prob > 0.0 && rng_.Uniform() < options_.corrupt_prob) {
+    return Attempt::kCorrupted;
+  }
+  if (options_.delay_prob > 0.0 && rng_.Uniform() < options_.delay_prob) {
+    // Exponentially distributed link delay.
+    *latency_ms += -options_.mean_delay_ms * std::log(1.0 - rng_.Uniform());
+  }
+  if (options_.round_timeout_ms > 0.0 &&
+      *latency_ms > options_.round_timeout_ms) {
+    return Attempt::kTimedOut;
+  }
+  return Attempt::kDelivered;
+}
+
+bool FaultChannel::Send(ChannelDirection direction, int64_t bytes) {
+  if (!options_.enabled()) {
+    // Transparent pass-through: same charges, no random draws.
+    Charge(direction, bytes);
+    ++stats_.delivered;
+    ++stats_.round_delivered;
+    return true;
+  }
+  double latency_ms = 0.0;
+  const int attempts = 1 + options_.max_retries;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retried;
+      ++stats_.round_retried;
+      latency_ms += BackoffDelayMs(options_.backoff, attempt - 1, &rng_);
+      if (options_.round_timeout_ms > 0.0 &&
+          latency_ms > options_.round_timeout_ms) {
+        ++stats_.timed_out;  // the deadline passed while backing off
+        break;
+      }
+    }
+    Charge(direction, bytes);  // every attempt occupies the wire
+    switch (AttemptOnce(&latency_ms)) {
+      case Attempt::kDelivered:
+        if (options_.duplicate_prob > 0.0 &&
+            rng_.Uniform() < options_.duplicate_prob) {
+          Charge(direction, bytes);  // the redundant copy also costs
+          ++stats_.duplicated;
+        }
+        ++stats_.delivered;
+        ++stats_.round_delivered;
+        return true;
+      case Attempt::kDropped:
+        break;
+      case Attempt::kCorrupted:
+        ++stats_.corrupted;
+        break;
+      case Attempt::kTimedOut:
+        ++stats_.timed_out;
+        break;
+    }
+  }
+  ++stats_.dropped;
+  ++stats_.round_dropped;
+  return false;
+}
+
+std::optional<FlMessage> FaultChannel::Transmit(const FlMessage& message,
+                                                ChannelDirection direction) {
+  std::vector<uint8_t> wire;
+  message.EncodeTo(&wire);
+  const int64_t bytes = static_cast<int64_t>(wire.size());
+  if (!options_.enabled()) {
+    Charge(direction, bytes);
+    ++stats_.delivered;
+    ++stats_.round_delivered;
+    size_t offset = 0;
+    return FlMessage::Decode(wire, &offset);
+  }
+  double latency_ms = 0.0;
+  const int attempts = 1 + options_.max_retries;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retried;
+      ++stats_.round_retried;
+      latency_ms += BackoffDelayMs(options_.backoff, attempt - 1, &rng_);
+      if (options_.round_timeout_ms > 0.0 &&
+          latency_ms > options_.round_timeout_ms) {
+        ++stats_.timed_out;
+        break;
+      }
+    }
+    Charge(direction, bytes);
+    if (options_.drop_prob > 0.0 && rng_.Uniform() < options_.drop_prob) {
+      continue;  // lost in flight; resend after backoff
+    }
+    std::vector<uint8_t> received = wire;
+    if (options_.corrupt_prob > 0.0 &&
+        rng_.Uniform() < options_.corrupt_prob) {
+      // Flip one random bit of the actual wire bytes; detection is the
+      // receive-side checksum's job, not the lottery's.
+      const size_t byte =
+          static_cast<size_t>(rng_.UniformInt(static_cast<int>(received.size())));
+      received[byte] ^= static_cast<uint8_t>(1u << rng_.UniformInt(8));
+    }
+    if (options_.delay_prob > 0.0 && rng_.Uniform() < options_.delay_prob) {
+      latency_ms += -options_.mean_delay_ms * std::log(1.0 - rng_.Uniform());
+    }
+    if (options_.round_timeout_ms > 0.0 &&
+        latency_ms > options_.round_timeout_ms) {
+      ++stats_.timed_out;
+      continue;
+    }
+    size_t offset = 0;
+    FlMessage decoded;
+    if (!FlMessage::TryDecode(received, &offset, &decoded)) {
+      ++stats_.corrupted;  // checksum rejected the mangled bytes
+      continue;
+    }
+    if (options_.duplicate_prob > 0.0 &&
+        rng_.Uniform() < options_.duplicate_prob) {
+      Charge(direction, bytes);
+      ++stats_.duplicated;
+    }
+    ++stats_.delivered;
+    ++stats_.round_delivered;
+    return decoded;
+  }
+  ++stats_.dropped;
+  ++stats_.round_dropped;
+  return std::nullopt;
+}
+
+}  // namespace rfed

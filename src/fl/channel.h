@@ -1,0 +1,124 @@
+#ifndef RFED_FL_CHANNEL_H_
+#define RFED_FL_CHANNEL_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "fl/comm.h"
+#include "fl/message.h"
+#include "util/backoff.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Knobs of the simulated transport's fault model. All probabilities are
+/// per *attempt*; with everything at zero the channel is a transparent
+/// pass-through that charges the CommStats ledger exactly like the
+/// direct calls it replaced and consumes no random draws, so fault-free
+/// runs are bit-identical to the pre-channel simulator.
+struct FaultOptions {
+  double drop_prob = 0.0;       ///< message silently lost in flight
+  double corrupt_prob = 0.0;    ///< payload bit-flipped (checksum catches it)
+  double duplicate_prob = 0.0;  ///< delivered twice; the copy costs bandwidth
+  double delay_prob = 0.0;      ///< message held up by a straggling link
+  double mean_delay_ms = 50.0;  ///< mean of the exponential delay draw
+  /// Messages whose accumulated latency (delays + retry backoff) exceeds
+  /// this miss the round and count as timed out; 0 = wait forever.
+  double round_timeout_ms = 250.0;
+  /// Retransmissions attempted after a *detected* failure (corruption or
+  /// timeout) or a loss the sender infers from a missing ack. 0 = none.
+  int max_retries = 0;
+  BackoffPolicy backoff;  ///< pacing between retransmissions
+
+  bool enabled() const {
+    return drop_prob > 0.0 || corrupt_prob > 0.0 || duplicate_prob > 0.0 ||
+           delay_prob > 0.0;
+  }
+};
+
+/// Which way a transfer flows; determines the CommStats side it charges.
+enum class ChannelDirection { kDownload, kUpload };
+
+/// Message-level delivery counters, cumulative and per-round. One
+/// "delivered" or "dropped" tick per *logical* message; retries,
+/// duplicates, corruptions and timeouts count the individual attempts.
+struct ChannelStats {
+  int64_t delivered = 0;
+  int64_t dropped = 0;    ///< logical messages that never arrived
+  int64_t retried = 0;    ///< retransmission attempts
+  int64_t corrupted = 0;  ///< attempts rejected by the checksum
+  int64_t duplicated = 0; ///< redundant copies delivered
+  int64_t timed_out = 0;  ///< attempts that missed the round deadline
+  int64_t round_delivered = 0;
+  int64_t round_dropped = 0;
+  int64_t round_retried = 0;
+
+  void BeginRound() {
+    round_delivered = 0;
+    round_dropped = 0;
+    round_retried = 0;
+  }
+};
+
+/// Simulated lossy transport between the server and its clients. Every
+/// transfer an algorithm used to charge straight to CommStats now goes
+/// through Send(), which plays a seeded fault lottery per attempt: the
+/// message can be dropped, corrupted (detected by the FlMessage
+/// checksum), delayed past the round deadline, or duplicated. Failures
+/// are retried up to FaultOptions::max_retries times under the
+/// exponential-backoff policy; every attempt — including failed ones and
+/// duplicate copies — occupies the wire and is charged to the ledger.
+///
+/// The channel owns its own RNG stream (derived from the config seed),
+/// so enabling faults never perturbs the training randomness, and a
+/// fixed seed reproduces the exact fault pattern.
+class FaultChannel {
+ public:
+  FaultChannel(const FaultOptions& options, uint64_t seed, CommStats* ledger);
+
+  /// Attempts delivery of one logical message of `bytes` bytes. Returns
+  /// true iff a copy arrived within the round deadline.
+  bool Send(ChannelDirection direction, int64_t bytes);
+
+  bool Download(int64_t bytes) {
+    return Send(ChannelDirection::kDownload, bytes);
+  }
+  bool Upload(int64_t bytes) { return Send(ChannelDirection::kUpload, bytes); }
+
+  /// Full-fidelity transmission: encodes `message`, injects the faults
+  /// into the actual bytes (corruption = real bit flips), and decodes on
+  /// the receive side with checksum verification. Returns the received
+  /// message, or nullopt if every attempt was lost, rejected, or late.
+  std::optional<FlMessage> Transmit(const FlMessage& message,
+                                    ChannelDirection direction);
+
+  /// Resets the per-round delivery counters (and the ledger's, if the
+  /// caller has not already done so, is harmless to repeat).
+  void BeginRound() { stats_.BeginRound(); }
+
+  const ChannelStats& stats() const { return stats_; }
+  const FaultOptions& options() const { return options_; }
+
+  /// Swaps the fault model mid-run (tests use this to toggle regimes);
+  /// the RNG stream and counters carry over.
+  void set_options(const FaultOptions& options) { options_ = options; }
+
+ private:
+  /// Outcome of one attempt of the per-attempt fault lottery.
+  enum class Attempt { kDelivered, kDropped, kCorrupted, kTimedOut };
+
+  /// Plays the lottery for one attempt, adding any simulated latency to
+  /// *latency_ms.
+  Attempt AttemptOnce(double* latency_ms);
+
+  void Charge(ChannelDirection direction, int64_t bytes);
+
+  FaultOptions options_;
+  CommStats* ledger_;
+  Rng rng_;
+  ChannelStats stats_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_CHANNEL_H_

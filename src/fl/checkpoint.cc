@@ -33,14 +33,18 @@ Tensor LoadTensorFromFile(const std::string& path) {
 
 void SaveHistoryCsv(const RunHistory& history, const std::string& path) {
   CsvWriter csv(path, {"round", "train_loss", "test_accuracy",
-                       "round_seconds", "round_bytes"});
+                       "round_seconds", "round_bytes", "delivered",
+                       "dropped", "retried"});
   for (const RoundMetrics& r : history.rounds) {
     csv.WriteRow({std::to_string(r.round), StrFormat("%.6f", r.train_loss),
                   std::isnan(r.test_accuracy)
                       ? ""
                       : StrFormat("%.6f", r.test_accuracy),
                   StrFormat("%.6f", r.round_seconds),
-                  std::to_string(r.round_bytes)});
+                  std::to_string(r.round_bytes),
+                  std::to_string(r.delivered_messages),
+                  std::to_string(r.dropped_messages),
+                  std::to_string(r.retried_messages)});
   }
 }
 

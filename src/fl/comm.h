@@ -16,6 +16,7 @@ class CommStats {
     total_down_bytes_ += bytes;
     round_down_bytes_ += bytes;
     ++down_messages_;
+    ++round_down_messages_;
   }
 
   /// Client -> server transfer.
@@ -23,12 +24,16 @@ class CommStats {
     total_up_bytes_ += bytes;
     round_up_bytes_ += bytes;
     ++up_messages_;
+    ++round_up_messages_;
   }
 
-  /// Resets the per-round counters (call at round start).
+  /// Resets the per-round counters (call at round start). Cumulative
+  /// totals are unaffected; both byte *and* message counters reset.
   void BeginRound() {
     round_down_bytes_ = 0;
     round_up_bytes_ = 0;
+    round_down_messages_ = 0;
+    round_up_messages_ = 0;
   }
 
   int64_t total_down_bytes() const { return total_down_bytes_; }
@@ -39,6 +44,11 @@ class CommStats {
   int64_t round_bytes() const { return round_down_bytes_ + round_up_bytes_; }
   int64_t down_messages() const { return down_messages_; }
   int64_t up_messages() const { return up_messages_; }
+  int64_t round_down_messages() const { return round_down_messages_; }
+  int64_t round_up_messages() const { return round_up_messages_; }
+  int64_t round_messages() const {
+    return round_down_messages_ + round_up_messages_;
+  }
 
  private:
   int64_t total_down_bytes_ = 0;
@@ -47,6 +57,8 @@ class CommStats {
   int64_t round_up_bytes_ = 0;
   int64_t down_messages_ = 0;
   int64_t up_messages_ = 0;
+  int64_t round_down_messages_ = 0;
+  int64_t round_up_messages_ = 0;
 };
 
 }  // namespace rfed

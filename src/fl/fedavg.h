@@ -7,7 +7,10 @@ namespace rfed {
 
 /// Vanilla Federated Averaging (McMahan et al., AISTATS'17): E local
 /// SGD steps per sampled client, weighted parameter average at the
-/// server. This is exactly the FederatedAlgorithm skeleton with no hooks.
+/// server. This is exactly the FederatedAlgorithm skeleton with no
+/// hooks; under an unreliable channel (FlConfig::fault) the skeleton's
+/// aggregation renormalizes the p_k over whichever clients' updates
+/// actually arrive, so FedAvg is dropout-tolerant for free.
 class FedAvg : public FederatedAlgorithm {
  public:
   FedAvg(const FlConfig& config, const Dataset* train_data,

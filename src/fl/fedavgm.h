@@ -10,7 +10,9 @@ namespace rfed {
 /// applies a momentum update
 ///   m <- beta * m + (x - avg_k y_k),   x+ = x - m,
 /// which damps the round-to-round oscillation non-IID cohorts induce —
-/// a frequently used baseline knob in the non-IID FL literature.
+/// a frequently used baseline knob in the non-IID FL literature. Under
+/// channel faults the pseudo-gradient averages the survivors' models
+/// (renormalized weights); a fully lost round simply leaves m as is.
 class FedAvgM : public FederatedAlgorithm {
  public:
   FedAvgM(const FlConfig& config, double server_momentum,

@@ -13,6 +13,9 @@ namespace rfed {
 /// averaging and rescales by the effective step count:
 ///   d_k = (x - y_k) / tau_k,   x+ = x - tau_eff * sum_k p_k d_k,
 ///   tau_eff = sum_k p_k tau_k.
+/// Under channel faults both tau_eff and the normalized average are
+/// taken over the round's survivors with renormalized p_k, so clients
+/// whose updates never arrived cannot skew the effective step count.
 class FedNova : public FederatedAlgorithm {
  public:
   /// max_local_steps caps per-client epochs so a huge client cannot

@@ -7,7 +7,10 @@ namespace rfed {
 
 /// FedProx (Li et al., MLSys'20): FedAvg plus a proximal term
 /// (mu/2)||w - w_global||^2 in every local objective, implemented as a
-/// gradient correction mu * (w - w_global) after backward.
+/// gradient correction mu * (w - w_global) after backward. FedProx was
+/// designed for partial participation, and that is exactly what the
+/// fault channel produces: aggregation runs over the round's survivors
+/// with renormalized weights, no special handling needed here.
 class FedProx : public FederatedAlgorithm {
  public:
   FedProx(const FlConfig& config, double mu, const Dataset* train_data,

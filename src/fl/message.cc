@@ -8,6 +8,11 @@
 namespace rfed {
 namespace {
 
+// Fixed-size prefix: kind, round, sender, payload count (int32 each)
+// plus the payload byte length (int64).
+constexpr size_t kHeaderBytes = 4 * sizeof(int32_t) + sizeof(int64_t);
+constexpr size_t kChecksumBytes = sizeof(uint32_t);
+
 template <typename T>
 void AppendRaw(const T& value, std::vector<uint8_t>* out) {
   const auto* p = reinterpret_cast<const uint8_t*>(&value);
@@ -23,26 +28,54 @@ T ReadRaw(const std::vector<uint8_t>& buf, size_t* offset) {
   return value;
 }
 
+template <typename T>
+T PeekRaw(const std::vector<uint8_t>& buf, size_t offset) {
+  T value;
+  std::memcpy(&value, buf.data() + offset, sizeof(T));
+  return value;
+}
+
+// 32-bit FNV-1a over [begin, begin + length).
+uint32_t Fnv1a(const uint8_t* begin, size_t length) {
+  uint32_t hash = 2166136261u;
+  for (size_t i = 0; i < length; ++i) {
+    hash ^= begin[i];
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
 }  // namespace
 
 int64_t FlMessage::EncodedBytes() const {
-  int64_t bytes = 3 * static_cast<int64_t>(sizeof(int32_t)) +
-                  static_cast<int64_t>(sizeof(int32_t));  // payload count
+  int64_t bytes = static_cast<int64_t>(kHeaderBytes + kChecksumBytes);
   for (const Tensor& t : payload) bytes += SerializedBytes(t);
   return bytes;
 }
 
 void FlMessage::EncodeTo(std::vector<uint8_t>* out) const {
+  const size_t start = out->size();
+  int64_t payload_bytes = 0;
+  for (const Tensor& t : payload) payload_bytes += SerializedBytes(t);
   AppendRaw<int32_t>(static_cast<int32_t>(kind), out);
   AppendRaw<int32_t>(round, out);
   AppendRaw<int32_t>(sender, out);
   AppendRaw<int32_t>(static_cast<int32_t>(payload.size()), out);
+  AppendRaw<int64_t>(payload_bytes, out);
   for (const Tensor& t : payload) SerializeTensor(t, out);
+  AppendRaw<uint32_t>(Fnv1a(out->data() + start, out->size() - start), out);
+}
+
+uint32_t FlMessage::Checksum() const {
+  std::vector<uint8_t> buffer;
+  EncodeTo(&buffer);
+  return PeekRaw<uint32_t>(buffer, buffer.size() - kChecksumBytes);
 }
 
 FlMessage FlMessage::Decode(const std::vector<uint8_t>& buffer,
                             size_t* offset) {
   FlMessage message;
+  const size_t start = *offset;
   const int32_t kind = ReadRaw<int32_t>(buffer, offset);
   RFED_CHECK_GE(kind, 0);
   RFED_CHECK_LE(kind, 4);
@@ -51,11 +84,47 @@ FlMessage FlMessage::Decode(const std::vector<uint8_t>& buffer,
   message.sender = ReadRaw<int32_t>(buffer, offset);
   const int32_t count = ReadRaw<int32_t>(buffer, offset);
   RFED_CHECK_GE(count, 0);
+  const int64_t payload_bytes = ReadRaw<int64_t>(buffer, offset);
+  RFED_CHECK_GE(payload_bytes, 0);
+  const size_t body_end = start + kHeaderBytes +
+                          static_cast<size_t>(payload_bytes);
+  RFED_CHECK_LE(body_end + kChecksumBytes, buffer.size());
   message.payload.reserve(static_cast<size_t>(count));
   for (int32_t i = 0; i < count; ++i) {
     message.payload.push_back(DeserializeTensor(buffer, offset));
   }
+  RFED_CHECK_EQ(*offset, body_end);
+  const uint32_t stored = ReadRaw<uint32_t>(buffer, offset);
+  RFED_CHECK_EQ(stored, Fnv1a(buffer.data() + start, body_end - start))
+      << "message checksum mismatch";
   return message;
+}
+
+bool FlMessage::TryDecode(const std::vector<uint8_t>& buffer, size_t* offset,
+                          FlMessage* out) {
+  const size_t start = *offset;
+  if (start > buffer.size() ||
+      buffer.size() - start < kHeaderBytes + kChecksumBytes) {
+    return false;
+  }
+  const int32_t kind = PeekRaw<int32_t>(buffer, start);
+  const int32_t count = PeekRaw<int32_t>(buffer, start + 3 * sizeof(int32_t));
+  const int64_t payload_bytes =
+      PeekRaw<int64_t>(buffer, start + 4 * sizeof(int32_t));
+  if (kind < 0 || kind > 4 || count < 0 || payload_bytes < 0) return false;
+  const size_t remaining = buffer.size() - start - kHeaderBytes -
+                           kChecksumBytes;
+  if (static_cast<uint64_t>(payload_bytes) > remaining) return false;
+  const size_t body_end = start + kHeaderBytes +
+                          static_cast<size_t>(payload_bytes);
+  const uint32_t stored = PeekRaw<uint32_t>(buffer, body_end);
+  if (stored != Fnv1a(buffer.data() + start, body_end - start)) return false;
+  // The checksum matched, so the bytes are exactly what EncodeTo wrote;
+  // the aborting decoder is now safe to run.
+  size_t cursor = start;
+  *out = Decode(buffer, &cursor);
+  *offset = cursor;
+  return true;
 }
 
 }  // namespace rfed

@@ -15,6 +15,12 @@ namespace rfed {
 /// give a faithful round-trippable serialization for checkpointing runs
 /// or replaying traffic, and its size is asserted against the ledger in
 /// tests.
+///
+/// Wire layout: [kind, round, sender, payload_count : int32][payload_bytes
+/// : int64][serialized tensors][checksum : uint32]. The trailing FNV-1a
+/// checksum covers everything before it, so any corruption the simulated
+/// channel injects — including flips inside the length fields — is
+/// detected by TryDecode instead of being silently aggregated.
 struct FlMessage {
   enum class Kind : int32_t {
     kModelDownload = 0,   ///< server -> client: global model
@@ -32,13 +38,23 @@ struct FlMessage {
   /// Serialized size in bytes.
   int64_t EncodedBytes() const;
 
-  /// Appends the encoding to *out.
+  /// Appends the encoding (including the trailing checksum) to *out.
   void EncodeTo(std::vector<uint8_t>* out) const;
 
+  /// The FNV-1a checksum this message carries on the wire.
+  uint32_t Checksum() const;
+
   /// Decodes one message starting at *offset (advanced past it).
-  /// Aborts on malformed input.
+  /// Aborts on malformed input (truncation, bad kind, checksum mismatch).
   static FlMessage Decode(const std::vector<uint8_t>& buffer,
                           size_t* offset);
+
+  /// Non-aborting variant for untrusted bytes (the fault channel's
+  /// receive path): returns false — leaving *out and *offset unchanged —
+  /// if the buffer is truncated, a field is out of range, or the checksum
+  /// does not match the carried bytes. Never aborts, whatever the input.
+  static bool TryDecode(const std::vector<uint8_t>& buffer, size_t* offset,
+                        FlMessage* out);
 };
 
 }  // namespace rfed

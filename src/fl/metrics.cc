@@ -44,6 +44,24 @@ int64_t RunHistory::TotalBytes() const {
   return total;
 }
 
+int64_t RunHistory::TotalDelivered() const {
+  int64_t total = 0;
+  for (const auto& r : rounds) total += r.delivered_messages;
+  return total;
+}
+
+int64_t RunHistory::TotalDropped() const {
+  int64_t total = 0;
+  for (const auto& r : rounds) total += r.dropped_messages;
+  return total;
+}
+
+int64_t RunHistory::TotalRetried() const {
+  int64_t total = 0;
+  for (const auto& r : rounds) total += r.retried_messages;
+  return total;
+}
+
 MeanStd ComputeMeanStd(const std::vector<double>& values) {
   RFED_CHECK(!values.empty());
   double sum = 0.0;

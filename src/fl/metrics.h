@@ -14,6 +14,11 @@ struct RoundMetrics {
   double test_accuracy = 0.0;  ///< global-model accuracy (NaN if not evaluated)
   double round_seconds = 0.0;  ///< local-computation wall time of the round
   int64_t round_bytes = 0;     ///< server<->clients traffic this round
+  // Message-level delivery outcomes on the fault channel this round
+  // (all delivered / zero dropped when no faults are configured).
+  int64_t delivered_messages = 0;  ///< logical messages that arrived
+  int64_t dropped_messages = 0;    ///< logical messages lost for good
+  int64_t retried_messages = 0;    ///< retransmission attempts
 };
 
 /// Full training history of one run.
@@ -32,6 +37,10 @@ struct RunHistory {
   double MeanRoundSeconds() const;
   /// Total communicated bytes.
   int64_t TotalBytes() const;
+  /// Delivery totals over the run (fault-channel accounting).
+  int64_t TotalDelivered() const;
+  int64_t TotalDropped() const;
+  int64_t TotalRetried() const;
 };
 
 /// Mean and (population) standard deviation of a sample; the tables

@@ -11,7 +11,9 @@ namespace rfed {
 /// exponent q) and normalizes by the estimated Lipschitz terms:
 ///   Delta_k = L (w_t - w_k),   h_k = q F_k^{q-1} ||Delta_k||^2 + L F_k^q
 ///   w_{t+1} = w_t - sum_k F_k^q Delta_k / sum_k h_k,   L = 1 / lr.
-/// q = 0 recovers (an unweighted variant of) FedAvg.
+/// q = 0 recovers (an unweighted variant of) FedAvg. Under channel
+/// faults both sums run over the round's survivors only — start_losses
+/// arrives already aligned with the surviving cohort.
 class QFedAvg : public FederatedAlgorithm {
  public:
   QFedAvg(const FlConfig& config, double q, const Dataset* train_data,

@@ -17,9 +17,12 @@ Scaffold::Scaffold(const FlConfig& config, const Dataset* train_data,
 
 void Scaffold::OnRoundStart(int round, const std::vector<int>& selected) {
   round_start_state_ = global_state();
-  // The server ships c alongside the model to every sampled client.
+  // The server ships c alongside the model to every sampled client. A
+  // lost copy leaves that client correcting with its (slowly moving)
+  // stale view of c — the standard straggler approximation — so delivery
+  // is charged but not otherwise acted on.
   for (size_t i = 0; i < selected.size(); ++i) {
-    comm().Download(model_bytes());
+    channel().Download(model_bytes());
   }
 }
 
@@ -42,16 +45,17 @@ void Scaffold::OnClientTrained(int round, int client,
   drift.SubInPlace(new_state);  // x - y_k
   ck_new.Axpy(static_cast<float>(scale), drift);
 
-  // Server-side c update uses the cohort mean of (c_k+ - c_k) weighted by
-  // the sampling fraction |S|/N; with per-client application that is
-  // 1/N per trained client.
-  Tensor delta_c = ck_new;
-  delta_c.SubInPlace(ck);
-  global_control_.Axpy(1.0f / static_cast<float>(num_clients()), delta_c);
+  // Client uploads its refreshed control variate; the client-side c_k
+  // refresh happens regardless, but the server-side c update — the
+  // cohort mean of (c_k+ - c_k) weighted by |S|/N, i.e. 1/N per trained
+  // client — only applies when the upload actually arrives.
+  const bool delivered = channel().Upload(model_bytes());
+  if (delivered) {
+    Tensor delta_c = ck_new;
+    delta_c.SubInPlace(ck);
+    global_control_.Axpy(1.0f / static_cast<float>(num_clients()), delta_c);
+  }
   ck = std::move(ck_new);
-
-  // Client uploads its refreshed control variate.
-  comm().Upload(model_bytes());
 }
 
 }  // namespace rfed

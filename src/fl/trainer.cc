@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "nn/loss.h"
 #include "util/check.h"
@@ -80,6 +81,11 @@ RunHistory FederatedTrainer::Run(int rounds) {
     metrics.train_loss = result.train_loss;
     metrics.round_seconds = result.seconds;
     metrics.round_bytes = algorithm_->comm().round_bytes();
+    const ChannelStats& ch =
+        std::as_const(*algorithm_).channel().stats();
+    metrics.delivered_messages = ch.round_delivered;
+    metrics.dropped_messages = ch.round_dropped;
+    metrics.retried_messages = ch.round_retried;
     const bool eval_now =
         (round % options_.eval_every == 0) || round == rounds - 1;
     metrics.test_accuracy = eval_now ? EvaluateGlobal() : std::nan("");

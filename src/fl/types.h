@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fl/channel.h"
 #include "nn/optimizer.h"
 
 namespace rfed {
@@ -43,6 +44,12 @@ struct FlConfig {
   /// round is wasted and the server aggregates over the survivors. At
   /// least one client always survives. 0 disables the fault model.
   double dropout_prob = 0.0;
+  /// Message-level fault injection (see fl/channel.h): every simulated
+  /// transfer can be dropped, corrupted, duplicated, or delayed past the
+  /// round deadline, with retry + backoff. All algorithms aggregate over
+  /// whichever clients' updates actually arrive. Defaults to a
+  /// transparent channel (no faults, bit-identical to the direct path).
+  FaultOptions fault;
 };
 
 }  // namespace rfed

@@ -1,0 +1,29 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+
+double BackoffDelayMs(const BackoffPolicy& policy, int attempt, Rng* rng) {
+  RFED_CHECK_GE(attempt, 0);
+  RFED_CHECK_GT(policy.initial_ms, 0.0);
+  RFED_CHECK_GE(policy.multiplier, 1.0);
+  RFED_CHECK_GE(policy.jitter, 0.0);
+  RFED_CHECK_LT(policy.jitter, 1.0);
+  // Grow in the cap's domain to avoid overflow for large attempt counts.
+  double delay = policy.initial_ms;
+  for (int i = 0; i < attempt && delay < policy.max_ms; ++i) {
+    delay *= policy.multiplier;
+  }
+  delay = std::min(delay, policy.max_ms);
+  if (policy.jitter > 0.0) {
+    RFED_CHECK(rng != nullptr);
+    delay *= 1.0 + policy.jitter * (2.0 * rng->Uniform() - 1.0);
+  }
+  return std::min(delay, policy.max_ms);
+}
+
+}  // namespace rfed

@@ -1,0 +1,27 @@
+#ifndef RFED_UTIL_BACKOFF_H_
+#define RFED_UTIL_BACKOFF_H_
+
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Exponential-backoff schedule for retransmission policies. Attempt i
+/// (0-based) waits initial_ms * multiplier^i, capped at max_ms, with an
+/// optional uniform jitter of +/- jitter * delay around the nominal
+/// value. All randomness comes from the caller's Rng, so the schedule is
+/// deterministic under a fixed seed.
+struct BackoffPolicy {
+  double initial_ms = 10.0;  ///< delay before the first retry
+  double multiplier = 2.0;   ///< geometric growth factor
+  double max_ms = 1000.0;    ///< hard cap on any single delay
+  double jitter = 0.0;       ///< fraction in [0, 1) of the delay randomized
+};
+
+/// Delay in milliseconds before retry `attempt` (0-based). `rng` is only
+/// consulted when policy.jitter > 0, so jitter-free schedules consume no
+/// random draws. The returned value is always in [0, policy.max_ms].
+double BackoffDelayMs(const BackoffPolicy& policy, int attempt, Rng* rng);
+
+}  // namespace rfed
+
+#endif  // RFED_UTIL_BACKOFF_H_

@@ -112,6 +112,29 @@ TEST(CommStatsTest, AccumulatesAndResetsRounds) {
   EXPECT_EQ(comm.up_messages(), 1);
 }
 
+TEST(CommStatsTest, BeginRoundResetsMessageCounters) {
+  // Regression: BeginRound() used to reset only the byte counters while
+  // down_messages_/up_messages_ were cumulative-only; per-round message
+  // counts must reset too, without touching the cumulative totals.
+  CommStats comm;
+  comm.BeginRound();
+  comm.Download(100);
+  comm.Upload(40);
+  comm.Upload(1);
+  EXPECT_EQ(comm.round_down_messages(), 1);
+  EXPECT_EQ(comm.round_up_messages(), 2);
+  EXPECT_EQ(comm.round_messages(), 3);
+  comm.BeginRound();
+  EXPECT_EQ(comm.round_down_messages(), 0);
+  EXPECT_EQ(comm.round_up_messages(), 0);
+  EXPECT_EQ(comm.round_messages(), 0);
+  EXPECT_EQ(comm.down_messages(), 1);  // cumulative totals survive
+  EXPECT_EQ(comm.up_messages(), 2);
+  comm.Download(5);
+  EXPECT_EQ(comm.round_down_messages(), 1);
+  EXPECT_EQ(comm.down_messages(), 2);
+}
+
 TEST(MetricsTest, RoundsToReachAndFinalAccuracy) {
   RunHistory history;
   history.rounds = {{0, 1.0, 0.2, 0.1, 10},

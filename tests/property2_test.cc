@@ -5,15 +5,21 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <string>
 #include <tuple>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "core/rfedavg.h"
 #include "data/partition.h"
 #include "data/synthetic_images.h"
 #include "fl/checkpoint.h"
 #include "fl/compression.h"
+#include "fl/fedavg.h"
 #include "fl/fedavgm.h"
+#include "fl/fednova.h"
 #include "fl/secure_agg.h"
 #include "fl/trainer.h"
 #include "nn/optimizer.h"
@@ -167,6 +173,149 @@ TEST_P(FedAvgMTest, LearnsWithServerMomentum) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Betas, FedAvgMTest, ::testing::Values(0.0, 0.5, 0.9));
+
+// ---- Fault-channel properties ----
+
+namespace fault_props {
+
+struct SmallFixture {
+  SmallFixture()
+      : rng(21),
+        data(GenerateImageData(MnistLikeProfile(), 300, 100, &rng)),
+        split(SimilarityPartition(data.train, 4, 0.0, &rng)) {
+    for (auto& idx : split.client_indices) views.push_back({idx, {}});
+    CnnConfig mc;
+    mc.conv1_channels = 2;
+    mc.conv2_channels = 4;
+    mc.feature_dim = 8;
+    factory = MakeCnnFactory(mc);
+  }
+  Rng rng;
+  SyntheticImageData data;
+  ClientSplit split;
+  std::vector<ClientView> views;
+  ModelFactory factory;
+};
+
+FlConfig SmallConfig() {
+  FlConfig config;
+  config.local_steps = 2;
+  config.batch_size = 8;
+  config.lr = 0.05;
+  config.seed = 13;
+  config.max_examples_per_pass = 64;
+  return config;
+}
+
+}  // namespace fault_props
+
+// Property: with every fault probability at zero, a run through the
+// fault channel is bit-identical to the seed path — even with a retry
+// budget and jittered backoff configured, the channel must consume no
+// randomness and charge the exact same bytes.
+TEST(FaultPathPropertyTest, ZeroProbabilitiesAreBitIdenticalToSeedPath) {
+  using fault_props::SmallConfig;
+  fault_props::SmallFixture fx1, fx2;
+  FlConfig plain = SmallConfig();
+  FlConfig routed = SmallConfig();
+  routed.fault.max_retries = 3;
+  routed.fault.backoff.jitter = 0.5;
+  routed.fault.round_timeout_ms = 1.0;  // irrelevant: nothing ever fails
+  FedAvg a(plain, &fx1.data.train, fx1.views, fx1.factory);
+  FedAvg b(routed, &fx2.data.train, fx2.views, fx2.factory);
+  for (int r = 0; r < 3; ++r) {
+    a.RunRound(r);
+    b.RunRound(r);
+  }
+  EXPECT_TRUE(AllClose(a.global_state(), b.global_state(), 0.0f));
+  EXPECT_EQ(a.comm().total_bytes(), b.comm().total_bytes());
+  EXPECT_EQ(a.comm().down_messages(), b.comm().down_messages());
+  EXPECT_EQ(a.comm().up_messages(), b.comm().up_messages());
+  EXPECT_EQ(std::as_const(b).channel().stats().dropped, 0);
+  EXPECT_EQ(std::as_const(b).channel().stats().retried, 0);
+}
+
+// Property: whatever the drop pattern, aggregation weights over the
+// survivors renormalize to 1. With lr = 0 every client returns the
+// round-start state, so any weight mass lost to dropped clients would
+// shrink the aggregate; invariance of the global state across faulty
+// rounds is exactly the sum-to-1 property.
+class DropRenormalizationTest
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(DropRenormalizationTest, SurvivorWeightsSumToOne) {
+  using fault_props::SmallConfig;
+  auto [name, drop_prob] = GetParam();
+  fault_props::SmallFixture fx;
+  FlConfig config = SmallConfig();
+  config.lr = 0.0;
+  config.fault.drop_prob = drop_prob;
+  config.fault.max_retries = 1;
+  config.fault.round_timeout_ms = 0.0;
+  std::unique_ptr<FederatedAlgorithm> algo;
+  const std::string algo_name = name;
+  if (algo_name == "fedavg") {
+    algo = std::make_unique<FedAvg>(config, &fx.data.train, fx.views,
+                                    fx.factory);
+  } else if (algo_name == "fedavgm") {
+    algo = std::make_unique<FedAvgM>(config, 0.9, &fx.data.train, fx.views,
+                                     fx.factory);
+  } else {
+    algo = std::make_unique<FedNova>(config, 4, &fx.data.train, fx.views,
+                                     fx.factory);
+  }
+  const Tensor before = algo->global_state();
+  for (int r = 0; r < 5; ++r) algo->RunRound(r);
+  EXPECT_TRUE(AllClose(algo->global_state(), before, 1e-5f))
+      << name << " drop " << drop_prob;
+  if (drop_prob > 0.0) {
+    EXPECT_GT(std::as_const(*algo).channel().stats().dropped, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DropRenormalizationTest,
+    ::testing::Combine(::testing::Values("fedavg", "fedavgm", "fednova"),
+                       ::testing::Values(0.0, 0.3, 0.6)));
+
+// Property: under any drop pattern, rFedAvg+'s averaged regularization
+// target is the mean of the maps the server actually *received* — the
+// leave-one-out mean must always agree with a manual average over the
+// store's current (received-only) contents.
+TEST(FaultPathPropertyTest, RFedAvgPlusAveragedMapIsMeanOfReceivedMaps) {
+  using fault_props::SmallConfig;
+  fault_props::SmallFixture fx;
+  FlConfig config = SmallConfig();
+  config.fault.drop_prob = 0.35;
+  config.fault.max_retries = 2;
+  config.fault.round_timeout_ms = 0.0;
+  RegularizerOptions reg;
+  reg.lambda = 0.01;
+  RFedAvgPlus algo(config, reg, &fx.data.train, fx.views, fx.factory);
+  TrainerOptions options;
+  options.eval_max_examples = 100;
+  options.eval_every = 4;
+  FederatedTrainer trainer(&algo, &fx.data.test, options);
+  RunHistory history = trainer.Run(4);
+
+  const DeltaMapStore& store = algo.delta_store();
+  const auto& maps = store.All();
+  const int n = store.num_clients();
+  for (int k = 0; k < n; ++k) {
+    Tensor manual(Shape{store.feature_dim()});
+    for (int j = 0; j < n; ++j) {
+      if (j == k) continue;
+      manual.AddInPlace(maps[static_cast<size_t>(j)]);
+    }
+    manual.MulInPlace(1.0f / static_cast<float>(n - 1));
+    EXPECT_TRUE(AllClose(store.LeaveOneOutMean(k), manual, 1e-5f))
+        << "client " << k;
+  }
+  // The run actually exercised the fault model and recorded it.
+  EXPECT_GT(history.TotalDropped(), 0);
+  EXPECT_GT(history.TotalRetried(), 0);
+  EXPECT_GT(history.TotalDelivered(), 0);
+}
 
 // ---- Dataset determinism across profiles ----
 
