@@ -1,0 +1,150 @@
+// Straggler sweep on the discrete-event sim runtime: severity (lognormal
+// sigma) x round policy {sync, deadline, async} x {FedAvg, rFedAvg+}.
+//
+// The question the sweep answers: when client compute times are heavy-
+// tailed, how much virtual (simulated) time does each policy need to
+// reach the loss a synchronous barrier reaches, given that sync must
+// wait for the slowest sampled client every round? The deadline policy
+// cuts stragglers at a fixed virtual deadline; the async policy updates
+// the server after K arrivals and down-weights stale updates by
+// 1/(1 + staleness).
+//
+// Reported per cell: final train loss, total virtual ms, virtual ms to
+// reach the sync-mode final loss, and that time as a fraction of the
+// sync run's. Deadline/async get extra rounds (they are cheaper per
+// round); the comparison is on virtual time, not round count.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+namespace rfed::bench {
+namespace {
+
+/// Straggler environment shared by every cell: lognormal per-step
+/// compute around 20 virtual ms and a finite 2000 B/ms channel, so a
+/// cross-silo round costs ~100 ms of compute plus a few ms of transfer.
+void ApplySimEnv(FlConfig* config, double sigma, SimMode mode) {
+  config->sim = SimOptions{};
+  config->sim.mode = mode;
+  config->sim.compute.kind = ComputeModelKind::kLognormal;
+  config->sim.compute.mean_ms_per_step = 20.0;
+  config->sim.compute.sigma = sigma;
+  config->sim.network.down_bytes_per_ms = 2000.0;
+  config->sim.network.up_bytes_per_ms = 2000.0;
+  config->sim.network.base_latency_ms = 2.0;
+  // Deadline: 1.5x the mean round compute (5 steps x 20 ms), so the
+  // median client makes it and the tail is cut.
+  if (mode == SimMode::kDeadline) config->sim.deadline_ms = 150.0;
+  // Async: commit a server update once 4 of the 10 in-flight clients
+  // arrive; the remaining six deliver later with staleness discounts.
+  if (mode == SimMode::kAsync) config->sim.async_buffer = 4;
+}
+
+double MeanStaleness(const RunHistory& history) {
+  if (history.rounds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RoundMetrics& r : history.rounds) sum += r.mean_staleness;
+  return sum / static_cast<double>(history.rounds.size());
+}
+
+double MaxP95(const RunHistory& history) {
+  double worst = 0.0;
+  for (const RoundMetrics& r : history.rounds) {
+    if (r.client_p95_ms > worst) worst = r.client_p95_ms;
+  }
+  return worst;
+}
+
+void Run() {
+  CsvWriter csv(ResultDir() + "/sim_stragglers.csv",
+                {"sigma", "method", "mode", "rounds", "final_loss",
+                 "virtual_ms", "ms_to_sync_loss", "ratio_vs_sync",
+                 "max_p95_ms", "stragglers_cut", "mean_staleness"});
+
+  const int sync_rounds = Scaled(10);
+  const int relaxed_rounds = 3 * sync_rounds;
+  const double sigmas[] = {0.5, 1.0, 1.5};
+  const std::vector<std::string> methods = {"FedAvg", "rFedAvg+"};
+
+  std::printf("SIM STRAGGLERS: lognormal severity sweep "
+              "(mnist cross-silo, %d sync rounds)\n", sync_rounds);
+  std::printf("  %-8s %-9s %-9s %7s %10s %12s %14s %9s %5s %6s\n", "sigma",
+              "method", "mode", "rounds", "final", "virtual_ms",
+              "ms_to_syncloss", "vs_sync", "cut", "stale");
+
+  for (double sigma : sigmas) {
+    for (const std::string& method : methods) {
+      Workload workload = MakeImageWorkload("mnist", CrossSilo(), 0.0, 1);
+
+      // Baseline: synchronous barrier, waits on the slowest client.
+      ApplySimEnv(&workload.config, sigma, SimMode::kSync);
+      const RunHistory sync_run =
+          RunMethod(method, workload, sync_rounds, /*seed=*/1,
+                    /*eval_every=*/sync_rounds);
+      const double target = sync_run.rounds.back().train_loss;
+      const double sync_ms = sync_run.TotalVirtualMs();
+
+      struct Row {
+        const char* mode;
+        RunHistory history;
+      };
+      ApplySimEnv(&workload.config, sigma, SimMode::kDeadline);
+      Row deadline{"deadline", RunMethod(method, workload, relaxed_rounds,
+                                         /*seed=*/1,
+                                         /*eval_every=*/relaxed_rounds)};
+      ApplySimEnv(&workload.config, sigma, SimMode::kAsync);
+      Row async_row{"async", RunMethod(method, workload, relaxed_rounds,
+                                       /*seed=*/1,
+                                       /*eval_every=*/relaxed_rounds)};
+
+      const Row* rows[] = {&deadline, &async_row};
+      std::printf("  %-8.2f %-9s %-9s %7d %10.4f %12.1f %14s %9s %5lld "
+                  "%6.2f\n",
+                  sigma, method.c_str(), "sync", sync_rounds, target,
+                  sync_ms, FormatFixed(sync_ms, 1).c_str(), "1.00x",
+                  static_cast<long long>(sync_run.TotalStragglersCut()),
+                  MeanStaleness(sync_run));
+      csv.WriteRow({FormatFixed(sigma, 2), method, "sync",
+                    std::to_string(sync_rounds), StrFormat("%.6f", target),
+                    FormatFixed(sync_ms, 1), FormatFixed(sync_ms, 1), "1.00",
+                    FormatFixed(MaxP95(sync_run), 1),
+                    std::to_string(sync_run.TotalStragglersCut()),
+                    FormatFixed(MeanStaleness(sync_run), 3)});
+
+      for (const Row* row : rows) {
+        const RunHistory& h = row->history;
+        const double reach = h.VirtualMsToReachLoss(target);
+        const std::string reach_str =
+            reach < 0.0 ? "n/a" : FormatFixed(reach, 1);
+        const std::string ratio_str =
+            reach < 0.0 ? "n/a" : StrFormat("%.2fx", reach / sync_ms);
+        std::printf("  %-8.2f %-9s %-9s %7d %10.4f %12.1f %14s %9s %5lld "
+                    "%6.2f\n",
+                    sigma, method.c_str(), row->mode, relaxed_rounds,
+                    h.rounds.back().train_loss, h.TotalVirtualMs(),
+                    reach_str.c_str(), ratio_str.c_str(),
+                    static_cast<long long>(h.TotalStragglersCut()),
+                    MeanStaleness(h));
+        csv.WriteRow({FormatFixed(sigma, 2), method, row->mode,
+                      std::to_string(relaxed_rounds),
+                      StrFormat("%.6f", h.rounds.back().train_loss),
+                      FormatFixed(h.TotalVirtualMs(), 1), reach_str,
+                      reach < 0.0 ? "n/a" : FormatFixed(reach / sync_ms, 2),
+                      FormatFixed(MaxP95(h), 1),
+                      std::to_string(h.TotalStragglersCut()),
+                      FormatFixed(MeanStaleness(h), 3)});
+      }
+    }
+  }
+  std::printf("\nwrote %s/sim_stragglers.csv\n", ResultDir().c_str());
+}
+
+}  // namespace
+}  // namespace rfed::bench
+
+int main() {
+  rfed::bench::Run();
+  return 0;
+}

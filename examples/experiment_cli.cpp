@@ -22,6 +22,14 @@
 //   --fine_tune (false: also report personalized accuracy)
 //   --drop/--corrupt/--duplicate/--delay 0..1 (0)   fault channel probs
 //   --mean_delay_ms (50)    --timeout_ms (250, 0=off) --retries (0)
+//   --sim_mode sync|deadline|async (sync)           round policy
+//   --compute_model constant|lognormal|drift (constant)
+//   --compute_ms per-step virtual ms (0 = free)     --compute_sigma (1.0)
+//   --compute_drift (0.05)  --compute_spread (0)    device heterogeneity
+//   --down_bw/--up_bw bytes per virtual ms (0 = infinite)
+//   --base_latency_ms (0)   --deadline_ms (deadline mode, required > 0)
+//   --async_buffer K arrivals per server update (2)
+//   --num_threads parallel local training (1 = sequential)
 
 #include <cstdio>
 
@@ -102,6 +110,28 @@ int main(int argc, char** argv) {
   fl.fault.mean_delay_ms = flags.GetDouble("mean_delay_ms", 50.0);
   fl.fault.round_timeout_ms = flags.GetDouble("timeout_ms", 250.0);
   fl.fault.max_retries = flags.GetInt("retries", 0);
+  const std::string sim_mode = flags.GetString("sim_mode", "sync");
+  if (!ParseSimMode(sim_mode, &fl.sim.mode)) {
+    std::fprintf(stderr, "unknown --sim_mode %s\n", sim_mode.c_str());
+    return 1;
+  }
+  const std::string compute_model =
+      flags.GetString("compute_model", "constant");
+  if (!ParseComputeModelKind(compute_model, &fl.sim.compute.kind)) {
+    std::fprintf(stderr, "unknown --compute_model %s\n",
+                 compute_model.c_str());
+    return 1;
+  }
+  fl.sim.compute.mean_ms_per_step = flags.GetDouble("compute_ms", 0.0);
+  fl.sim.compute.sigma = flags.GetDouble("compute_sigma", 1.0);
+  fl.sim.compute.drift = flags.GetDouble("compute_drift", 0.05);
+  fl.sim.compute.hetero_spread = flags.GetDouble("compute_spread", 0.0);
+  fl.sim.network.down_bytes_per_ms = flags.GetDouble("down_bw", 0.0);
+  fl.sim.network.up_bytes_per_ms = flags.GetDouble("up_bw", 0.0);
+  fl.sim.network.base_latency_ms = flags.GetDouble("base_latency_ms", 0.0);
+  fl.sim.deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  fl.sim.async_buffer = flags.GetInt("async_buffer", 2);
+  fl.num_threads = flags.GetInt("num_threads", 1);
 
   RegularizerOptions reg;
   reg.lambda = flags.GetDouble("lambda", is_text ? 1e-4 : 1e-3);
@@ -180,6 +210,15 @@ int main(int argc, char** argv) {
                 static_cast<long long>(history.TotalDelivered()),
                 static_cast<long long>(history.TotalDropped()),
                 static_cast<long long>(history.TotalRetried()));
+  }
+  if (!fl.sim.compute.free() || !fl.sim.network.free()) {
+    std::printf(
+        "sim (%s): virtual=%.1f ms, last round p50=%.1f ms p95=%.1f ms, "
+        "stragglers_cut=%lld\n",
+        ToString(fl.sim.mode), history.TotalVirtualMs(),
+        history.rounds.back().client_p50_ms,
+        history.rounds.back().client_p95_ms,
+        static_cast<long long>(history.TotalStragglersCut()));
   }
 
   if (flags.GetBool("fine_tune", false) && !views[0].test_indices.empty()) {

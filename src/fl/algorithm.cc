@@ -12,6 +12,21 @@
 
 namespace rfed {
 
+namespace {
+
+/// Nearest-rank percentile of a latency sample; 0 on an empty sample.
+double PercentileMs(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = std::ceil(p * static_cast<double>(values.size()));
+  const size_t index = static_cast<size_t>(
+      std::clamp<double>(rank - 1.0, 0.0,
+                         static_cast<double>(values.size() - 1)));
+  return values[index];
+}
+
+}  // namespace
+
 FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
                                        const Dataset* train_data,
                                        std::vector<ClientView> clients,
@@ -20,12 +35,22 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
       config_(config),
       train_data_(train_data),
       clients_(std::move(clients)),
+      model_factory_(model_factory),
       rng_(config.seed),
       // The channel draws from its own stream so that enabling faults
       // never perturbs sampling/batching/init randomness.
-      channel_(config.fault, config.seed ^ 0xfa171c4a11e1ULL, &comm_) {
+      channel_(config.fault, config.seed ^ 0xfa171c4a11e1ULL, &comm_),
+      network_model_(config.sim.network) {
   RFED_CHECK(train_data_ != nullptr);
   RFED_CHECK(!clients_.empty());
+  if (config_.sim.mode == SimMode::kDeadline) {
+    RFED_CHECK_GT(config_.sim.deadline_ms, 0.0)
+        << "deadline mode needs sim.deadline_ms > 0";
+  }
+  if (config_.sim.mode == SimMode::kAsync) {
+    RFED_CHECK_GE(config_.sim.async_buffer, 1)
+        << "async mode needs sim.async_buffer >= 1";
+  }
 
   // FedAvg weights p_k = n_k / n.
   int64_t total = 0;
@@ -40,7 +65,7 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
   }
 
   Rng init_rng = rng_.Fork();
-  model_ = model_factory(&init_rng);
+  model_ = model_factory_(&init_rng);
   global_state_ = FlattenParameters(model_->Parameters());
   model_bytes_ = StateBytes(model_->Parameters());
 
@@ -54,6 +79,17 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
   compression_enabled_ = config_.upload_compressor != "none";
   last_losses_.assign(clients_.size(),
                       std::numeric_limits<double>::quiet_NaN());
+
+  // The compute model keys its draws on (seed, client, round) with its
+  // own lineage, like the channel: stragglers never perturb training
+  // randomness, and the draws are call-order independent.
+  compute_model_ = std::make_unique<ComputeTimeModel>(
+      config_.sim.compute, config_.seed ^ 0x5caff01d57a66ULL, num_clients());
+  client_busy_.assign(clients_.size(), 0);
+
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
 }
 
 FeatureModel* FederatedAlgorithm::GlobalModel() {
@@ -105,8 +141,9 @@ std::vector<int> FederatedAlgorithm::CappedIndices(int client) const {
 }
 
 std::pair<Tensor, double> FederatedAlgorithm::LocalTrain(
-    int round, int client, const Tensor& init_state) {
-  auto params = Params();
+    int round, int client, const Tensor& init_state, FeatureModel* model) {
+  if (model == nullptr) model = model_.get();
+  auto params = model->Parameters();
   LoadParameters(init_state, params);
   auto optimizer = MakeOptimizer(config_.optimizer, params, config_.lr);
   Batcher& batcher = batchers_[static_cast<size_t>(client)];
@@ -115,25 +152,27 @@ std::pair<Tensor, double> FederatedAlgorithm::LocalTrain(
   double loss_sum = 0.0;
   for (int step = 0; step < steps; ++step) {
     Batch batch = batcher.Next();
-    ModelOutput out = model_->Forward(batch);
+    ModelOutput out = model->Forward(batch);
     Variable loss = CrossEntropyLoss(out.logits, batch.labels);
     Variable extra = ExtraLoss(client, out, batch);
     if (extra.valid()) loss = ag::Add(loss, extra);
     optimizer->ZeroGrad();
     loss.Backward();
-    PostBackward(client);
+    PostBackward(client, params);
     optimizer->Step();
     loss_sum += static_cast<double>(loss.value().ToScalar());
   }
   return {FlattenParameters(params), loss_sum / static_cast<double>(steps)};
 }
 
-double FederatedAlgorithm::EvaluateLocalLoss(int client, const Tensor& state) {
-  auto params = Params();
+double FederatedAlgorithm::EvaluateLocalLoss(int client, const Tensor& state,
+                                             FeatureModel* model) {
+  if (model == nullptr) model = model_.get();
+  auto params = model->Parameters();
   LoadParameters(state, params);
   const std::vector<int> indices = CappedIndices(client);
   Batch batch = train_data_->GetBatch(indices);
-  ModelOutput out = model_->Forward(batch);
+  ModelOutput out = model->Forward(batch);
   Variable loss = CrossEntropyLoss(out.logits, batch.labels);
   return static_cast<double>(loss.value().ToScalar());
 }
@@ -158,83 +197,336 @@ bool FederatedAlgorithm::ChargeModelUpload() {
 void FederatedAlgorithm::Aggregate(int round, const std::vector<int>& selected,
                                    const std::vector<Tensor>& new_states,
                                    const std::vector<double>& start_losses) {
+  const bool scaled = !agg_scale_.empty();
+  if (scaled) RFED_CHECK_EQ(agg_scale_.size(), selected.size());
   double weight_sum = 0.0;
-  for (int k : selected) weight_sum += weights_[static_cast<size_t>(k)];
+  for (size_t i = 0; i < selected.size(); ++i) {
+    const double w = weights_[static_cast<size_t>(selected[i])];
+    weight_sum += scaled ? w * agg_scale_[i] : w;
+  }
   RFED_CHECK_GT(weight_sum, 0.0);
   Tensor next(global_state_.shape());
   for (size_t i = 0; i < selected.size(); ++i) {
-    const double w =
-        weights_[static_cast<size_t>(selected[i])] / weight_sum;
-    next.Axpy(static_cast<float>(w), new_states[i]);
+    double w = weights_[static_cast<size_t>(selected[i])];
+    if (scaled) w *= agg_scale_[i];
+    next.Axpy(static_cast<float>(w / weight_sum), new_states[i]);
   }
   global_state_ = std::move(next);
+}
+
+void FederatedAlgorithm::EnsureScratchModels(size_t n) {
+  while (scratch_models_.size() < n) {
+    // Initialization values are irrelevant: every use loads a full state
+    // first. A fixed private seed keeps construction deterministic
+    // without touching the training RNG.
+    Rng init_rng(0x5c7a7c6d0de15ULL + scratch_models_.size());
+    scratch_models_.push_back(model_factory_(&init_rng));
+  }
+}
+
+void FederatedAlgorithm::TrainCohort(int round, const std::vector<int>& cohort,
+                                     bool want_start_losses,
+                                     std::vector<ClientWork>* work) {
+  const int n = static_cast<int>(cohort.size());
+  work->assign(cohort.size(), ClientWork{});
+  // Phase A — broadcasts + virtual-duration draws, sequentially in cohort
+  // order: the fault channel's RNG stream must be consumed in a
+  // deterministic order, and compute draws are cheap.
+  for (int i = 0; i < n; ++i) {
+    ClientWork& w = (*work)[static_cast<size_t>(i)];
+    w.client = cohort[static_cast<size_t>(i)];
+    w.trained = ChargeModelDownload();  // broadcast lost: client sits out
+    w.down_ms = network_model_.DownMs(model_bytes_) +
+                channel_.last_latency_ms();
+    w.compute_ms =
+        compute_model_->SampleMs(w.client, round, LocalSteps(w.client));
+  }
+  // Phase B — local training. The parallel and sequential paths are
+  // bit-identical: each client's randomness lives in its own batcher
+  // stream, models draw nothing after construction, and hooks that run
+  // here (ExtraLoss, PostBackward) only read shared state.
+  const auto train_one = [&](int i, FeatureModel* model) {
+    ClientWork& w = (*work)[static_cast<size_t>(i)];
+    if (!w.trained) return;
+    if (want_start_losses) {
+      w.start_loss = EvaluateLocalLoss(w.client, global_state_, model);
+    }
+    auto [state, loss] = LocalTrain(round, w.client, global_state_, model);
+    w.state = std::move(state);
+    w.loss = loss;
+  };
+  if (UseParallelPath(cohort.size())) {
+    EnsureScratchModels(cohort.size());
+    pool_->ParallelFor(n, [&](int i) {
+      train_one(i, scratch_models_[static_cast<size_t>(i)].get());
+    });
+  } else {
+    for (int i = 0; i < n; ++i) train_one(i, model_.get());
+  }
+}
+
+bool FederatedAlgorithm::UseParallelPath(size_t cohort_size) const {
+  return pool_ != nullptr && pool_->num_threads() > 1 && cohort_size > 1 &&
+         SupportsParallelTraining();
 }
 
 RoundResult FederatedAlgorithm::RunRound(int round) {
   comm_.BeginRound();
   channel_.BeginRound();
+  if (config_.sim.mode == SimMode::kAsync) return RunRoundAsync(round);
+  return RunRoundBarrier(round);
+}
+
+RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
   Stopwatch watch;
+  const double t0 = clock_.now_ms();
   std::vector<int> selected = SampleClients();
   // Straggler fault injection: drop sampled clients with the configured
   // probability, keeping at least one. Dropped clients still cost the
   // server a model download (they failed *after* receiving it).
   if (config_.dropout_prob > 0.0) {
-    std::vector<int> survivors;
+    std::vector<int> kept;
     for (int k : selected) {
       if (rng_.Uniform() < config_.dropout_prob) {
         ChargeModelDownload();  // wasted transfer
       } else {
-        survivors.push_back(k);
+        kept.push_back(k);
       }
     }
-    if (survivors.empty()) survivors.push_back(selected[0]);
-    selected = std::move(survivors);
+    if (kept.empty()) kept.push_back(selected[0]);
+    selected = std::move(kept);
   }
   OnRoundStart(round, selected);
 
+  const bool deadline_mode = config_.sim.mode == SimMode::kDeadline;
+  const bool want_start_losses = RequiresStartLosses();
+
   // Dropout-tolerant round: a client whose model download is lost never
-  // trains; a client whose upload is lost trains for nothing. Only the
-  // survivors — clients whose updates actually reached the server — are
-  // aggregated, with weights renormalized over that set.
+  // trains; a client whose upload is lost — or, in deadline mode, beats
+  // the fault lottery but misses the cut — trains for nothing. Only the
+  // survivors are aggregated, with weights renormalized over that set.
   std::vector<int> survivors;
   std::vector<Tensor> new_states;
   std::vector<double> start_losses;
   survivors.reserve(selected.size());
   new_states.reserve(selected.size());
-
-  const bool want_start_losses = RequiresStartLosses();
+  std::vector<double> completions;
   double trained_weight = 0.0, trained_loss = 0.0;
-  for (int k : selected) {
-    if (!ChargeModelDownload()) continue;  // broadcast lost: client sits out
-    double start_loss = 0.0;
-    if (want_start_losses) {
-      start_loss = EvaluateLocalLoss(k, global_state_);
+  double max_completion = 0.0;
+  int cut = 0;
+
+  // Finishes one client in cohort order on both paths: upload, virtual
+  // completion time, deadline cut, survivor bookkeeping.
+  const auto finish = [&](ClientWork& w) {
+    if (!w.trained) {
+      // A lost broadcast still occupies the round until its (re)attempts
+      // give up; the server cannot tell a dead client from a slow one.
+      max_completion = std::max(max_completion, w.down_ms);
+      return;
     }
-    auto [state, loss] = LocalTrain(round, k, global_state_);
-    last_losses_[static_cast<size_t>(k)] = loss;
+    last_losses_[static_cast<size_t>(w.client)] = w.loss;
     // The weighted mean training loss covers every client that trained,
     // whether or not its update made it back.
-    const double w = weights_[static_cast<size_t>(k)];
-    trained_weight += w;
-    trained_loss += w * loss;
+    const double pw = weights_[static_cast<size_t>(w.client)];
+    trained_weight += pw;
+    trained_loss += pw * w.loss;
     bool delivered = true;
-    Tensor uploaded = CompressUploadedState(state, &delivered);
-    if (!delivered) continue;  // update lost in flight
-    OnClientTrained(round, k, state);
-    survivors.push_back(k);
+    Tensor uploaded = CompressUploadedState(w.state, &delivered);
+    const int64_t up_bytes = compression_enabled_
+                                 ? compressor_->WireBytes(w.state.size())
+                                 : model_bytes_;
+    const double completion = w.down_ms + w.compute_ms +
+                              network_model_.UpMs(up_bytes) +
+                              channel_.last_latency_ms();
+    completions.push_back(completion);
+    max_completion = std::max(max_completion, completion);
+    if (!delivered) return;  // update lost in flight
+    if (deadline_mode && completion > config_.sim.deadline_ms) {
+      ++cut;  // arrived after the cut: the work and bytes were wasted
+      return;
+    }
+    OnClientTrained(round, w.client, w.state);
+    survivors.push_back(w.client);
     new_states.push_back(std::move(uploaded));
-    if (want_start_losses) start_losses.push_back(start_loss);
+    if (want_start_losses) start_losses.push_back(w.start_loss);
+  };
+
+  if (UseParallelPath(selected.size())) {
+    std::vector<ClientWork> work;
+    TrainCohort(round, selected, want_start_losses, &work);
+    for (ClientWork& w : work) finish(w);
+  } else {
+    // Sequential interleaved loop, matching the pre-sim simulator
+    // operation-for-operation (and RNG-draw-for-draw): SCAFFOLD's
+    // OnClientTrained updates server state that later clients' training
+    // in the same round observes.
+    for (int k : selected) {
+      ClientWork w;
+      w.client = k;
+      w.trained = ChargeModelDownload();  // broadcast lost: sits out
+      w.down_ms =
+          network_model_.DownMs(model_bytes_) + channel_.last_latency_ms();
+      w.compute_ms = compute_model_->SampleMs(k, round, LocalSteps(k));
+      if (w.trained) {
+        if (want_start_losses) {
+          w.start_loss = EvaluateLocalLoss(k, global_state_);
+        }
+        auto [state, loss] = LocalTrain(round, k, global_state_);
+        w.state = std::move(state);
+        w.loss = loss;
+      }
+      finish(w);
+    }
   }
 
   if (!survivors.empty()) {
     Aggregate(round, survivors, new_states, start_losses);
+    ++server_version_;
   }
   // If every update was lost the server keeps w_{t+1} = w_t.
   OnRoundEnd(round, survivors);
 
-  return RoundResult{trained_weight > 0.0 ? trained_loss / trained_weight
-                                          : 0.0,
-                     watch.ElapsedSeconds()};
+  // Round duration: sync waits for the slowest client; deadline closes at
+  // the cut unless everything (including lost transfers the server is
+  // still waiting on) finished earlier.
+  double duration = max_completion;
+  if (deadline_mode && survivors.size() != selected.size()) {
+    duration = config_.sim.deadline_ms;
+  }
+  if (deadline_mode) duration = std::min(duration, config_.sim.deadline_ms);
+  clock_.AdvanceTo(t0 + duration);
+
+  RoundResult result;
+  result.train_loss =
+      trained_weight > 0.0 ? trained_loss / trained_weight : 0.0;
+  result.seconds = watch.ElapsedSeconds();
+  result.virtual_ms = duration;
+  result.client_p50_ms = PercentileMs(completions, 0.50);
+  result.client_p95_ms = PercentileMs(completions, 0.95);
+  result.stragglers_cut = cut;
+  return result;
+}
+
+RoundResult FederatedAlgorithm::RunRoundAsync(int round) {
+  Stopwatch watch;
+  const double t0 = clock_.now_ms();
+  const int n = num_clients();
+  int cohort = static_cast<int>(std::lround(config_.sample_ratio * n));
+  cohort = std::clamp(cohort, 1, n);
+  const int buffer = std::clamp(config_.sim.async_buffer, 1, cohort);
+
+  // Refill the concurrency target: dispatch fresh work to idle clients so
+  // that `cohort` clients are training/in flight at once. Sampling is
+  // uniform over the idle set (loss-adaptive selection would bias toward
+  // clients whose losses are stalest here). dropout_prob applies at
+  // dispatch; a dropped client wastes its broadcast and stays idle.
+  std::vector<int> idle;
+  for (int k = 0; k < n; ++k) {
+    if (!client_busy_[static_cast<size_t>(k)]) idle.push_back(k);
+  }
+  const int busy = n - static_cast<int>(idle.size());
+  std::vector<int> fresh;
+  if (cohort > busy && !idle.empty()) {
+    const int take =
+        std::min(cohort - busy, static_cast<int>(idle.size()));
+    for (int pick :
+         UniformSelection(static_cast<int>(idle.size()), take, &rng_)) {
+      fresh.push_back(idle[static_cast<size_t>(pick)]);
+    }
+  }
+  if (config_.dropout_prob > 0.0) {
+    std::vector<int> kept;
+    for (int k : fresh) {
+      if (rng_.Uniform() < config_.dropout_prob) {
+        ChargeModelDownload();  // wasted transfer
+      } else {
+        kept.push_back(k);
+      }
+    }
+    fresh = std::move(kept);
+  }
+  OnRoundStart(round, fresh);
+
+  const bool want_start_losses = RequiresStartLosses();
+  std::vector<ClientWork> work;
+  TrainCohort(round, fresh, want_start_losses, &work);
+
+  // Dispatch: each trained client's update enters the event queue as an
+  // arrival at now + download + compute + upload.
+  for (ClientWork& w : work) {
+    if (!w.trained) continue;
+    last_losses_[static_cast<size_t>(w.client)] = w.loss;
+    InFlight flight;
+    flight.client = w.client;
+    flight.version = server_version_;
+    flight.loss = w.loss;
+    flight.start_loss = w.start_loss;
+    flight.uploaded = CompressUploadedState(w.state, &flight.delivered);
+    flight.state = std::move(w.state);
+    const int64_t up_bytes = compression_enabled_
+                                 ? compressor_->WireBytes(flight.state.size())
+                                 : model_bytes_;
+    flight.completion_ms = w.down_ms + w.compute_ms +
+                           network_model_.UpMs(up_bytes) +
+                           channel_.last_latency_ms();
+    const int64_t id = queue_.Push(clock_.now_ms() + flight.completion_ms,
+                                   w.client, 0);
+    in_flight_.emplace(id, std::move(flight));
+    client_busy_[static_cast<size_t>(w.client)] = 1;
+  }
+
+  // Collect: pop arrivals in virtual-time order, advancing the clock,
+  // until `buffer` delivered updates are in hand (or nothing is left in
+  // flight — lost uploads free their clients but fill no buffer slot).
+  std::vector<int> survivors;
+  std::vector<Tensor> new_states;
+  std::vector<double> start_losses;
+  std::vector<double> scales;
+  std::vector<double> completions;
+  double trained_weight = 0.0, trained_loss = 0.0;
+  double staleness_sum = 0.0;
+  while (static_cast<int>(survivors.size()) < buffer && !queue_.empty()) {
+    const SimEvent event = queue_.Pop();
+    clock_.AdvanceTo(event.time_ms);
+    auto it = in_flight_.find(event.seq);
+    RFED_CHECK(it != in_flight_.end());
+    InFlight flight = std::move(it->second);
+    in_flight_.erase(it);
+    client_busy_[static_cast<size_t>(flight.client)] = 0;
+    if (!flight.delivered) continue;  // upload lost in flight
+    const int staleness = server_version_ - flight.version;
+    staleness_sum += static_cast<double>(staleness);
+    completions.push_back(flight.completion_ms);
+    const double pw = weights_[static_cast<size_t>(flight.client)];
+    trained_weight += pw;
+    trained_loss += pw * flight.loss;
+    OnClientTrained(round, flight.client, flight.state);
+    survivors.push_back(flight.client);
+    new_states.push_back(std::move(flight.uploaded));
+    if (want_start_losses) start_losses.push_back(flight.start_loss);
+    scales.push_back(1.0 / (1.0 + static_cast<double>(staleness)));
+  }
+
+  if (!survivors.empty()) {
+    agg_scale_ = std::move(scales);
+    Aggregate(round, survivors, new_states, start_losses);
+    agg_scale_.clear();
+    ++server_version_;
+  }
+  OnRoundEnd(round, survivors);
+
+  RoundResult result;
+  result.train_loss =
+      trained_weight > 0.0 ? trained_loss / trained_weight : 0.0;
+  result.seconds = watch.ElapsedSeconds();
+  result.virtual_ms = clock_.now_ms() - t0;
+  result.client_p50_ms = PercentileMs(completions, 0.50);
+  result.client_p95_ms = PercentileMs(completions, 0.95);
+  result.mean_staleness =
+      survivors.empty()
+          ? 0.0
+          : staleness_sum / static_cast<double>(survivors.size());
+  return result;
 }
 
 }  // namespace rfed

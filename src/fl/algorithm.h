@@ -1,8 +1,10 @@
 #ifndef RFED_FL_ALGORITHM_H_
 #define RFED_FL_ALGORITHM_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -12,6 +14,11 @@
 #include "fl/compression.h"
 #include "fl/types.h"
 #include "nn/models.h"
+#include "sim/clock.h"
+#include "sim/compute_model.h"
+#include "sim/event_queue.h"
+#include "sim/network_model.h"
+#include "util/thread_pool.h"
 
 namespace rfed {
 
@@ -19,6 +26,13 @@ namespace rfed {
 struct RoundResult {
   double train_loss = 0.0;   ///< weighted mean local training loss
   double seconds = 0.0;      ///< wall time spent in local computation
+  // Simulated time from the discrete-event runtime; all zero under the
+  // default free compute/network models.
+  double virtual_ms = 0.0;      ///< virtual duration of the round
+  double client_p50_ms = 0.0;   ///< median client round-trip latency
+  double client_p95_ms = 0.0;   ///< straggler tail latency
+  int stragglers_cut = 0;       ///< deadline mode: updates past the cut
+  double mean_staleness = 0.0;  ///< async mode: mean versions-behind
 };
 
 /// Base class of every federated optimization algorithm in this
@@ -26,9 +40,27 @@ struct RoundResult {
 /// local SGD/RMSProp steps on each sampled client, weighted server
 /// aggregation, byte-exact communication accounting — and exposes hooks
 /// that subclasses use to become FedProx, SCAFFOLD, q-FedAvg, rFedAvg or
-/// rFedAvg+. The simulation is single-process: one scratch model instance
-/// is re-loaded with each client's state in turn, which keeps memory at
-/// O(model) instead of O(N * model).
+/// rFedAvg+.
+///
+/// Rounds run on a discrete-event simulation runtime (src/sim/): every
+/// transfer and local-training bout is assigned a virtual duration by the
+/// configured compute/network models, client completions are arrival
+/// events on a virtual clock, and the server's round-termination policy
+/// (FlConfig::sim.mode) decides which arrivals make the aggregate:
+///   - kSync: barrier on the slowest client (classic FedAvg round);
+///   - kDeadline: cut the round at sim.deadline_ms of virtual time and
+///     aggregate only the updates that arrived;
+///   - kAsync: buffered asynchronous — one server update per
+///     sim.async_buffer arrivals, each weighted by 1/(1+staleness).
+/// All sim randomness lives in per-(client, round) keyed streams separate
+/// from the training RNG, so with the default free models and kSync mode
+/// every algorithm is bit-identical to the pre-sim simulator.
+///
+/// Local training of a round's cohort runs sequentially on one scratch
+/// model when config.num_threads <= 1, or in parallel on per-client
+/// scratch models via a thread pool otherwise; both paths are
+/// bit-identical because each client's randomness (batcher stream) is
+/// its own and models draw no randomness after construction.
 class FederatedAlgorithm {
  public:
   FederatedAlgorithm(std::string name, const FlConfig& config,
@@ -48,44 +80,65 @@ class FederatedAlgorithm {
   /// The fault-injecting transport every transfer goes through. With the
   /// default (fault-free) FaultOptions it is a transparent pass-through.
   const FaultChannel& channel() const { return channel_; }
+  /// The virtual clock of the simulation runtime (monotone across rounds).
+  const VirtualClock& clock() const { return clock_; }
+  /// Number of server aggregations applied so far (the "version" that
+  /// async staleness is measured against).
+  int server_version() const { return server_version_; }
 
   /// The scratch model with the *global* state loaded (for evaluation).
   FeatureModel* GlobalModel();
 
-  /// Executes one communication round, advancing the global model.
+  /// Executes one communication round, advancing the global model. In
+  /// async mode one call == one server update (sim.async_buffer arrivals).
   virtual RoundResult RunRound(int round);
 
  protected:
   // ---- Hooks for subclasses ----
 
-  /// Called once per round before any local training.
+  /// Called once per round before any local training. In async mode
+  /// `selected` holds only the *newly dispatched* clients (previously
+  /// dispatched ones are still in flight).
   virtual void OnRoundStart(int round, const std::vector<int>& selected) {}
 
   /// Extra differentiable loss added to the local objective of `client`
   /// for one mini-batch (e.g. the λ·r_k distribution regularizer).
-  /// Return an invalid Variable for "none".
+  /// Return an invalid Variable for "none". May run on a worker thread;
+  /// must not mutate shared algorithm state.
   virtual Variable ExtraLoss(int client, const ModelOutput& output,
                              const Batch& batch) {
     return Variable();
   }
 
   /// Called after backward and before the optimizer step of each local
-  /// step; may adjust parameter gradients (FedProx, SCAFFOLD).
-  virtual void PostBackward(int client) {}
+  /// step; may adjust the gradients of `params` — the parameters of the
+  /// model instance actually training `client`, which is NOT the shared
+  /// scratch model when training runs on the thread pool (FedProx,
+  /// SCAFFOLD). May run on a worker thread; must not mutate shared state.
+  virtual void PostBackward(int client,
+                            const std::vector<Variable*>& params) {}
 
-  /// Called after `client` finished its local steps; `new_state` is its
-  /// trained flat model (rFedAvg computes its δ map here).
+  /// Called after `client` finished its local steps *and* its update
+  /// reached the server within the round policy's window; `new_state` is
+  /// its trained flat model (rFedAvg computes its δ map here). Always
+  /// runs on the main thread. On the sequential sync/deadline path it is
+  /// interleaved with the cohort's training in cohort order (matching
+  /// the pre-sim simulator operation-for-operation); on the parallel
+  /// path it runs after all training, still in cohort order; in async
+  /// mode it runs at arrival, in virtual-time order.
   virtual void OnClientTrained(int round, int client,
                                const Tensor& new_state) {}
 
   /// Aggregates client states into the next global state. `selected`
   /// holds the round's *survivors* — clients whose updates reached the
-  /// server through the fault channel (the full sampled cohort when no
-  /// faults are configured). The default is the FedAvg weighted average
-  /// with weights renormalized over that set, so dropped clients never
-  /// skew the mean. `start_losses` holds each survivor's objective at
-  /// the round-start model when RequiresStartLosses() (q-FedAvg). Not
-  /// called at all if every update was lost (the global state holds).
+  /// server through the fault channel within the round policy's window
+  /// (the full sampled cohort in sync fault-free runs). The default is
+  /// the FedAvg weighted average with weights renormalized over that
+  /// set — scaled by the staleness factors in async mode — so dropped
+  /// clients never skew the mean. `start_losses` holds each survivor's
+  /// objective at its round-start model when RequiresStartLosses()
+  /// (q-FedAvg). Not called at all if every update was lost (the global
+  /// state holds).
   virtual void Aggregate(int round, const std::vector<int>& selected,
                          const std::vector<Tensor>& new_states,
                          const std::vector<double>& start_losses);
@@ -102,16 +155,28 @@ class FederatedAlgorithm {
   /// configured E; FedNova lets it vary with the client's data size.
   virtual int LocalSteps(int client) const { return config_.local_steps; }
 
+  /// Whether a round's clients may train concurrently. Algorithms whose
+  /// OnClientTrained feeds freshly updated server state back into the
+  /// same round's later training (SCAFFOLD's incremental control-variate
+  /// refresh) are order-dependent and must return false: they always run
+  /// the sequential interleaved path, regardless of config.num_threads.
+  virtual bool SupportsParallelTraining() const { return true; }
+
   // ---- Services for subclasses ----
 
   /// Runs E local steps from `init_state` on `client`; returns the new
-  /// flat state and the mean mini-batch loss.
+  /// flat state and the mean mini-batch loss. Trains on `model` when
+  /// given (a per-client scratch model on the parallel path), else on
+  /// the shared scratch model.
   std::pair<Tensor, double> LocalTrain(int round, int client,
-                                       const Tensor& init_state);
+                                       const Tensor& init_state,
+                                       FeatureModel* model = nullptr);
 
   /// Mean loss of `client`'s local objective at `state` (no gradient),
-  /// over at most config.max_examples_per_pass examples.
-  double EvaluateLocalLoss(int client, const Tensor& state);
+  /// over at most config.max_examples_per_pass examples. Evaluates on
+  /// `model` when given, else on the shared scratch model.
+  double EvaluateLocalLoss(int client, const Tensor& state,
+                           FeatureModel* model = nullptr);
 
   /// Mean feature vector δ_k of `client`'s local data under `state`
   /// (capped full-data pass); the paper's local mapping operator. With
@@ -156,11 +221,55 @@ class FederatedAlgorithm {
   std::vector<int> CappedIndices(int client) const;
 
  private:
+  /// Per-client record of the round's dispatch + local-training phase.
+  struct ClientWork {
+    int client = -1;
+    bool trained = false;     ///< model broadcast arrived and E steps ran
+    Tensor state;             ///< trained local flat state
+    double loss = 0.0;        ///< mean mini-batch loss of the local steps
+    double start_loss = 0.0;  ///< F_k(w_t) when RequiresStartLosses()
+    double down_ms = 0.0;     ///< virtual broadcast latency
+    double compute_ms = 0.0;  ///< virtual local-compute duration
+  };
+
+  /// An update travelling to the server in async mode.
+  struct InFlight {
+    int client = -1;
+    int version = 0;    ///< server_version_ at dispatch (staleness base)
+    Tensor state;       ///< trained local state (for OnClientTrained)
+    Tensor uploaded;    ///< post-compression state to aggregate
+    bool delivered = false;
+    double loss = 0.0;
+    double start_loss = 0.0;
+    double completion_ms = 0.0;  ///< down + compute + up duration
+  };
+
+  /// Broadcasts to and locally trains `cohort` (in order): phase A runs
+  /// the channel transfers and draws virtual durations sequentially (the
+  /// shared channel RNG must be consumed in a deterministic order), phase
+  /// B runs the local training — on the thread pool with per-client
+  /// scratch models when the configuration and algorithm allow, else
+  /// sequentially on the shared one.
+  void TrainCohort(int round, const std::vector<int>& cohort,
+                   bool want_start_losses, std::vector<ClientWork>* work);
+
+  /// True when this round should use the phased parallel path.
+  bool UseParallelPath(size_t cohort_size) const;
+
+  /// Lazily builds per-task scratch models for the parallel path.
+  void EnsureScratchModels(size_t n);
+
+  /// Sync and deadline policies: barrier round with an optional cut.
+  RoundResult RunRoundBarrier(int round);
+  /// Buffered-async policy: one server update per async_buffer arrivals.
+  RoundResult RunRoundAsync(int round);
+
   std::string name_;
   FlConfig config_;
   const Dataset* train_data_;
   std::vector<ClientView> clients_;
   std::vector<double> weights_;  // p_k = n_k / n over all clients
+  ModelFactory model_factory_;
   std::unique_ptr<FeatureModel> model_;
   Tensor global_state_;
   int64_t model_bytes_;
@@ -172,6 +281,23 @@ class FederatedAlgorithm {
   bool compression_enabled_;
   /// Last reported local loss per client (drives adaptive selection).
   std::vector<double> last_losses_;
+
+  // ---- Simulation runtime ----
+  VirtualClock clock_;
+  EventQueue queue_;
+  std::unique_ptr<ComputeTimeModel> compute_model_;
+  NetworkModel network_model_;
+  /// Per-survivor aggregation scale for the current Aggregate call
+  /// (async staleness weights); empty = all ones (bit-identical path).
+  std::vector<double> agg_scale_;
+  int server_version_ = 0;
+  // Async bookkeeping: updates in flight and which clients are busy.
+  std::unordered_map<int64_t, InFlight> in_flight_;
+  std::vector<char> client_busy_;
+
+  // ---- Parallel local training ----
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<FeatureModel>> scratch_models_;
 };
 
 }  // namespace rfed

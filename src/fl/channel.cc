@@ -49,6 +49,7 @@ FaultChannel::Attempt FaultChannel::AttemptOnce(double* latency_ms) {
 }
 
 bool FaultChannel::Send(ChannelDirection direction, int64_t bytes) {
+  last_latency_ms_ = 0.0;
   if (!options_.enabled()) {
     // Transparent pass-through: same charges, no random draws.
     Charge(direction, bytes);
@@ -79,6 +80,7 @@ bool FaultChannel::Send(ChannelDirection direction, int64_t bytes) {
         }
         ++stats_.delivered;
         ++stats_.round_delivered;
+        last_latency_ms_ = latency_ms;
         return true;
       case Attempt::kDropped:
         break;
@@ -92,6 +94,7 @@ bool FaultChannel::Send(ChannelDirection direction, int64_t bytes) {
   }
   ++stats_.dropped;
   ++stats_.round_dropped;
+  last_latency_ms_ = latency_ms;
   return false;
 }
 
@@ -100,6 +103,7 @@ std::optional<FlMessage> FaultChannel::Transmit(const FlMessage& message,
   std::vector<uint8_t> wire;
   message.EncodeTo(&wire);
   const int64_t bytes = static_cast<int64_t>(wire.size());
+  last_latency_ms_ = 0.0;
   if (!options_.enabled()) {
     Charge(direction, bytes);
     ++stats_.delivered;
@@ -154,10 +158,12 @@ std::optional<FlMessage> FaultChannel::Transmit(const FlMessage& message,
     }
     ++stats_.delivered;
     ++stats_.round_delivered;
+    last_latency_ms_ = latency_ms;
     return decoded;
   }
   ++stats_.dropped;
   ++stats_.round_dropped;
+  last_latency_ms_ = latency_ms;
   return std::nullopt;
 }
 

@@ -99,6 +99,12 @@ class FaultChannel {
   const ChannelStats& stats() const { return stats_; }
   const FaultOptions& options() const { return options_; }
 
+  /// Simulated latency (fault delays + retry backoff) accumulated by the
+  /// most recent Send/Transmit, whether or not it was delivered. The sim
+  /// runtime folds this into the sender's virtual transfer time; 0 on
+  /// the fault-free pass-through path.
+  double last_latency_ms() const { return last_latency_ms_; }
+
   /// Swaps the fault model mid-run (tests use this to toggle regimes);
   /// the RNG stream and counters carry over.
   void set_options(const FaultOptions& options) { options_ = options; }
@@ -117,6 +123,7 @@ class FaultChannel {
   CommStats* ledger_;
   Rng rng_;
   ChannelStats stats_;
+  double last_latency_ms_ = 0.0;
 };
 
 }  // namespace rfed

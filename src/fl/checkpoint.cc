@@ -34,7 +34,8 @@ Tensor LoadTensorFromFile(const std::string& path) {
 void SaveHistoryCsv(const RunHistory& history, const std::string& path) {
   CsvWriter csv(path, {"round", "train_loss", "test_accuracy",
                        "round_seconds", "round_bytes", "delivered",
-                       "dropped", "retried"});
+                       "dropped", "retried", "virtual_ms", "client_p50_ms",
+                       "client_p95_ms", "stragglers_cut", "mean_staleness"});
   for (const RoundMetrics& r : history.rounds) {
     csv.WriteRow({std::to_string(r.round), StrFormat("%.6f", r.train_loss),
                   std::isnan(r.test_accuracy)
@@ -44,7 +45,12 @@ void SaveHistoryCsv(const RunHistory& history, const std::string& path) {
                   std::to_string(r.round_bytes),
                   std::to_string(r.delivered_messages),
                   std::to_string(r.dropped_messages),
-                  std::to_string(r.retried_messages)});
+                  std::to_string(r.retried_messages),
+                  StrFormat("%.3f", r.virtual_ms),
+                  StrFormat("%.3f", r.client_p50_ms),
+                  StrFormat("%.3f", r.client_p95_ms),
+                  std::to_string(r.stragglers_cut),
+                  StrFormat("%.3f", r.mean_staleness)});
   }
 }
 

@@ -15,8 +15,11 @@ void FedProx::OnRoundStart(int round, const std::vector<int>& selected) {
   round_start_state_ = global_state();
 }
 
-void FedProx::PostBackward(int client) {
-  AddProximalToGradients(round_start_state_, mu_, Params());
+void FedProx::PostBackward(int client,
+                           const std::vector<Variable*>& params) {
+  // Reads the frozen round-start state only; `params` belongs to the
+  // model instance training this client (thread-pool safe).
+  AddProximalToGradients(round_start_state_, mu_, params);
 }
 
 }  // namespace rfed

@@ -20,7 +20,8 @@ class FedProx : public FederatedAlgorithm {
 
  protected:
   void OnRoundStart(int round, const std::vector<int>& selected) override;
-  void PostBackward(int client) override;
+  void PostBackward(int client,
+                    const std::vector<Variable*>& params) override;
 
  private:
   double mu_;

@@ -62,6 +62,27 @@ int64_t RunHistory::TotalRetried() const {
   return total;
 }
 
+double RunHistory::TotalVirtualMs() const {
+  double total = 0.0;
+  for (const auto& r : rounds) total += r.virtual_ms;
+  return total;
+}
+
+double RunHistory::VirtualMsToReachLoss(double target) const {
+  double elapsed = 0.0;
+  for (const auto& r : rounds) {
+    elapsed += r.virtual_ms;
+    if (r.train_loss <= target) return elapsed;
+  }
+  return -1.0;
+}
+
+int64_t RunHistory::TotalStragglersCut() const {
+  int64_t total = 0;
+  for (const auto& r : rounds) total += r.stragglers_cut;
+  return total;
+}
+
 MeanStd ComputeMeanStd(const std::vector<double>& values) {
   RFED_CHECK(!values.empty());
   double sum = 0.0;

@@ -19,6 +19,13 @@ struct RoundMetrics {
   int64_t delivered_messages = 0;  ///< logical messages that arrived
   int64_t dropped_messages = 0;    ///< logical messages lost for good
   int64_t retried_messages = 0;    ///< retransmission attempts
+  // Simulated time from the discrete-event runtime (all zero under the
+  // default free compute/network models).
+  double virtual_ms = 0.0;       ///< virtual duration of the round
+  double client_p50_ms = 0.0;    ///< median client round-trip latency
+  double client_p95_ms = 0.0;    ///< straggler tail latency
+  int stragglers_cut = 0;        ///< deadline mode: arrivals after the cut
+  double mean_staleness = 0.0;   ///< async mode: mean versions-behind
 };
 
 /// Full training history of one run.
@@ -41,6 +48,15 @@ struct RunHistory {
   int64_t TotalDelivered() const;
   int64_t TotalDropped() const;
   int64_t TotalRetried() const;
+  /// Total simulated time of the run (sum of per-round virtual
+  /// durations); 0 when the sim runtime's models are free.
+  double TotalVirtualMs() const;
+  /// Cumulative virtual ms through the first round whose train loss is
+  /// <= target; -1 if never reached. The time-to-loss comparison behind
+  /// the straggler bench.
+  double VirtualMsToReachLoss(double target) const;
+  /// Total deadline-mode straggler cuts over the run.
+  int64_t TotalStragglersCut() const;
 };
 
 /// Mean and (population) standard deviation of a sample; the tables

@@ -26,11 +26,13 @@ void Scaffold::OnRoundStart(int round, const std::vector<int>& selected) {
   }
 }
 
-void Scaffold::PostBackward(int client) {
-  // g <- g + c - c_k.
-  AddFlatToGradients(global_control_, 1.0, Params());
+void Scaffold::PostBackward(int client,
+                            const std::vector<Variable*>& params) {
+  // g <- g + c - c_k. Reads the controls only; `params` belongs to the
+  // model instance training this client (thread-pool safe).
+  AddFlatToGradients(global_control_, 1.0, params);
   AddFlatToGradients(client_controls_[static_cast<size_t>(client)], -1.0,
-                     Params());
+                     params);
 }
 
 void Scaffold::OnClientTrained(int round, int client,

@@ -20,8 +20,13 @@ class Scaffold : public FederatedAlgorithm {
 
  protected:
   void OnRoundStart(int round, const std::vector<int>& selected) override;
-  void PostBackward(int client) override;
+  void PostBackward(int client,
+                    const std::vector<Variable*>& params) override;
   void OnClientTrained(int round, int client, const Tensor& new_state) override;
+  /// SCAFFOLD's incremental c refresh in OnClientTrained is visible to
+  /// later clients of the same round, so training order matters: the
+  /// parallel path would silently change the optimization.
+  bool SupportsParallelTraining() const override { return false; }
 
  private:
   Tensor round_start_state_;

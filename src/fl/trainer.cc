@@ -86,6 +86,11 @@ RunHistory FederatedTrainer::Run(int rounds) {
     metrics.delivered_messages = ch.round_delivered;
     metrics.dropped_messages = ch.round_dropped;
     metrics.retried_messages = ch.round_retried;
+    metrics.virtual_ms = result.virtual_ms;
+    metrics.client_p50_ms = result.client_p50_ms;
+    metrics.client_p95_ms = result.client_p95_ms;
+    metrics.stragglers_cut = result.stragglers_cut;
+    metrics.mean_staleness = result.mean_staleness;
     const bool eval_now =
         (round % options_.eval_every == 0) || round == rounds - 1;
     metrics.test_accuracy = eval_now ? EvaluateGlobal() : std::nan("");

@@ -7,6 +7,7 @@
 
 #include "fl/channel.h"
 #include "nn/optimizer.h"
+#include "sim/options.h"
 
 namespace rfed {
 
@@ -50,6 +51,17 @@ struct FlConfig {
   /// whichever clients' updates actually arrive. Defaults to a
   /// transparent channel (no faults, bit-identical to the direct path).
   FaultOptions fault;
+  /// Discrete-event simulation runtime (see sim/options.h): virtual
+  /// clock, per-client compute-time models, byte->latency network model,
+  /// and the server's round-termination policy (sync barrier, deadline
+  /// cut, or staleness-weighted buffered async). Defaults to sync mode
+  /// with free compute/network — bit-identical to the pre-sim simulator.
+  SimOptions sim;
+  /// Worker threads for the sampled clients' local training. <= 1 runs
+  /// the sequential in-caller path (the default); > 1 trains clients of
+  /// a round in parallel on per-client scratch models with per-client
+  /// RNG streams, bit-identical to the sequential path.
+  int num_threads = 1;
 };
 
 }  // namespace rfed

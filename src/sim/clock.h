@@ -1,0 +1,37 @@
+#ifndef RFED_SIM_CLOCK_H_
+#define RFED_SIM_CLOCK_H_
+
+#include "util/check.h"
+
+namespace rfed {
+
+/// Virtual clock of the discrete-event simulation runtime. Time is a
+/// double in simulated milliseconds, starts at zero, and only ever moves
+/// forward — the round loop advances it to the timestamp of each event
+/// it processes, so "how long the federation took" is a deterministic
+/// function of the configured compute/network models, never of host
+/// wall-clock speed or thread scheduling.
+class VirtualClock {
+ public:
+  double now_ms() const { return now_ms_; }
+
+  /// Moves the clock to `t_ms`. Going backwards is a simulation bug
+  /// (events must be processed in timestamp order).
+  void AdvanceTo(double t_ms) {
+    RFED_CHECK_GE(t_ms, now_ms_) << "virtual clock cannot run backwards";
+    now_ms_ = t_ms;
+  }
+
+  /// Moves the clock forward by a nonnegative duration.
+  void AdvanceBy(double delta_ms) {
+    RFED_CHECK_GE(delta_ms, 0.0);
+    now_ms_ += delta_ms;
+  }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_SIM_CLOCK_H_

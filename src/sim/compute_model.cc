@@ -1,0 +1,102 @@
+#include "sim/compute_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rfed {
+namespace {
+
+/// Stateless stream key for one (client, round) draw. The odd constants
+/// only need to decorrelate the two coordinates; Rng's splitmix64 seeding
+/// does the heavy mixing.
+uint64_t DrawKey(uint64_t seed, int client, int round) {
+  return seed ^ (static_cast<uint64_t>(client) * 0x9e3779b97f4a7c15ULL +
+                 static_cast<uint64_t>(round) * 0xbf58476d1ce4e5b9ULL +
+                 0x94d049bb133111ebULL);
+}
+
+}  // namespace
+
+ComputeTimeModel::ComputeTimeModel(const ComputeModelConfig& config,
+                                   uint64_t seed, int num_clients)
+    : config_(config), seed_(seed) {
+  RFED_CHECK_GE(config_.mean_ms_per_step, 0.0);
+  RFED_CHECK_GE(config_.sigma, 0.0);
+  RFED_CHECK_GE(config_.hetero_spread, 0.0);
+  RFED_CHECK_GT(num_clients, 0);
+  speed_.assign(static_cast<size_t>(num_clients), 1.0);
+  drift_rate_.assign(static_cast<size_t>(num_clients), 0.0);
+  // Construction-time draws come from one dedicated stream; they are
+  // fixed device properties, not per-round noise.
+  Rng device_rng(seed_ ^ 0xd1f7ab1e5eedULL);
+  if (config_.hetero_spread > 0.0) {
+    for (auto& s : speed_) {
+      s = device_rng.Uniform(1.0 - config_.hetero_spread,
+                             1.0 + config_.hetero_spread);
+      if (s < 0.05) s = 0.05;  // never a free (or negative-time) device
+    }
+  }
+  if (config_.kind == ComputeModelKind::kDrift) {
+    for (auto& d : drift_rate_) {
+      d = device_rng.Uniform(-config_.drift, config_.drift);
+    }
+  }
+}
+
+double ComputeTimeModel::SampleMs(int client, int round,
+                                  int local_steps) const {
+  RFED_CHECK_GE(client, 0);
+  RFED_CHECK_LT(client, static_cast<int>(speed_.size()));
+  RFED_CHECK_GE(local_steps, 0);
+  double per_step =
+      config_.mean_ms_per_step * speed_[static_cast<size_t>(client)];
+  if (per_step == 0.0) return 0.0;
+  switch (config_.kind) {
+    case ComputeModelKind::kConstant:
+      break;
+    case ComputeModelKind::kLognormal: {
+      if (config_.sigma > 0.0) {
+        Rng draw(DrawKey(seed_, client, round));
+        const double z = draw.Normal();
+        // Mean-preserving lognormal: E[exp(sigma z - sigma^2/2)] = 1.
+        per_step *= std::exp(config_.sigma * z -
+                             0.5 * config_.sigma * config_.sigma);
+      }
+      break;
+    }
+    case ComputeModelKind::kDrift: {
+      const double rate = drift_rate_[static_cast<size_t>(client)];
+      per_step *= std::pow(1.0 + rate, static_cast<double>(round));
+      break;
+    }
+  }
+  return per_step * static_cast<double>(local_steps);
+}
+
+bool ParseComputeModelKind(const std::string& name, ComputeModelKind* kind) {
+  if (name == "constant") {
+    *kind = ComputeModelKind::kConstant;
+  } else if (name == "lognormal") {
+    *kind = ComputeModelKind::kLognormal;
+  } else if (name == "drift") {
+    *kind = ComputeModelKind::kDrift;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ToString(ComputeModelKind kind) {
+  switch (kind) {
+    case ComputeModelKind::kConstant:
+      return "constant";
+    case ComputeModelKind::kLognormal:
+      return "lognormal";
+    case ComputeModelKind::kDrift:
+      return "drift";
+  }
+  return "?";
+}
+
+}  // namespace rfed

@@ -1,0 +1,85 @@
+#ifndef RFED_SIM_COMPUTE_MODEL_H_
+#define RFED_SIM_COMPUTE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rfed {
+
+/// Families of per-client local-computation cost. All times are virtual
+/// milliseconds per local step; a client running E steps costs E times
+/// the per-step draw.
+enum class ComputeModelKind {
+  /// Every step costs exactly mean_ms_per_step (times the client's fixed
+  /// speed factor). With mean 0 this is the "free compute" model the
+  /// pre-sim simulator implicitly assumed.
+  kConstant,
+  /// Lognormal stragglers: per-round multiplicative noise
+  /// exp(sigma·z − sigma²/2) with z ~ N(0,1), mean-preserving, so raising
+  /// sigma fattens the tail without shifting the average. The standard
+  /// empirical model of device-time heterogeneity.
+  kLognormal,
+  /// Drifting devices: each client's speed factor compounds by its own
+  /// per-round drift rate (thermal throttling, background load), so slow
+  /// clients get slower over the run.
+  kDrift,
+};
+
+struct ComputeModelConfig {
+  ComputeModelKind kind = ComputeModelKind::kConstant;
+  /// Base cost of one local step, virtual ms. 0 = compute is free.
+  double mean_ms_per_step = 0.0;
+  /// Lognormal severity sigma (kLognormal only).
+  double sigma = 1.0;
+  /// Max |per-round drift rate| (kDrift only); each client draws its own
+  /// rate uniformly from [-drift, +drift] at construction.
+  double drift = 0.05;
+  /// Static device heterogeneity: each client draws a fixed speed factor
+  /// uniformly from [1−spread, 1+spread] at construction (clipped to
+  /// stay positive). 0 = identical devices.
+  double hetero_spread = 0.0;
+
+  bool free() const {
+    return kind == ComputeModelKind::kConstant && mean_ms_per_step == 0.0;
+  }
+};
+
+/// Deterministic per-client compute-time model. Two properties make it
+/// safe inside the sim runtime:
+///   1. It owns its own RNG lineage derived from the config seed, so
+///      enabling stragglers never perturbs sampling/batching/init
+///      randomness (same isolation contract as FaultChannel).
+///   2. SampleMs(client, round, ·) draws from a stream keyed by
+///      (client, round) — not from shared mutable state — so the value
+///      is independent of call order and of how many threads train
+///      clients in parallel.
+class ComputeTimeModel {
+ public:
+  ComputeTimeModel(const ComputeModelConfig& config, uint64_t seed,
+                   int num_clients);
+
+  /// Virtual milliseconds `client` spends running `local_steps` steps in
+  /// `round`. Pure function of (config, seed, client, round, steps).
+  double SampleMs(int client, int round, int local_steps) const;
+
+  const ComputeModelConfig& config() const { return config_; }
+
+ private:
+  ComputeModelConfig config_;
+  uint64_t seed_;
+  /// Fixed per-client speed factors (hetero_spread) and drift rates.
+  std::vector<double> speed_;
+  std::vector<double> drift_rate_;
+};
+
+/// "constant" / "lognormal" / "drift" <-> ComputeModelKind; Parse returns
+/// false on an unknown name.
+bool ParseComputeModelKind(const std::string& name, ComputeModelKind* kind);
+const char* ToString(ComputeModelKind kind);
+
+}  // namespace rfed
+
+#endif  // RFED_SIM_COMPUTE_MODEL_H_

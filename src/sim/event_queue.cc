@@ -1,0 +1,30 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace rfed {
+
+int64_t EventQueue::Push(double time_ms, int client, int64_t payload) {
+  RFED_CHECK_GE(time_ms, 0.0);
+  SimEvent event;
+  event.time_ms = time_ms;
+  event.client = client;
+  event.payload = payload;
+  event.seq = next_seq_++;
+  heap_.push(event);
+  return event.seq;
+}
+
+SimEvent EventQueue::Pop() {
+  RFED_CHECK(!heap_.empty()) << "Pop on empty event queue";
+  SimEvent event = heap_.top();
+  heap_.pop();
+  return event;
+}
+
+double EventQueue::NextTimeMs() const {
+  RFED_CHECK(!heap_.empty()) << "NextTimeMs on empty event queue";
+  return heap_.top().time_ms;
+}
+
+}  // namespace rfed

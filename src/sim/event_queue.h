@@ -1,0 +1,58 @@
+#ifndef RFED_SIM_EVENT_QUEUE_H_
+#define RFED_SIM_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace rfed {
+
+/// One scheduled occurrence in the discrete-event simulation: a client's
+/// update arriving at the server, a deadline firing, etc. `client` and
+/// `payload` are opaque to the queue; the round loop uses `client` for
+/// the sending client id and `payload` as a handle into its in-flight
+/// bookkeeping.
+struct SimEvent {
+  double time_ms = 0.0;  ///< virtual timestamp the event fires at
+  int client = -1;
+  int64_t payload = 0;
+  /// Monotonic insertion index; breaks timestamp ties deterministically
+  /// (FIFO among simultaneous events) so the schedule never depends on
+  /// heap internals or platform qsort behavior.
+  int64_t seq = 0;
+};
+
+/// Deterministic min-priority queue over virtual time. Pop order is
+/// (time_ms, seq) lexicographic: earliest event first, insertion order
+/// among equal timestamps. This total order is the determinism contract
+/// of the sim runtime — two runs with the same seed push the same events
+/// and therefore pop the same schedule, regardless of thread count.
+class EventQueue {
+ public:
+  /// Schedules an event; returns its insertion sequence number.
+  int64_t Push(double time_ms, int client, int64_t payload);
+
+  /// Removes and returns the earliest event. Requires !empty().
+  SimEvent Pop();
+
+  /// Earliest pending timestamp. Requires !empty().
+  double NextTimeMs() const;
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      if (a.time_ms != b.time_ms) return a.time_ms > b.time_ms;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,31 @@
+#include "sim/network_model.h"
+
+#include "util/check.h"
+
+namespace rfed {
+namespace {
+
+double TransferMs(double bytes_per_ms, double base_ms, int64_t bytes) {
+  double t = base_ms;
+  if (bytes_per_ms > 0.0) t += static_cast<double>(bytes) / bytes_per_ms;
+  return t;
+}
+
+}  // namespace
+
+NetworkModel::NetworkModel(const NetworkModelConfig& config)
+    : config_(config) {
+  RFED_CHECK_GE(config_.down_bytes_per_ms, 0.0);
+  RFED_CHECK_GE(config_.up_bytes_per_ms, 0.0);
+  RFED_CHECK_GE(config_.base_latency_ms, 0.0);
+}
+
+double NetworkModel::DownMs(int64_t bytes) const {
+  return TransferMs(config_.down_bytes_per_ms, config_.base_latency_ms, bytes);
+}
+
+double NetworkModel::UpMs(int64_t bytes) const {
+  return TransferMs(config_.up_bytes_per_ms, config_.base_latency_ms, bytes);
+}
+
+}  // namespace rfed

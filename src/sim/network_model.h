@@ -1,0 +1,42 @@
+#ifndef RFED_SIM_NETWORK_MODEL_H_
+#define RFED_SIM_NETWORK_MODEL_H_
+
+#include <cstdint>
+
+namespace rfed {
+
+/// Link model converting the byte counts the CommStats ledger already
+/// charges into virtual transfer latencies. Bandwidths are bytes per
+/// virtual millisecond (1000 bytes/ms = 1 MB/s); 0 means infinite (the
+/// transfer is instantaneous apart from base latency). Fault-channel
+/// delays (exponential link delays, retry backoff) are *added on top* by
+/// the round loop via FaultChannel::last_latency_ms().
+struct NetworkModelConfig {
+  double down_bytes_per_ms = 0.0;  ///< server -> client bandwidth
+  double up_bytes_per_ms = 0.0;    ///< client -> server bandwidth
+  double base_latency_ms = 0.0;    ///< fixed per-transfer latency
+
+  bool free() const {
+    return down_bytes_per_ms == 0.0 && up_bytes_per_ms == 0.0 &&
+           base_latency_ms == 0.0;
+  }
+};
+
+/// Deterministic bytes -> virtual-ms conversion; no random draws (random
+/// link behavior belongs to the FaultChannel, which has its own stream).
+class NetworkModel {
+ public:
+  explicit NetworkModel(const NetworkModelConfig& config);
+
+  double DownMs(int64_t bytes) const;
+  double UpMs(int64_t bytes) const;
+
+  const NetworkModelConfig& config() const { return config_; }
+
+ private:
+  NetworkModelConfig config_;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_SIM_NETWORK_MODEL_H_

@@ -1,0 +1,30 @@
+#include "sim/options.h"
+
+namespace rfed {
+
+bool ParseSimMode(const std::string& name, SimMode* mode) {
+  if (name == "sync") {
+    *mode = SimMode::kSync;
+  } else if (name == "deadline") {
+    *mode = SimMode::kDeadline;
+  } else if (name == "async") {
+    *mode = SimMode::kAsync;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ToString(SimMode mode) {
+  switch (mode) {
+    case SimMode::kSync:
+      return "sync";
+    case SimMode::kDeadline:
+      return "deadline";
+    case SimMode::kAsync:
+      return "async";
+  }
+  return "?";
+}
+
+}  // namespace rfed

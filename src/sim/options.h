@@ -1,0 +1,53 @@
+#ifndef RFED_SIM_OPTIONS_H_
+#define RFED_SIM_OPTIONS_H_
+
+#include <string>
+
+#include "sim/compute_model.h"
+#include "sim/network_model.h"
+
+namespace rfed {
+
+/// How the server ends a communication round under simulated time.
+enum class SimMode {
+  /// Barrier synchronization: the round's virtual duration is the slowest
+  /// sampled client's download + compute + upload. Semantically identical
+  /// to the pre-sim simulator — with free compute and network models the
+  /// run is bit-identical to it.
+  kSync,
+  /// Deadline-based partial aggregation: the server cuts the round at
+  /// deadline_ms of virtual time and aggregates only the updates that
+  /// arrived, generalizing the fault channel's survivor renormalization
+  /// to time-based straggler cuts. Late updates are discarded (the work
+  /// and bytes are still spent).
+  kDeadline,
+  /// Staleness-aware buffered asynchrony (FedBuff-style): clients train
+  /// continuously against whatever global version they last downloaded;
+  /// the server applies an update after every async_buffer arrivals,
+  /// weighting each contribution by 1/(1+staleness) where staleness is
+  /// the number of server versions that elapsed since the client
+  /// downloaded. One RunRound == one server update.
+  kAsync,
+};
+
+/// Knobs of the discrete-event simulation runtime. The defaults (sync
+/// mode, free compute, free network) reproduce the pre-sim simulator
+/// bit-for-bit: no extra random draws, zero virtual durations.
+struct SimOptions {
+  SimMode mode = SimMode::kSync;
+  ComputeModelConfig compute;
+  NetworkModelConfig network;
+  /// kDeadline: virtual ms after round start at which the server
+  /// aggregates whatever arrived. Must be > 0 in deadline mode.
+  double deadline_ms = 0.0;
+  /// kAsync: number of delivered client updates buffered per server
+  /// update (K). Clamped to the cohort size at runtime.
+  int async_buffer = 2;
+};
+
+bool ParseSimMode(const std::string& name, SimMode* mode);
+const char* ToString(SimMode mode);
+
+}  // namespace rfed
+
+#endif  // RFED_SIM_OPTIONS_H_

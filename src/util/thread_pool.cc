@@ -3,6 +3,16 @@
 #include "util/check.h"
 
 namespace rfed {
+namespace {
+
+// Which pool (if any) is executing a ParallelFor task on this thread,
+// and that task's index. Detects reentrant ParallelFor calls — the
+// nested call would deadlock (every worker busy, none left to drain the
+// nested tasks) — and names the offending task in the abort message.
+thread_local const ThreadPool* tls_active_pool = nullptr;
+thread_local int tls_active_task = -1;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads == 0) {
@@ -26,6 +36,16 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::RunTask(int index, const std::function<void(int)>& fn) {
+  const ThreadPool* prev_pool = tls_active_pool;
+  const int prev_task = tls_active_task;
+  tls_active_pool = this;
+  tls_active_task = index;
+  fn(index);
+  tls_active_pool = prev_pool;
+  tls_active_task = prev_task;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -47,16 +67,21 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   RFED_CHECK_GE(n, 0);
   if (n == 0) return;
+  RFED_CHECK(tls_active_pool != this)
+      << "ParallelFor is not reentrant: task #" << tls_active_task
+      << " of this pool re-entered ParallelFor";
   if (num_threads_ <= 1 || n == 1) {
-    for (int i = 0; i < n; ++i) fn(i);
+    for (int i = 0; i < n; ++i) RunTask(i, fn);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    RFED_CHECK_EQ(pending_, 0) << "ParallelFor is not reentrant";
+    RFED_CHECK_EQ(pending_, 0)
+        << "ParallelFor is not reentrant: a batch is already in flight "
+           "(concurrent call from another thread)";
     pending_ = n;
     for (int i = 0; i < n; ++i) {
-      tasks_.push([fn, i] { fn(i); });
+      tasks_.push([this, fn, i] { RunTask(i, fn); });
     }
   }
   work_cv_.notify_all();

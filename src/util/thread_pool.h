@@ -27,10 +27,17 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) and blocks until all complete. fn must be
   /// safe to call concurrently for distinct i.
+  ///
+  /// NOT reentrant: fn must never call ParallelFor on the *same* pool
+  /// (from a worker it would deadlock waiting for workers that are all
+  /// busy; from another thread it would corrupt the pending count). A
+  /// violation aborts with a message naming the task that re-entered.
+  /// Nesting across *different* pools is fine.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
  private:
   void WorkerLoop();
+  void RunTask(int index, const std::function<void(int)>& fn);
 
   int num_threads_;
   std::vector<std::thread> workers_;

@@ -208,5 +208,70 @@ TEST_P(FaultSweepTest, TenRoundsUnderHeavyDropsStayFinite) {
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, FaultSweepTest,
                          ::testing::ValuesIn(kAlgorithms));
 
+// ---- Sim-runtime goldens ----
+// One deadline-mode and one async-mode row pin the virtual-time
+// semantics: any change to the event model, the straggler draws, or the
+// staleness weighting trips these. Regenerate like the main table:
+//   RFED_PRINT_GOLDEN=1 ./build/tests/golden_test
+
+struct SimGolden {
+  const char* algorithm;
+  SimMode mode;
+  double final_loss;
+  double virtual_ms;  ///< TotalVirtualMs over the 3 rounds
+  int64_t total_bytes;
+  int64_t stragglers_cut;
+};
+
+constexpr SimGolden kSimGoldens[] = {
+    {"fedavg", SimMode::kDeadline, 2.3187666734, 81.5907334654, 46224, 2},
+    {"rfedavg_plus", SimMode::kAsync, 2.2693006396, 81.6421905083, 51776, 0},
+};
+
+/// Lognormal stragglers over a finite network; deadline cuts at 40
+/// virtual ms, async buffers 2 arrivals per server update.
+FlConfig SimGoldenConfig(SimMode mode) {
+  FlConfig config = GoldenConfig();
+  config.sim.mode = mode;
+  config.sim.compute.kind = ComputeModelKind::kLognormal;
+  config.sim.compute.mean_ms_per_step = 10.0;
+  config.sim.compute.sigma = 1.0;
+  config.sim.network.down_bytes_per_ms = 1000.0;
+  config.sim.network.up_bytes_per_ms = 1000.0;
+  config.sim.network.base_latency_ms = 2.0;
+  if (mode == SimMode::kDeadline) config.sim.deadline_ms = 40.0;
+  if (mode == SimMode::kAsync) config.sim.async_buffer = 2;
+  return config;
+}
+
+class SimGoldenTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimGoldenTest, SeededSimRunMatchesCheckedInValues) {
+  const SimGolden& golden = kSimGoldens[GetParam()];
+  RunHistory history =
+      RunGolden(golden.algorithm, SimGoldenConfig(golden.mode), 3);
+  const double loss = history.rounds.back().train_loss;
+  const double virtual_ms = history.TotalVirtualMs();
+  const int64_t bytes = history.TotalBytes();
+  const int64_t cut = history.TotalStragglersCut();
+
+  if (std::getenv("RFED_PRINT_GOLDEN") != nullptr) {
+    std::printf("    {\"%s\", SimMode::%s, %.10f, %.10f, %lld, %lld},\n",
+                golden.algorithm,
+                golden.mode == SimMode::kDeadline ? "kDeadline" : "kAsync",
+                loss, virtual_ms, static_cast<long long>(bytes),
+                static_cast<long long>(cut));
+    return;
+  }
+  EXPECT_NEAR(loss, golden.final_loss, 1e-5) << golden.algorithm;
+  EXPECT_NEAR(virtual_ms, golden.virtual_ms, 1e-3) << golden.algorithm;
+  EXPECT_EQ(bytes, golden.total_bytes) << golden.algorithm;
+  EXPECT_EQ(cut, golden.stragglers_cut) << golden.algorithm;
+  // Simulated time actually elapsed.
+  EXPECT_GT(virtual_ms, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SimModes, SimGoldenTest, ::testing::Range(0, 2));
+
 }  // namespace
 }  // namespace rfed

@@ -174,6 +174,46 @@ TEST(ThreadPoolTest, ZeroIterationsIsNoop) {
   pool.ParallelFor(0, [](int) { FAIL(); });
 }
 
+// ParallelFor is not reentrant: a task that calls ParallelFor on its own
+// pool would deadlock waiting for itself, so the pool aborts with a
+// message naming the offending task instead.
+TEST(ThreadPoolDeathTest, ReentrantParallelForAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(2);
+  EXPECT_DEATH(
+      pool.ParallelFor(4,
+                       [&pool](int i) {
+                         if (i == 1) pool.ParallelFor(2, [](int) {});
+                       }),
+      "not reentrant.*task #1");
+}
+
+TEST(ThreadPoolDeathTest, SequentialReentrancyAlsoAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The contract is uniform across modes: the in-caller sequential path
+  // rejects nesting too, so code does not "work on 1 thread, die on 4".
+  ThreadPool pool(1);
+  EXPECT_DEATH(
+      pool.ParallelFor(3,
+                       [&pool](int i) {
+                         if (i == 2) pool.ParallelFor(2, [](int) {});
+                       }),
+      "not reentrant.*task #2");
+}
+
+TEST(ThreadPoolTest, DistinctPoolsMayNest) {
+  // Only same-pool nesting is banned; delegating to a different pool is
+  // fine. The outer pool is sequential so the inner pool sees one batch
+  // at a time (concurrent batches on one pool are also rejected).
+  ThreadPool outer(1);
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  outer.ParallelFor(4, [&inner, &count](int) {
+    inner.ParallelFor(3, [&count](int) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 12);
+}
+
 TEST(StopwatchTest, ElapsedIsMonotone) {
   Stopwatch watch;
   const double first = watch.ElapsedSeconds();
