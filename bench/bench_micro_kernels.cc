@@ -1,115 +1,369 @@
-// Google-benchmark microbenchmarks of the numeric kernels the simulator
-// spends its time in: GEMM, im2col convolution, LSTM step, the MMD
-// regularizer and the δ-map computation. Useful for tracking kernel
-// regressions independently of the end-to-end experiment binaries.
+// Kernel-layer benchmark sweep: times the blocked/threaded kernels
+// (tensor/kernels.h) against the retained naive references (rfed::ref)
+// on the GEMM and convolution shapes the paper's models actually hit,
+// and writes the table as BENCH_kernels.json (GFLOP/s plus
+// speedup-vs-seed per shape and thread count; see docs/KERNELS.md for
+// how to read it). Every case first asserts the optimized kernel is
+// bit-identical to its reference before any timing.
+//
+// Usage:
+//   ./build/bench/bench_micro_kernels                  # full sweep
+//   ./build/bench/bench_micro_kernels --out path.json  # custom output
+//   ./build/bench/bench_micro_kernels --smoke          # <2 s correctness
+//       pass over threads {1,2,4}, tiny timings, no JSON (the
+//       `bench_smoke` ctest target)
+//   --min_ms N    measurement window per timing (default 300; smoke 5)
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "core/mmd.h"
-#include "nn/lstm.h"
-#include "nn/models.h"
-#include "tensor/tensor_ops.h"
-#include "util/rng.h"
+#include "tensor/kernels.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
 
 namespace rfed {
 namespace {
 
-void BM_MatMul(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  Rng rng(1);
-  Tensor a = Tensor::Normal(Shape{n, n}, 0, 1, &rng);
-  Tensor b = Tensor::Normal(Shape{n, n}, 0, 1, &rng);
-  for (auto _ : state) {
-    Tensor c = MatMul(a, b);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+constexpr int kThreadCounts[] = {1, 2, 4};
 
-void BM_Conv2dForward(benchmark::State& state) {
-  const int64_t batch = state.range(0);
-  Conv2dSpec spec{.in_channels = 3, .out_channels = 8, .kernel = 5,
-                  .stride = 1, .pad = 2};
-  Rng rng(2);
-  Tensor x = Tensor::Normal(Shape{batch, 3, 12, 12}, 0, 1, &rng);
-  Tensor w = Tensor::Normal(Shape{8, 75}, 0, 0.1f, &rng);
-  Tensor b(Shape{8});
-  for (auto _ : state) {
-    Tensor y = Conv2dForward(x, w, b, spec);
-    benchmark::DoNotOptimize(y.data());
+/// Deterministic non-degenerate fill without exact zeros, so the
+/// references' zero-skip fast path never fires and the comparison is
+/// fair.
+std::vector<float> Fill(int64_t n, float scale, float phase) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    v[static_cast<size_t>(i)] =
+        scale * (0.1f + std::sin(0.7f * static_cast<float>(i) + phase));
   }
+  return v;
 }
-BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(32);
 
-void BM_Conv2dBackward(benchmark::State& state) {
-  const int64_t batch = state.range(0);
-  Conv2dSpec spec{.in_channels = 3, .out_channels = 8, .kernel = 5,
-                  .stride = 1, .pad = 2};
-  Rng rng(3);
-  Tensor x = Tensor::Normal(Shape{batch, 3, 12, 12}, 0, 1, &rng);
-  Tensor w = Tensor::Normal(Shape{8, 75}, 0, 0.1f, &rng);
-  Tensor b(Shape{8});
-  Tensor y = Conv2dForward(x, w, b, spec);
-  Tensor grad = Tensor::Full(y.shape(), 1.0f);
-  for (auto _ : state) {
-    Tensor dx, dw, db;
-    Conv2dBackward(grad, x, w, spec, &dx, &dw, &db);
-    benchmark::DoNotOptimize(dx.data());
+/// Best-of-3 mean per-call milliseconds: one warmup call, then three
+/// independent measurement windows of `min_ms` each; the fastest window
+/// wins. Taking the minimum suppresses the frequency-scaling and
+/// scheduling noise a shared single-core box produces.
+template <typename F>
+double TimeMs(const F& fn, double min_ms) {
+  fn();
+  double best = 0.0;
+  for (int window = 0; window < 3; ++window) {
+    int iters = 0;
+    Stopwatch sw;
+    double elapsed = 0.0;
+    do {
+      fn();
+      ++iters;
+      elapsed = sw.ElapsedMillis();
+    } while (elapsed < min_ms);
+    const double per_iter = elapsed / iters;
+    if (window == 0 || per_iter < best) best = per_iter;
   }
+  return best;
 }
-BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(32);
 
-void BM_LstmStep(benchmark::State& state) {
-  const int64_t batch = state.range(0);
-  Rng rng(4);
-  LstmLayer lstm(16, 32, &rng);
-  Variable x(Tensor::Normal(Shape{batch, 16}, 0, 1, &rng));
-  auto init = lstm.InitialState(batch);
-  for (auto _ : state) {
-    auto next = lstm.Step(x, init);
-    benchmark::DoNotOptimize(next.h.value().data());
-  }
-}
-BENCHMARK(BM_LstmStep)->Arg(10)->Arg(32);
+enum class Kind { kGemmAdd, kGemmTransA, kGemmTransB, kConvFwd, kConvBwd };
 
-void BM_PairwiseMmdRegularizer(benchmark::State& state) {
-  const int num_targets = static_cast<int>(state.range(0));
-  Rng rng(5);
-  Tensor features = Tensor::Normal(Shape{32, 64}, 0, 1, &rng);
-  std::vector<Tensor> targets;
-  for (int j = 0; j < num_targets; ++j) {
-    targets.push_back(Tensor::Normal(Shape{64}, 0, 1, &rng));
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kGemmAdd: return "gemm_add";
+    case Kind::kGemmTransA: return "gemm_transA_add";
+    case Kind::kGemmTransB: return "gemm_transB_assign";
+    case Kind::kConvFwd: return "conv2d_forward";
+    case Kind::kConvBwd: return "conv2d_backward";
   }
-  for (auto _ : state) {
-    Variable f(features, true);
-    Variable r = PairwiseMmdRegularizer(f, targets);
-    r.Backward();
-    benchmark::DoNotOptimize(f.grad().data());
-  }
+  return "?";
 }
-// The rFedAvg-vs-rFedAvg+ per-step regularizer cost gap: N-1 targets vs 1.
-BENCHMARK(BM_PairwiseMmdRegularizer)->Arg(1)->Arg(19)->Arg(99);
 
-void BM_CnnForwardBackward(benchmark::State& state) {
-  Rng rng(6);
-  CnnConfig config;
-  config.in_channels = 3;
-  CnnModel model(config, &rng);
-  Batch batch;
-  batch.images = Tensor::Normal(Shape{24, 3, 12, 12}, 0, 1, &rng);
-  for (int i = 0; i < 24; ++i) batch.labels.push_back(i % 10);
-  for (auto _ : state) {
-    ModelOutput out = model.Forward(batch);
-    Variable loss = ag::SoftmaxCrossEntropy(out.logits, batch.labels);
-    model.ZeroGrad();
-    loss.Backward();
-    benchmark::DoNotOptimize(loss.value().ToScalar());
-  }
+struct Case {
+  const char* name;
+  Kind kind;
+  // GEMM dims (kind-dependent roles, see Run below); unused for conv.
+  int64_t m = 0, k = 0, n = 0;
+  ConvKernelShape conv;  // conv kinds only
+  bool smoke = false;    // included in the --smoke subset
+  bool acceptance = false;  // the EXPERIMENTS.md >= 3x shape
+};
+
+/// The sweep. Miniature shapes mirror the repo's 12x12 synthetic
+/// profiles (CnnConfig defaults: conv1 8ch, conv2 16ch, k=5 same-pad,
+/// LSTM 16->32); paper-scale shapes use the source paper's real CIFAR-10
+/// dimensions (32x32x3, batch 32, 64-channel first conv).
+std::vector<Case> Sweep() {
+  std::vector<Case> cases;
+  // GEMMs: {m, k, n} as C[m,n] += A[m,k] B[k,n].
+  cases.push_back({"fc1_mnist", Kind::kGemmAdd, 32, 144, 64, {}, true});
+  cases.push_back({"lstm_gates", Kind::kGemmAdd, 32, 48, 128, {}});
+  cases.push_back({"fc_cifar_paper", Kind::kGemmAdd, 32, 1600, 384, {}});
+  // The per-batch im2col product of the paper-scale CIFAR first conv:
+  // weights [64, 75] x columns [75, 32*32*32]. The acceptance shape.
+  cases.push_back(
+      {"cifar_conv1_gemm", Kind::kGemmAdd, 64, 75, 32768, {}, false, true});
+  // Backward shapes of that conv, one image: dcols[k,n] += W^T[m,k] go[m,n]
+  // and dW[m,k] = go[m,n] cols[k,n]^T.
+  cases.push_back({"conv_dx_gemm", Kind::kGemmTransA, 64, 75, 1024, {}, true});
+  cases.push_back({"conv_dw_gemm", Kind::kGemmTransB, 64, 1024, 75, {}, true});
+  // End-to-end convolutions (batch, cin, h, w, cout, kernel, stride, pad).
+  cases.push_back({"conv1_mnist_fwd", Kind::kConvFwd, 0, 0, 0,
+                   {32, 1, 12, 12, 8, 5, 1, 2}, true});
+  cases.push_back({"conv2_mnist_fwd", Kind::kConvFwd, 0, 0, 0,
+                   {32, 8, 6, 6, 16, 5, 1, 2}});
+  cases.push_back({"conv1_mnist_bwd", Kind::kConvBwd, 0, 0, 0,
+                   {32, 1, 12, 12, 8, 5, 1, 2}, true});
+  cases.push_back({"conv1_cifar_fwd", Kind::kConvFwd, 0, 0, 0,
+                   {32, 3, 32, 32, 64, 5, 1, 2}});
+  cases.push_back({"conv1_cifar_bwd", Kind::kConvBwd, 0, 0, 0,
+                   {32, 3, 32, 32, 64, 5, 1, 2}});
+  return cases;
 }
-BENCHMARK(BM_CnnForwardBackward);
+
+int64_t CaseFlops(const Case& c) {
+  switch (c.kind) {
+    case Kind::kGemmAdd:
+    case Kind::kGemmTransA:
+      return 2 * c.m * c.k * c.n;
+    case Kind::kGemmTransB:
+      return 2 * c.m * c.k * c.n;  // m rows x k dots of length n
+    case Kind::kConvFwd:
+      return 2 * c.conv.batch * c.conv.out_channels * c.conv.Patch() *
+             c.conv.OutArea();
+    case Kind::kConvBwd:  // dx GEMM + dw GEMM (db is negligible)
+      return 4 * c.conv.batch * c.conv.out_channels * c.conv.Patch() *
+             c.conv.OutArea();
+  }
+  return 0;
+}
+
+/// One benchmark case's buffers plus ref/opt runners over them.
+struct Workbench {
+  std::vector<float> a, b, bias, out_ref, out_opt, dx, dw, db;
+
+  explicit Workbench(const Case& c) {
+    switch (c.kind) {
+      case Kind::kGemmAdd:
+      case Kind::kGemmTransA:
+        // GemmTransAAdd reads A as [m,k] and B as [m,n] -> C[k,n]; sizes
+        // below cover both layouts.
+        a = Fill(c.m * c.k, 1.0f, 0.3f);
+        b = Fill(c.kind == Kind::kGemmAdd ? c.k * c.n : c.m * c.n, 0.5f, 1.1f);
+        out_ref.assign(static_cast<size_t>(
+                           c.kind == Kind::kGemmAdd ? c.m * c.n : c.k * c.n),
+                       0.0f);
+        break;
+      case Kind::kGemmTransB:
+        a = Fill(c.m * c.n, 1.0f, 0.3f);
+        b = Fill(c.k * c.n, 0.5f, 1.1f);
+        out_ref.assign(static_cast<size_t>(c.m * c.k), 0.0f);
+        break;
+      case Kind::kConvFwd:
+      case Kind::kConvBwd: {
+        const ConvKernelShape& s = c.conv;
+        a = Fill(s.batch * s.in_channels * s.height * s.width, 1.0f, 0.3f);
+        b = Fill(s.out_channels * s.Patch(), 0.2f, 1.1f);
+        bias = Fill(s.out_channels, 0.1f, 2.2f);
+        out_ref.assign(
+            static_cast<size_t>(s.batch * s.out_channels * s.OutArea()), 0.0f);
+        if (c.kind == Kind::kConvBwd) {
+          // out_ref doubles as grad_out for the backward case: nonzero
+          // so the reference's zero-skip path never fires.
+          out_ref = Fill(s.batch * s.out_channels * s.OutArea(), 0.4f, 1.7f);
+          dx.assign(a.size(), 0.0f);
+          dw.assign(b.size(), 0.0f);
+          db.assign(bias.size(), 0.0f);
+        }
+        break;
+      }
+    }
+    out_opt = out_ref;
+  }
+
+  /// Runs the case once; `optimized` picks the blocked vs ref kernel.
+  /// Accumulating kinds re-run on the same output (fine for timing: the
+  /// float work is identical each pass); bitwise comparison below resets
+  /// the buffers itself.
+  void Run(const Case& c, bool optimized) {
+    float* out = optimized ? out_opt.data() : out_ref.data();
+    switch (c.kind) {
+      case Kind::kGemmAdd:
+        (optimized ? GemmAdd : ref::GemmAdd)(a.data(), b.data(), c.m, c.k, c.n,
+                                             out);
+        break;
+      case Kind::kGemmTransA:
+        (optimized ? GemmTransAAdd : ref::GemmTransAAdd)(a.data(), b.data(),
+                                                         c.m, c.k, c.n, out);
+        break;
+      case Kind::kGemmTransB:
+        (optimized ? GemmTransBAssign : ref::GemmTransBAssign)(
+            a.data(), b.data(), c.m, c.n, c.k, out);
+        break;
+      case Kind::kConvFwd:
+        std::memset(out, 0, out_ref.size() * sizeof(float));
+        (optimized ? Conv2dForwardKernel : ref::Conv2dForwardKernel)(
+            a.data(), b.data(), bias.data(), c.conv, out);
+        break;
+      case Kind::kConvBwd:
+        std::memset(dx.data(), 0, dx.size() * sizeof(float));
+        std::memset(dw.data(), 0, dw.size() * sizeof(float));
+        std::memset(db.data(), 0, db.size() * sizeof(float));
+        (optimized ? Conv2dBackwardKernel : ref::Conv2dBackwardKernel)(
+            out_ref.data(), a.data(), b.data(), c.conv, dx.data(), dw.data(),
+            db.data());
+        break;
+    }
+  }
+
+  /// Bit-identity check: runs ref then opt from zeroed outputs and
+  /// memcmps. ConvBwd compares dx/dw/db via two sequential Run passes
+  /// (Run zeroes them itself), snapshotting between.
+  bool Verify(const Case& c) {
+    if (c.kind == Kind::kConvBwd) {
+      Run(c, /*optimized=*/false);
+      std::vector<float> rdx = dx, rdw = dw, rdb = db;
+      Run(c, /*optimized=*/true);
+      return rdx == dx && rdw == dw && rdb == db;
+    }
+    std::fill(out_ref.begin(), out_ref.end(), 0.0f);
+    std::fill(out_opt.begin(), out_opt.end(), 0.0f);
+    Run(c, /*optimized=*/false);
+    Run(c, /*optimized=*/true);
+    return std::memcmp(out_ref.data(), out_opt.data(),
+                       out_ref.size() * sizeof(float)) == 0;
+  }
+};
+
+struct Timing {
+  int threads;
+  double ms;
+  double gflops;
+  double speedup;
+};
+
+struct Result {
+  Case c;
+  double ref_ms = 0.0;
+  double ref_gflops = 0.0;
+  std::vector<Timing> opt;
+};
+
+void SetThreads(int threads) {
+  KernelOptions o;
+  o.threads = threads;
+  SetKernelOptions(o);
+}
+
+void WriteJson(const std::string& path, const std::vector<Result>& results,
+               double min_ms) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernels\",\n");
+  std::fprintf(f, "  \"baseline\": \"rfed::ref (seed naive kernels)\",\n");
+  std::fprintf(f, "  \"min_ms_per_timing\": %.0f,\n", min_ms);
+  std::fprintf(f, "  \"cases\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f, "    {\n      \"name\": \"%s\",\n", r.c.name);
+    std::fprintf(f, "      \"kind\": \"%s\",\n", KindName(r.c.kind));
+    if (r.c.kind == Kind::kConvFwd || r.c.kind == Kind::kConvBwd) {
+      const ConvKernelShape& s = r.c.conv;
+      std::fprintf(f,
+                   "      \"shape\": {\"batch\": %lld, \"cin\": %lld, \"h\": "
+                   "%lld, \"w\": %lld, \"cout\": %lld, \"kernel\": %lld, "
+                   "\"stride\": %lld, \"pad\": %lld},\n",
+                   static_cast<long long>(s.batch),
+                   static_cast<long long>(s.in_channels),
+                   static_cast<long long>(s.height),
+                   static_cast<long long>(s.width),
+                   static_cast<long long>(s.out_channels),
+                   static_cast<long long>(s.kernel),
+                   static_cast<long long>(s.stride),
+                   static_cast<long long>(s.pad));
+    } else {
+      std::fprintf(f, "      \"shape\": {\"m\": %lld, \"k\": %lld, \"n\": %lld},\n",
+                   static_cast<long long>(r.c.m), static_cast<long long>(r.c.k),
+                   static_cast<long long>(r.c.n));
+    }
+    std::fprintf(f, "      \"flops\": %lld,\n",
+                 static_cast<long long>(CaseFlops(r.c)));
+    std::fprintf(f, "      \"ref_ms\": %.4f,\n      \"ref_gflops\": %.3f,\n",
+                 r.ref_ms, r.ref_gflops);
+    std::fprintf(f, "      \"acceptance_shape\": %s,\n",
+                 r.c.acceptance ? "true" : "false");
+    std::fprintf(f, "      \"opt\": [\n");
+    for (size_t t = 0; t < r.opt.size(); ++t) {
+      const Timing& ot = r.opt[t];
+      std::fprintf(f,
+                   "        {\"threads\": %d, \"ms\": %.4f, \"gflops\": %.3f, "
+                   "\"speedup_vs_seed\": %.3f}%s\n",
+                   ot.threads, ot.ms, ot.gflops, ot.speedup,
+                   t + 1 < r.opt.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const double min_ms = flags.GetDouble("min_ms", smoke ? 5.0 : 300.0);
+  const std::string out = flags.GetString("out", smoke ? "" : "BENCH_kernels.json");
+
+  std::vector<Result> results;
+  int failures = 0;
+  for (const Case& c : Sweep()) {
+    if (smoke && !c.smoke) continue;
+    Workbench wb(c);
+    // Correctness gate: the optimized kernel must be bit-identical to
+    // the seed reference at every thread count before it is timed.
+    for (int threads : kThreadCounts) {
+      SetThreads(threads);
+      if (!wb.Verify(c)) {
+        std::fprintf(stderr, "FAIL: %s not bit-identical at threads=%d\n",
+                     c.name, threads);
+        ++failures;
+      }
+    }
+    Result r;
+    r.c = c;
+    SetThreads(1);
+    r.ref_ms = TimeMs([&] { wb.Run(c, false); }, min_ms);
+    const double flops = static_cast<double>(CaseFlops(c));
+    r.ref_gflops = flops / (r.ref_ms * 1e6);
+    for (int threads : kThreadCounts) {
+      SetThreads(threads);
+      Timing t;
+      t.threads = threads;
+      t.ms = TimeMs([&] { wb.Run(c, true); }, min_ms);
+      t.gflops = flops / (t.ms * 1e6);
+      t.speedup = r.ref_ms / t.ms;
+      r.opt.push_back(t);
+    }
+    std::printf("%-18s %-18s ref %8.3f ms (%6.2f GF/s)", c.name,
+                KindName(c.kind), r.ref_ms, r.ref_gflops);
+    for (const Timing& t : r.opt) {
+      std::printf("  t%d %8.3f ms (%5.2fx)", t.threads, t.ms, t.speedup);
+    }
+    std::printf("%s\n", c.acceptance ? "  [acceptance]" : "");
+    results.push_back(std::move(r));
+  }
+  SetKernelOptions(KernelOptions{});
+
+  if (!out.empty()) WriteJson(out, results, min_ms);
+  if (failures > 0) return 1;
+  if (smoke) {
+    std::printf("smoke OK: all cases bit-identical across threads {1,2,4}\n");
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace rfed
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return rfed::Main(argc, argv); }

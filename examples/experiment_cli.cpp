@@ -30,6 +30,8 @@
 //   --base_latency_ms (0)   --deadline_ms (deadline mode, required > 0)
 //   --async_buffer K arrivals per server update (2)
 //   --num_threads parallel local training (1 = sequential)
+//   --kernel_threads intra-op GEMM/conv threads (1 = serial kernels;
+//       any value is bit-identical, see docs/KERNELS.md)
 
 #include <cstdio>
 
@@ -132,6 +134,7 @@ int main(int argc, char** argv) {
   fl.sim.deadline_ms = flags.GetDouble("deadline_ms", 0.0);
   fl.sim.async_buffer = flags.GetInt("async_buffer", 2);
   fl.num_threads = flags.GetInt("num_threads", 1);
+  fl.kernel_threads = flags.GetInt("kernel_threads", 1);
 
   RegularizerOptions reg;
   reg.lambda = flags.GetDouble("lambda", is_text ? 1e-4 : 1e-3);
@@ -201,10 +204,12 @@ int main(int argc, char** argv) {
   FederatedTrainer trainer(algorithm.get(), test.get(), options);
   RunHistory history = trainer.Run(rounds);
 
-  std::printf("\n%s on %s: final=%.3f best=%.3f total_comm=%lld bytes\n",
+  std::printf("\n%s on %s: final=%.3f best=%.3f total_comm=%lld bytes "
+              "kernel_scratch_peak=%lld bytes\n",
               method.c_str(), dataset.c_str(), history.FinalAccuracy(),
               history.BestAccuracy(),
-              static_cast<long long>(algorithm->comm().total_bytes()));
+              static_cast<long long>(algorithm->comm().total_bytes()),
+              static_cast<long long>(history.PeakKernelScratchBytes()));
   if (fl.fault.enabled()) {
     std::printf("channel: delivered=%lld dropped=%lld retried=%lld\n",
                 static_cast<long long>(history.TotalDelivered()),

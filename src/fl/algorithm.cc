@@ -7,6 +7,7 @@
 #include "fl/model_state.h"
 #include "fl/selection.h"
 #include "nn/loss.h"
+#include "tensor/kernels.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -51,6 +52,9 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
     RFED_CHECK_GE(config_.sim.async_buffer, 1)
         << "async mode needs sim.async_buffer >= 1";
   }
+  // Intra-op kernel parallelism (tensor/kernels.h). Results are
+  // bit-identical for every thread count, so this only affects speed.
+  SetKernelThreads(config_.kernel_threads);
 
   // FedAvg weights p_k = n_k / n.
   int64_t total = 0;

@@ -35,7 +35,8 @@ void SaveHistoryCsv(const RunHistory& history, const std::string& path) {
   CsvWriter csv(path, {"round", "train_loss", "test_accuracy",
                        "round_seconds", "round_bytes", "delivered",
                        "dropped", "retried", "virtual_ms", "client_p50_ms",
-                       "client_p95_ms", "stragglers_cut", "mean_staleness"});
+                       "client_p95_ms", "stragglers_cut", "mean_staleness",
+                       "peak_scratch_bytes"});
   for (const RoundMetrics& r : history.rounds) {
     csv.WriteRow({std::to_string(r.round), StrFormat("%.6f", r.train_loss),
                   std::isnan(r.test_accuracy)
@@ -50,7 +51,8 @@ void SaveHistoryCsv(const RunHistory& history, const std::string& path) {
                   StrFormat("%.3f", r.client_p50_ms),
                   StrFormat("%.3f", r.client_p95_ms),
                   std::to_string(r.stragglers_cut),
-                  StrFormat("%.3f", r.mean_staleness)});
+                  StrFormat("%.3f", r.mean_staleness),
+                  std::to_string(r.peak_scratch_bytes)});
   }
 }
 

@@ -19,8 +19,10 @@ void SaveTensorToFile(const Tensor& tensor, const std::string& path);
 /// Reads a tensor written by SaveTensorToFile.
 Tensor LoadTensorFromFile(const std::string& path);
 
-/// Writes a run history as CSV (round, train_loss, test_accuracy,
-/// round_seconds, round_bytes).
+/// Writes a run history as CSV, one row per round: training/eval curves
+/// (train_loss, test_accuracy), cost accounting (round_seconds,
+/// round_bytes, peak_scratch_bytes), fault-channel delivery counts and
+/// the sim runtime's latency columns.
 void SaveHistoryCsv(const RunHistory& history, const std::string& path);
 
 }  // namespace rfed

@@ -83,6 +83,12 @@ int64_t RunHistory::TotalStragglersCut() const {
   return total;
 }
 
+int64_t RunHistory::PeakKernelScratchBytes() const {
+  int64_t peak = 0;
+  for (const auto& r : rounds) peak = std::max(peak, r.peak_scratch_bytes);
+  return peak;
+}
+
 MeanStd ComputeMeanStd(const std::vector<double>& values) {
   RFED_CHECK(!values.empty());
   double sum = 0.0;

@@ -26,6 +26,10 @@ struct RoundMetrics {
   double client_p95_ms = 0.0;    ///< straggler tail latency
   int stragglers_cut = 0;        ///< deadline mode: arrivals after the cut
   double mean_staleness = 0.0;   ///< async mode: mean versions-behind
+  /// Kernel-layer scratch high-water mark (bytes across all thread
+  /// arenas) as of the end of this round; see ScratchArena in
+  /// tensor/kernels.h. Monotone over a run — the arenas grow and stay.
+  int64_t peak_scratch_bytes = 0;
 };
 
 /// Full training history of one run.
@@ -57,6 +61,9 @@ struct RunHistory {
   double VirtualMsToReachLoss(double target) const;
   /// Total deadline-mode straggler cuts over the run.
   int64_t TotalStragglersCut() const;
+  /// Peak kernel scratch-arena bytes observed over the run (max across
+  /// rounds of the per-round high-water mark).
+  int64_t PeakKernelScratchBytes() const;
 };
 
 /// Mean and (population) standard deviation of a sample; the tables

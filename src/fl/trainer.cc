@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "nn/loss.h"
+#include "tensor/kernels.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -91,6 +92,7 @@ RunHistory FederatedTrainer::Run(int rounds) {
     metrics.client_p95_ms = result.client_p95_ms;
     metrics.stragglers_cut = result.stragglers_cut;
     metrics.mean_staleness = result.mean_staleness;
+    metrics.peak_scratch_bytes = ScratchArena::PeakBytes();
     const bool eval_now =
         (round % options_.eval_every == 0) || round == rounds - 1;
     metrics.test_accuracy = eval_now ? EvaluateGlobal() : std::nan("");

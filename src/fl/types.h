@@ -62,6 +62,12 @@ struct FlConfig {
   /// a round in parallel on per-client scratch models with per-client
   /// RNG streams, bit-identical to the sequential path.
   int num_threads = 1;
+  /// Worker threads *inside* the tensor kernels (blocked GEMM / conv;
+  /// see tensor/kernels.h). <= 1 keeps every kernel on its calling
+  /// thread (the default). Any value is bit-identical — the kernels'
+  /// deterministic partition never splits a reduction — so this only
+  /// trades wall time, pinned by the golden suite across {1, 2, 4}.
+  int kernel_threads = 1;
 };
 
 }  // namespace rfed

@@ -11,12 +11,15 @@ namespace rfed {
 /// in im2col layout [Cout, Cin*K*K].
 class Conv2dLayer : public Module {
  public:
+  /// Registers weight [Cout, Cin*K*K] (Kaiming-normal, fan_in = Cin*K*K)
+  /// and bias [Cout] (zero).
   Conv2dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel,
               int64_t stride, int64_t pad, Rng* rng);
 
   /// x: [B, Cin, H, W] -> [B, Cout, Ho, Wo].
   Variable Forward(const Variable& x);
 
+  /// The static shape parameters this layer was built with.
   const Conv2dSpec& spec() const { return spec_; }
 
  private:

@@ -10,6 +10,7 @@ namespace rfed {
 /// Fully connected layer: y = x W + b with W [in, out], b [out].
 class Linear : public Module {
  public:
+  /// Registers W [in, out] (Xavier-uniform) and b [out] (zero).
   Linear(int64_t in_features, int64_t out_features, Rng* rng);
 
   /// x: [batch, in] -> [batch, out].

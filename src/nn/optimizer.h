@@ -67,6 +67,8 @@ class RmsPropOptimizer : public Optimizer {
 /// Names accepted by MakeOptimizer.
 enum class OptimizerKind { kSgd, kRmsProp };
 
+/// Builds the named optimizer with its default hyperparameters (the
+/// FlConfig::optimizer dispatch point).
 std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
                                          std::vector<Variable*> params,
                                          double lr);

@@ -1,0 +1,637 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace rfed {
+namespace {
+
+// Register tile of the GEMM micro-kernel: kMR rows of A by kNR columns
+// of B accumulated in registers. 4x8 floats = 8 SSE vectors of
+// accumulators, small enough that GCC keeps the whole tile in xmm
+// registers at the baseline x86-64 ISA.
+constexpr int64_t kMR = 4;
+constexpr int64_t kNR = 8;
+// Register tile of the TransB (row-dot) kernel: kTR independent
+// double-precision accumulator chains per pass over a row of A.
+constexpr int64_t kTR = 4;
+
+// Scratch slot convention (one arena per thread; nested kernel calls
+// must use disjoint slots):
+//   0  packed B panels of GemmAdd
+//   1  packed A tile of GemmAdd
+//   2  transposed A of GemmTransAAdd
+//   3  im2col columns of the conv drivers
+//   4  column gradients (dcols) of the conv backward
+//   5  per-image dw/db partials of the conv backward (caller thread)
+//   6  interleaved B panels of GemmTransBAssign
+constexpr int kSlotPackB = 0;
+constexpr int kSlotPackA = 1;
+constexpr int kSlotTransA = 2;
+constexpr int kSlotIm2Col = 3;
+constexpr int kSlotDCols = 4;
+constexpr int kSlotConvPartial = 5;
+constexpr int kSlotPackTB = 6;
+
+KernelOptions g_options;
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;  // guarded by g_pool_mu
+int g_pool_threads = 0;              // guarded by g_pool_mu
+
+std::atomic<int64_t> g_scratch_bytes{0};
+std::atomic<int64_t> g_scratch_peak{0};
+
+void NotePeak(int64_t current) {
+  int64_t peak = g_scratch_peak.load(std::memory_order_relaxed);
+  while (current > peak &&
+         !g_scratch_peak.compare_exchange_weak(peak, current,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+const KernelOptions& GetKernelOptions() { return g_options; }
+
+void SetKernelOptions(const KernelOptions& options) {
+  KernelOptions fixed = options;
+  fixed.block_m = std::max(1, fixed.block_m);
+  fixed.block_k = std::max(1, fixed.block_k);
+  fixed.block_n = std::max(1, fixed.block_n);
+  g_options = fixed;
+}
+
+void SetKernelThreads(int threads) { g_options.threads = threads; }
+
+ScratchArena& ScratchArena::ThreadLocal() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+float* ScratchArena::Buffer(int slot, size_t floats) {
+  RFED_CHECK_GE(slot, 0);
+  RFED_CHECK_LT(slot, kMaxSlots);
+  Slot& s = slots_[slot];
+  if (s.capacity < floats) {
+    const int64_t delta =
+        static_cast<int64_t>((floats - s.capacity) * sizeof(float));
+    delete[] s.data;
+    s.data = new float[floats];
+    s.capacity = floats;
+    NotePeak(g_scratch_bytes.fetch_add(delta, std::memory_order_relaxed) +
+             delta);
+  }
+  return s.data;
+}
+
+ScratchArena::~ScratchArena() {
+  int64_t total = 0;
+  for (Slot& s : slots_) {
+    total += static_cast<int64_t>(s.capacity * sizeof(float));
+    delete[] s.data;
+  }
+  g_scratch_bytes.fetch_sub(total, std::memory_order_relaxed);
+}
+
+int64_t ScratchArena::PeakBytes() {
+  return g_scratch_peak.load(std::memory_order_relaxed);
+}
+
+void ScratchArena::ResetPeak() {
+  g_scratch_peak.store(g_scratch_bytes.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+void internal::ParallelForImpl(int64_t chunks, const void* ctx,
+                               void (*trampoline)(const void*, int64_t)) {
+  const int threads = g_options.threads;
+  if (threads > 1 && chunks > 1) {
+    // The pool is a process singleton; if another thread is mid-fan-out
+    // (kernels called from the FL trainer's own worker pool), fall back
+    // to the serial path — values never depend on the choice.
+    std::unique_lock<std::mutex> lock(g_pool_mu, std::try_to_lock);
+    if (lock.owns_lock()) {
+      if (!g_pool || g_pool_threads != threads) {
+        g_pool = std::make_unique<ThreadPool>(threads);
+        g_pool_threads = threads;
+      }
+      g_pool->ParallelFor(static_cast<int>(chunks),
+                          [&](int i) { trampoline(ctx, i); });
+      return;
+    }
+  }
+  for (int64_t i = 0; i < chunks; ++i) trampoline(ctx, i);
+}
+
+// ---- Naive seed references ----
+
+namespace ref {
+
+void GemmAdd(const float* a, const float* b, int64_t m, int64_t k, int64_t n,
+             float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransAAdd(const float* a, const float* b, int64_t m, int64_t k,
+                   int64_t n, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransBAssign(const float* a, const float* b, int64_t m, int64_t n,
+                      int64_t k, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    float* crow = c + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n;
+      double acc = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        acc += static_cast<double>(arow[j]) * brow[j];
+      }
+      crow[p] = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace ref
+
+// ---- im2col / col2im ----
+
+void Im2Col(const float* x, int64_t cin, int64_t h, int64_t w,
+            const Im2ColSpec& spec, float* cols) {
+  const int64_t k = spec.kernel;
+  const int64_t ho = (h + 2 * spec.pad - k) / spec.stride + 1;
+  const int64_t wo = (w + 2 * spec.pad - k) / spec.stride + 1;
+  const int64_t out_area = ho * wo;
+  int64_t row = 0;
+  for (int64_t c = 0; c < cin; ++c) {
+    for (int64_t ky = 0; ky < k; ++ky) {
+      for (int64_t kx = 0; kx < k; ++kx, ++row) {
+        float* dst = cols + row * out_area;
+        if (spec.stride == 1) {
+          // Unit stride: each output row is a contiguous slice of the
+          // input row with zero fringes — bulk-copy the interior.
+          const int64_t lo = std::max<int64_t>(0, spec.pad - kx);
+          const int64_t hi = std::min(wo, w + spec.pad - kx);
+          for (int64_t oy = 0; oy < ho; ++oy) {
+            const int64_t iy = oy + ky - spec.pad;
+            float* drow = dst + oy * wo;
+            if (iy < 0 || iy >= h || lo >= hi) {
+              std::memset(drow, 0, sizeof(float) * static_cast<size_t>(wo));
+              continue;
+            }
+            if (lo > 0) {
+              std::memset(drow, 0, sizeof(float) * static_cast<size_t>(lo));
+            }
+            std::memcpy(drow + lo, x + (c * h + iy) * w + lo + kx - spec.pad,
+                        sizeof(float) * static_cast<size_t>(hi - lo));
+            if (hi < wo) {
+              std::memset(drow + hi, 0,
+                          sizeof(float) * static_cast<size_t>(wo - hi));
+            }
+          }
+          continue;
+        }
+        for (int64_t oy = 0; oy < ho; ++oy) {
+          const int64_t iy = oy * spec.stride + ky - spec.pad;
+          for (int64_t ox = 0; ox < wo; ++ox) {
+            const int64_t ix = ox * spec.stride + kx - spec.pad;
+            const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < w;
+            dst[oy * wo + ox] = inside ? x[(c * h + iy) * w + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* cols, int64_t cin, int64_t h, int64_t w,
+            const Im2ColSpec& spec, float* dx) {
+  const int64_t k = spec.kernel;
+  const int64_t ho = (h + 2 * spec.pad - k) / spec.stride + 1;
+  const int64_t wo = (w + 2 * spec.pad - k) / spec.stride + 1;
+  const int64_t out_area = ho * wo;
+  int64_t row = 0;
+  for (int64_t c = 0; c < cin; ++c) {
+    for (int64_t ky = 0; ky < k; ++ky) {
+      for (int64_t kx = 0; kx < k; ++kx, ++row) {
+        const float* src = cols + row * out_area;
+        for (int64_t oy = 0; oy < ho; ++oy) {
+          const int64_t iy = oy * spec.stride + ky - spec.pad;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t ox = 0; ox < wo; ++ox) {
+            const int64_t ix = ox * spec.stride + kx - spec.pad;
+            if (ix < 0 || ix >= w) continue;
+            dx[(c * h + iy) * w + ix] += src[oy * wo + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- Blocked GEMM ----
+
+namespace {
+
+/// Packs the full-kNR panels of a kc x nc block of B (row stride ldb)
+/// into panel-major layout: panel j0/kNR holds kc rows of kNR
+/// consecutive floats. Columns beyond the last full panel stay unpacked.
+void PackB(const float* b, int64_t ldb, int64_t kc, int64_t full, float* bp) {
+  for (int64_t j0 = 0; j0 < full; j0 += kNR) {
+    float* panel = bp + j0 * kc;
+    for (int64_t p = 0; p < kc; ++p) {
+      std::memcpy(panel + p * kNR, b + p * ldb + j0,
+                  sizeof(float) * static_cast<size_t>(kNR));
+    }
+  }
+}
+
+/// Packs a kMR x kc tile of A (row stride lda) p-major: ap[p*kMR + i].
+void PackA(const float* a, int64_t lda, int64_t kc, float* ap) {
+  for (int64_t p = 0; p < kc; ++p) {
+    for (int64_t i = 0; i < kMR; ++i) ap[p * kMR + i] = a[i * lda + p];
+  }
+}
+
+/// C tile [kMR, kNR] += Ap[kc, kMR] * Bpanel[kc, kNR], accumulating each
+/// element in ascending p order — the reference summation order.
+void MicroKernel(const float* ap, const float* bp, int64_t kc, float* c,
+                 int64_t ldc) {
+  float acc[kMR][kNR];
+  for (int64_t i = 0; i < kMR; ++i) {
+    for (int64_t j = 0; j < kNR; ++j) acc[i][j] = c[i * ldc + j];
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* av = ap + p * kMR;
+    const float* bv = bp + p * kNR;
+    for (int64_t i = 0; i < kMR; ++i) {
+      const float a = av[i];
+      for (int64_t j = 0; j < kNR; ++j) acc[i][j] += a * bv[j];
+    }
+  }
+  for (int64_t i = 0; i < kMR; ++i) {
+    for (int64_t j = 0; j < kNR; ++j) c[i * ldc + j] = acc[i][j];
+  }
+}
+
+/// One mc x nc block of C += (mc x kc of A) * (kc x nc of B). `bp` holds
+/// the packed full panels, `b` the unpacked block origin for the
+/// remainder columns.
+void GemmBlock(const float* a, int64_t lda, const float* b, int64_t ldb,
+               const float* bp, int64_t mc, int64_t kc, int64_t nc,
+               int64_t full, float* c, int64_t ldc) {
+  float* ap = ScratchArena::ThreadLocal().Buffer(
+      kSlotPackA, static_cast<size_t>(kMR * kc));
+  int64_t ir = 0;
+  for (; ir + kMR <= mc; ir += kMR) {
+    PackA(a + ir * lda, lda, kc, ap);
+    for (int64_t j0 = 0; j0 < full; j0 += kNR) {
+      MicroKernel(ap, bp + j0 * kc, kc, c + ir * ldc + j0, ldc);
+    }
+    // Remainder columns of the packed rows: scalar, ascending p.
+    for (int64_t i = 0; i < kMR; ++i) {
+      float* crow = c + (ir + i) * ldc;
+      for (int64_t p = 0; p < kc; ++p) {
+        const float av = ap[p * kMR + i];
+        const float* brow = b + p * ldb;
+        for (int64_t j = full; j < nc; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+  // Remainder rows (< kMR): straight scalar loops, ascending p.
+  for (; ir < mc; ++ir) {
+    const float* arow = a + ir * lda;
+    float* crow = c + ir * ldc;
+    for (int64_t p = 0; p < kc; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * ldb;
+      for (int64_t j = 0; j < nc; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void GemmAdd(const float* a, const float* b, int64_t m, int64_t k, int64_t n,
+             float* c) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  const KernelOptions& opt = g_options;
+  const int64_t flops = 2 * m * k * n;
+  if (flops < opt.blocked_min_flops) {
+    ref::GemmAdd(a, b, m, k, n, c);
+    return;
+  }
+  const int64_t mc_block = opt.block_m;
+  const int64_t kc_block = opt.block_k;
+  const int64_t nc_block = std::max<int64_t>(kNR, opt.block_n / kNR * kNR);
+  const bool parallel = flops >= opt.parallel_min_flops;
+  for (int64_t jc = 0; jc < n; jc += nc_block) {
+    const int64_t nc = std::min(nc_block, n - jc);
+    const int64_t full = nc / kNR * kNR;
+    for (int64_t pc = 0; pc < k; pc += kc_block) {
+      const int64_t kc = std::min(kc_block, k - pc);
+      float* bp = ScratchArena::ThreadLocal().Buffer(
+          kSlotPackB, static_cast<size_t>(kc * full));
+      const float* bblock = b + pc * n + jc;
+      PackB(bblock, n, kc, full, bp);
+      const int64_t chunks = (m + mc_block - 1) / mc_block;
+      auto run_chunk = [&](int64_t ci) {
+        const int64_t i0 = ci * mc_block;
+        const int64_t mc = std::min(mc_block, m - i0);
+        GemmBlock(a + i0 * k + pc, k, bblock, n, bp, mc, kc, nc, full,
+                  c + i0 * n + jc, n);
+      };
+      if (parallel) {
+        KernelParallelFor(chunks, run_chunk);
+      } else {
+        for (int64_t ci = 0; ci < chunks; ++ci) run_chunk(ci);
+      }
+    }
+  }
+}
+
+void GemmTransAAdd(const float* a, const float* b, int64_t m, int64_t k,
+                   int64_t n, float* c) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  const KernelOptions& opt = g_options;
+  if (2 * m * k * n < opt.blocked_min_flops) {
+    ref::GemmTransAAdd(a, b, m, k, n, c);
+    return;
+  }
+  // Transpose A into scratch, then C[k,n] += At[k,m] * B[m,n]: GemmAdd's
+  // ascending contraction over m is exactly the reference's ascending-i
+  // accumulation.
+  float* at = ScratchArena::ThreadLocal().Buffer(kSlotTransA,
+                                                 static_cast<size_t>(m * k));
+  constexpr int64_t kTile = 32;
+  for (int64_t i0 = 0; i0 < m; i0 += kTile) {
+    const int64_t i1 = std::min(m, i0 + kTile);
+    for (int64_t j0 = 0; j0 < k; j0 += kTile) {
+      const int64_t j1 = std::min(k, j0 + kTile);
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t j = j0; j < j1; ++j) at[j * m + i] = a[i * k + j];
+      }
+    }
+  }
+  GemmAdd(at, b, k, m, n, c);
+}
+
+void GemmTransBAssign(const float* a, const float* b, int64_t m, int64_t n,
+                      int64_t k, float* c) {
+  if (m <= 0 || k <= 0) return;
+  const KernelOptions& opt = g_options;
+  if (n <= 0 || k < kTR || 2 * m * n * k < opt.blocked_min_flops) {
+    ref::GemmTransBAssign(a, b, m, n, k, c);
+    return;
+  }
+  // Interleave kTR consecutive rows of B so one pass over a row of A
+  // feeds kTR independent double accumulator chains (breaking the
+  // reference's single latency-bound chain); each chain still adds in
+  // ascending j order, so every dot is bit-identical to the reference.
+  const int64_t ktile = k / kTR * kTR;
+  float* bp = ScratchArena::ThreadLocal().Buffer(
+      kSlotPackTB, static_cast<size_t>(ktile * n));
+  for (int64_t p0 = 0; p0 < ktile; p0 += kTR) {
+    float* panel = bp + p0 * n;
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t t = 0; t < kTR; ++t) {
+        panel[j * kTR + t] = b[(p0 + t) * n + j];
+      }
+    }
+  }
+  const bool parallel = 2 * m * n * k >= opt.parallel_min_flops;
+  const int64_t row_chunk = std::max<int64_t>(1, opt.block_m);
+  const int64_t chunks = (m + row_chunk - 1) / row_chunk;
+  auto run_chunk = [&](int64_t ci) {
+    const int64_t i0 = ci * row_chunk;
+    const int64_t i1 = std::min(m, i0 + row_chunk);
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * n;
+      float* crow = c + i * k;
+      for (int64_t p0 = 0; p0 < ktile; p0 += kTR) {
+        const float* panel = bp + p0 * n;
+        double acc[kTR] = {0.0, 0.0, 0.0, 0.0};
+        for (int64_t j = 0; j < n; ++j) {
+          const double av = arow[j];
+          const float* bv = panel + j * kTR;
+          for (int64_t t = 0; t < kTR; ++t) acc[t] += av * bv[t];
+        }
+        for (int64_t t = 0; t < kTR; ++t) {
+          crow[p0 + t] = static_cast<float>(acc[t]);
+        }
+      }
+      for (int64_t p = ktile; p < k; ++p) {
+        const float* brow = b + p * n;
+        double acc = 0.0;
+        for (int64_t j = 0; j < n; ++j) {
+          acc += static_cast<double>(arow[j]) * brow[j];
+        }
+        crow[p] = static_cast<float>(acc);
+      }
+    }
+  };
+  if (parallel) {
+    KernelParallelFor(chunks, run_chunk);
+  } else {
+    for (int64_t ci = 0; ci < chunks; ++ci) run_chunk(ci);
+  }
+}
+
+// ---- Convolution drivers ----
+
+void Conv2dForwardKernel(const float* x, const float* w, const float* bias,
+                         const ConvKernelShape& s, float* out) {
+  const int64_t patch = s.Patch();
+  const int64_t out_area = s.OutArea();
+  const Im2ColSpec ispec{s.kernel, s.stride, s.pad};
+  const int64_t in_size = s.in_channels * s.height * s.width;
+  const int64_t out_size = s.out_channels * out_area;
+  KernelParallelFor(s.batch, [&](int64_t i) {
+    float* cols = ScratchArena::ThreadLocal().Buffer(
+        kSlotIm2Col, static_cast<size_t>(patch * out_area));
+    Im2Col(x + i * in_size, s.in_channels, s.height, s.width, ispec, cols);
+    float* out_i = out + i * out_size;
+    GemmAdd(w, cols, s.out_channels, patch, out_area, out_i);
+    for (int64_t oc = 0; oc < s.out_channels; ++oc) {
+      float* plane = out_i + oc * out_area;
+      const float bv = bias[oc];
+      for (int64_t p = 0; p < out_area; ++p) plane[p] += bv;
+    }
+  });
+}
+
+void Conv2dBackwardKernel(const float* grad_out, const float* x,
+                          const float* w, const ConvKernelShape& s, float* dx,
+                          float* dw, float* db) {
+  const int64_t patch = s.Patch();
+  const int64_t out_area = s.OutArea();
+  const Im2ColSpec ispec{s.kernel, s.stride, s.pad};
+  const int64_t in_size = s.in_channels * s.height * s.width;
+  const int64_t out_size = s.out_channels * out_area;
+  // Per-image dw/db partials live in the caller's arena; workers fill
+  // disjoint slices, then the caller reduces them in ascending image
+  // order — the same float additions the serial reference performs.
+  const int64_t dw_size = dw != nullptr ? s.out_channels * patch : 0;
+  const int64_t db_size = db != nullptr ? s.out_channels : 0;
+  const int64_t partial_stride = dw_size + db_size;
+  float* partials =
+      partial_stride > 0
+          ? ScratchArena::ThreadLocal().Buffer(
+                kSlotConvPartial,
+                static_cast<size_t>(s.batch * partial_stride))
+          : nullptr;
+  KernelParallelFor(s.batch, [&](int64_t i) {
+    const float* go = grad_out + i * out_size;
+    float* part =
+        partial_stride > 0 ? partials + i * partial_stride : nullptr;
+    ScratchArena& arena = ScratchArena::ThreadLocal();
+    if (db != nullptr) {
+      float* pdb = part + dw_size;
+      for (int64_t oc = 0; oc < s.out_channels; ++oc) {
+        const float* plane = go + oc * out_area;
+        double acc = 0.0;
+        for (int64_t p = 0; p < out_area; ++p) acc += plane[p];
+        pdb[oc] = static_cast<float>(acc);
+      }
+    }
+    if (dw != nullptr) {
+      float* cols = arena.Buffer(kSlotIm2Col,
+                                 static_cast<size_t>(patch * out_area));
+      Im2Col(x + i * in_size, s.in_channels, s.height, s.width, ispec, cols);
+      // dw_i[oc, p] = go[oc, :] . cols[p, :] (double dots).
+      GemmTransBAssign(go, cols, s.out_channels, out_area, patch, part);
+    }
+    if (dx != nullptr) {
+      float* dcols = arena.Buffer(kSlotDCols,
+                                  static_cast<size_t>(patch * out_area));
+      std::memset(dcols, 0,
+                  sizeof(float) * static_cast<size_t>(patch * out_area));
+      // dcols[p, a] = sum_oc w[oc, p] * go[oc, a], ascending oc.
+      GemmTransAAdd(w, go, s.out_channels, patch, out_area, dcols);
+      Col2Im(dcols, s.in_channels, s.height, s.width, ispec,
+             dx + i * in_size);
+    }
+  });
+  if (partial_stride > 0) {
+    for (int64_t i = 0; i < s.batch; ++i) {
+      const float* part = partials + i * partial_stride;
+      if (dw != nullptr) {
+        for (int64_t idx = 0; idx < dw_size; ++idx) dw[idx] += part[idx];
+      }
+      if (db != nullptr) {
+        const float* pdb = part + dw_size;
+        for (int64_t oc = 0; oc < s.out_channels; ++oc) db[oc] += pdb[oc];
+      }
+    }
+  }
+}
+
+// ---- Naive seed conv references ----
+
+namespace ref {
+
+void Conv2dForwardKernel(const float* x, const float* w, const float* bias,
+                         const ConvKernelShape& s, float* out) {
+  const int64_t patch = s.Patch();
+  const int64_t out_area = s.OutArea();
+  const Im2ColSpec ispec{s.kernel, s.stride, s.pad};
+  const int64_t in_size = s.in_channels * s.height * s.width;
+  const int64_t out_size = s.out_channels * out_area;
+  std::vector<float> cols(static_cast<size_t>(patch * out_area));
+  for (int64_t i = 0; i < s.batch; ++i) {
+    Im2Col(x + i * in_size, s.in_channels, s.height, s.width, ispec,
+           cols.data());
+    float* out_i = out + i * out_size;
+    GemmAdd(w, cols.data(), s.out_channels, patch, out_area, out_i);
+    for (int64_t oc = 0; oc < s.out_channels; ++oc) {
+      float* plane = out_i + oc * out_area;
+      const float bv = bias[oc];
+      for (int64_t p = 0; p < out_area; ++p) plane[p] += bv;
+    }
+  }
+}
+
+void Conv2dBackwardKernel(const float* grad_out, const float* x,
+                          const float* w, const ConvKernelShape& s, float* dx,
+                          float* dw, float* db) {
+  const int64_t patch = s.Patch();
+  const int64_t out_area = s.OutArea();
+  const Im2ColSpec ispec{s.kernel, s.stride, s.pad};
+  const int64_t in_size = s.in_channels * s.height * s.width;
+  const int64_t out_size = s.out_channels * out_area;
+  std::vector<float> cols(static_cast<size_t>(patch * out_area));
+  std::vector<float> dcols(static_cast<size_t>(patch * out_area));
+  for (int64_t i = 0; i < s.batch; ++i) {
+    const float* go = grad_out + i * out_size;
+    if (db != nullptr) {
+      for (int64_t oc = 0; oc < s.out_channels; ++oc) {
+        const float* plane = go + oc * out_area;
+        double acc = 0.0;
+        for (int64_t p = 0; p < out_area; ++p) acc += plane[p];
+        db[oc] += static_cast<float>(acc);
+      }
+    }
+    if (dw != nullptr) {
+      Im2Col(x + i * in_size, s.in_channels, s.height, s.width, ispec,
+             cols.data());
+      for (int64_t oc = 0; oc < s.out_channels; ++oc) {
+        const float* grow = go + oc * out_area;
+        float* dwrow = dw + oc * patch;
+        for (int64_t p = 0; p < patch; ++p) {
+          const float* crow = cols.data() + p * out_area;
+          double acc = 0.0;
+          for (int64_t a = 0; a < out_area; ++a) {
+            acc += static_cast<double>(grow[a]) * crow[a];
+          }
+          dwrow[p] += static_cast<float>(acc);
+        }
+      }
+    }
+    if (dx != nullptr) {
+      std::fill(dcols.begin(), dcols.end(), 0.0f);
+      for (int64_t oc = 0; oc < s.out_channels; ++oc) {
+        const float* wrow = w + oc * patch;
+        const float* grow = go + oc * out_area;
+        for (int64_t p = 0; p < patch; ++p) {
+          const float wv = wrow[p];
+          if (wv == 0.0f) continue;
+          float* drow = dcols.data() + p * out_area;
+          for (int64_t a = 0; a < out_area; ++a) drow[a] += wv * grow[a];
+        }
+      }
+      Col2Im(dcols.data(), s.in_channels, s.height, s.width, ispec,
+             dx + i * in_size);
+    }
+  }
+}
+
+}  // namespace ref
+
+}  // namespace rfed

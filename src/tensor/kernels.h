@@ -1,0 +1,213 @@
+#ifndef RFED_TENSOR_KERNELS_H_
+#define RFED_TENSOR_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rfed {
+
+// High-performance deterministic compute kernels.
+//
+// This layer owns the hot inner loops of the simulator: the three GEMM
+// variants every Linear/LSTM/Conv2d forward and backward bottoms out in,
+// plus the im2col/col2im unfolding of the convolution path. The kernels
+// are cache-blocked, register-tiled and packed, and can optionally run
+// row-partitioned across a thread pool — while staying **bit-identical**
+// to the retained naive reference implementations (rfed::ref below) for
+// every block size and thread count. The rule that makes this possible:
+//
+//   Each output element is reduced by exactly one thread, in exactly the
+//   reference summation order (ascending over the contraction index, one
+//   float/double rounding per step). Blocking only reorders *which*
+//   elements are in flight, never the additions within one element; the
+//   parallel partition splits disjoint output regions, never a reduction.
+//
+// Batched reductions that the references accumulate serially (Conv2d's
+// dw/db across the batch) are decomposed into fixed per-item partials
+// combined in ascending item order, which is the same float addition
+// sequence the reference performs. See docs/KERNELS.md for the full
+// scheme and the cache layout of the packed panels.
+//
+// Caveat (documented, tested): the references skip multiplications by an
+// exact 0.0f operand; the blocked kernels do not. Under IEEE-754
+// round-to-nearest adding the resulting ±0.0 product never changes a
+// finite accumulator, so results are still bit-identical for finite
+// inputs — but non-finite inputs (Inf/NaN weights) may produce NaN where
+// the reference skipped the element.
+
+/// Global knobs of the kernel layer. All fields may be changed at run
+/// time (tests shrink the blocks to force edge paths); reads are cheap.
+/// Not thread-safe against concurrent mutation — set once before
+/// training, as FlConfig/experiment_cli do.
+struct KernelOptions {
+  /// Worker threads for row-partitioned kernels. <= 1 runs everything on
+  /// the calling thread (the default: all existing call sites are
+  /// unaffected). The partition is deterministic, so any value produces
+  /// bit-identical results.
+  int threads = 1;
+  /// Cache block sizes: MC rows of A, KC of the contraction dimension
+  /// (processed in ascending order — required for bit-identity), NC
+  /// columns of B per packed panel.
+  int block_m = 64;
+  int block_k = 128;
+  int block_n = 192;
+  /// Minimum 2*m*k*n FLOP count before a GEMM fans out to the pool;
+  /// below it threading overhead dominates.
+  int64_t parallel_min_flops = 1 << 21;
+  /// Minimum FLOP count before the blocked/packed path engages; tiny
+  /// products run the naive reference directly (identical bits, no
+  /// packing overhead). Tests set 0 to force the blocked path.
+  int64_t blocked_min_flops = 8192;
+};
+
+/// The process-wide options instance the kernels read.
+const KernelOptions& GetKernelOptions();
+/// Replaces the options wholesale (tests: block-size overrides).
+void SetKernelOptions(const KernelOptions& options);
+/// Sets only the thread count (the FlConfig/--kernel_threads knob).
+void SetKernelThreads(int threads);
+
+/// Grow-only per-thread scratch buffers the kernels pack panels and
+/// im2col columns into, so steady-state training allocates nothing per
+/// call. Each caller owns a slot id (see kernels.cc for the convention);
+/// a slot's pointer is valid until the same thread requests the same
+/// slot again. A process-wide high-water mark of allocated scratch is
+/// kept for the RunHistory accounting.
+class ScratchArena {
+ public:
+  /// The calling thread's arena.
+  static ScratchArena& ThreadLocal();
+
+  /// Returns `floats` contiguous floats for `slot` (contents
+  /// unspecified), growing the slot if needed.
+  float* Buffer(int slot, size_t floats);
+
+  /// Peak total scratch bytes allocated across all thread arenas since
+  /// start (or the last ResetPeak).
+  static int64_t PeakBytes();
+  static void ResetPeak();
+
+ private:
+  ScratchArena() = default;
+  ~ScratchArena();
+  struct Slot {
+    float* data = nullptr;
+    size_t capacity = 0;
+  };
+  static constexpr int kMaxSlots = 8;
+  Slot slots_[kMaxSlots];
+};
+
+// ---- Blocked kernels (row-major raw pointers) ----
+// None of the output pointers may alias the inputs.
+
+/// C[m,n] += A[m,k] * B[k,n]. Bit-identical to ref::GemmAdd.
+void GemmAdd(const float* a, const float* b, int64_t m, int64_t k, int64_t n,
+             float* c);
+
+/// C[k,n] += A[m,k]^T * B[m,n]. Bit-identical to ref::GemmTransAAdd.
+void GemmTransAAdd(const float* a, const float* b, int64_t m, int64_t k,
+                   int64_t n, float* c);
+
+/// C[m,k] = A[m,n] * B[k,n]^T, each element one double-precision dot of
+/// two contiguous rows. Bit-identical to ref::GemmTransBAssign.
+void GemmTransBAssign(const float* a, const float* b, int64_t m, int64_t n,
+                      int64_t k, float* c);
+
+/// Runs fn(chunk) for chunk in [0, chunks) on the kernel pool when
+/// options.threads > 1 (serially otherwise, or when the pool is already
+/// busy — values never depend on the choice). fn must write disjoint
+/// state per chunk.
+template <typename Fn>
+void KernelParallelFor(int64_t chunks, const Fn& fn);
+namespace internal {
+void ParallelForImpl(int64_t chunks, const void* ctx,
+                     void (*trampoline)(const void*, int64_t));
+}
+template <typename Fn>
+void KernelParallelFor(int64_t chunks, const Fn& fn) {
+  internal::ParallelForImpl(
+      chunks, &fn, +[](const void* ctx, int64_t i) {
+        (*static_cast<const Fn*>(ctx))(i);
+      });
+}
+
+// ---- Convolution plumbing ----
+
+/// Unfolds one NCHW image x [cin, h, w] into im2col columns
+/// cols [cin*k*k, ho*wo] for a square kernel (zero padding outside).
+struct Im2ColSpec {
+  int64_t kernel = 0;
+  int64_t stride = 1;
+  int64_t pad = 0;
+};
+void Im2Col(const float* x, int64_t cin, int64_t h, int64_t w,
+            const Im2ColSpec& spec, float* cols);
+
+/// Adjoint of Im2Col: accumulates column gradients back into dx
+/// [cin, h, w] (dx must be pre-zeroed by the caller; overlapping windows
+/// add).
+void Col2Im(const float* cols, int64_t cin, int64_t h, int64_t w,
+            const Im2ColSpec& spec, float* dx);
+
+/// Shape bundle of one NCHW convolution (square kernel).
+struct ConvKernelShape {
+  int64_t batch = 0;
+  int64_t in_channels = 0;
+  int64_t height = 0;
+  int64_t width = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 0;
+  int64_t stride = 1;
+  int64_t pad = 0;
+
+  int64_t OutH() const { return (height + 2 * pad - kernel) / stride + 1; }
+  int64_t OutW() const { return (width + 2 * pad - kernel) / stride + 1; }
+  int64_t OutArea() const { return OutH() * OutW(); }
+  int64_t Patch() const { return in_channels * kernel * kernel; }
+};
+
+/// out[B, Cout, Ho, Wo] = conv(x[B, Cin, H, W], w[Cout, Cin*K*K]) + bias,
+/// via per-image im2col + blocked GEMM, batch-parallel. `out` must be
+/// pre-zeroed. Bit-identical to ref::Conv2dForwardKernel.
+void Conv2dForwardKernel(const float* x, const float* w, const float* bias,
+                         const ConvKernelShape& s, float* out);
+
+/// Gradients of Conv2dForwardKernel; any of dx/dw/db may be null to
+/// skip, non-null outputs must be pre-zeroed. Batch-parallel with
+/// per-image partials reduced in ascending image order — the reference's
+/// exact float addition sequence. Bit-identical to
+/// ref::Conv2dBackwardKernel.
+void Conv2dBackwardKernel(const float* grad_out, const float* x,
+                          const float* w, const ConvKernelShape& s, float* dx,
+                          float* dw, float* db);
+
+// ---- Naive seed references ----
+// The exact scalar kernels the repository shipped with, retained as the
+// bit-level ground truth for tests/kernel_test.cc and the speedup
+// baseline for bench_micro_kernels. Single-threaded, no blocking.
+namespace ref {
+
+/// C[m,n] += A[m,k] * B[k,n], ikj order, skipping zero A elements.
+void GemmAdd(const float* a, const float* b, int64_t m, int64_t k, int64_t n,
+             float* c);
+/// C[k,n] += A[m,k]^T * B[m,n], i-outer order, skipping zero A elements.
+void GemmTransAAdd(const float* a, const float* b, int64_t m, int64_t k,
+                   int64_t n, float* c);
+/// C[m,k] = A[m,n] * B[k,n]^T via double-precision row dots.
+void GemmTransBAssign(const float* a, const float* b, int64_t m, int64_t n,
+                      int64_t k, float* c);
+
+/// The seed's serial im2col convolution forward (out pre-zeroed).
+void Conv2dForwardKernel(const float* x, const float* w, const float* bias,
+                         const ConvKernelShape& s, float* out);
+/// The seed's serial convolution backward (outputs pre-zeroed, nullable).
+void Conv2dBackwardKernel(const float* grad_out, const float* x,
+                          const float* w, const ConvKernelShape& s, float* dx,
+                          float* dw, float* db);
+
+}  // namespace ref
+
+}  // namespace rfed
+
+#endif  // RFED_TENSOR_KERNELS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/check.h"
 
 namespace rfed {
@@ -13,72 +14,18 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
       << a.shape().ToString() << " vs " << b.shape().ToString();
 }
 
-/// im2col: unfolds x[b] into a [Cin*K*K, Ho*Wo] column matrix.
-void Im2Col(const float* x, int64_t cin, int64_t h, int64_t w,
-            const Conv2dSpec& spec, float* cols) {
-  const int64_t k = spec.kernel;
-  const int64_t ho = spec.OutDim(h);
-  const int64_t wo = spec.OutDim(w);
-  const int64_t out_area = ho * wo;
-  int64_t row = 0;
-  for (int64_t c = 0; c < cin; ++c) {
-    for (int64_t ky = 0; ky < k; ++ky) {
-      for (int64_t kx = 0; kx < k; ++kx, ++row) {
-        float* dst = cols + row * out_area;
-        for (int64_t oy = 0; oy < ho; ++oy) {
-          const int64_t iy = oy * spec.stride + ky - spec.pad;
-          for (int64_t ox = 0; ox < wo; ++ox) {
-            const int64_t ix = ox * spec.stride + kx - spec.pad;
-            const bool inside = iy >= 0 && iy < h && ix >= 0 && ix < w;
-            dst[oy * wo + ox] =
-                inside ? x[(c * h + iy) * w + ix] : 0.0f;
-          }
-        }
-      }
-    }
-  }
-}
-
-/// col2im: folds a [Cin*K*K, Ho*Wo] column gradient back into dx[b]
-/// (accumulating overlapping windows).
-void Col2Im(const float* cols, int64_t cin, int64_t h, int64_t w,
-            const Conv2dSpec& spec, float* dx) {
-  const int64_t k = spec.kernel;
-  const int64_t ho = spec.OutDim(h);
-  const int64_t wo = spec.OutDim(w);
-  const int64_t out_area = ho * wo;
-  int64_t row = 0;
-  for (int64_t c = 0; c < cin; ++c) {
-    for (int64_t ky = 0; ky < k; ++ky) {
-      for (int64_t kx = 0; kx < k; ++kx, ++row) {
-        const float* src = cols + row * out_area;
-        for (int64_t oy = 0; oy < ho; ++oy) {
-          const int64_t iy = oy * spec.stride + ky - spec.pad;
-          if (iy < 0 || iy >= h) continue;
-          for (int64_t ox = 0; ox < wo; ++ox) {
-            const int64_t ix = ox * spec.stride + kx - spec.pad;
-            if (ix < 0 || ix >= w) continue;
-            dx[(c * h + iy) * w + ix] += src[oy * wo + ox];
-          }
-        }
-      }
-    }
-  }
-}
-
-/// C[m,n] (+)= A[m,k] * B[k,n] over raw pointers, ikj order for locality.
-void GemmAccumulate(const float* a, const float* b, int64_t m, int64_t k,
-                    int64_t n, float* c) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+ConvKernelShape ToKernelShape(const Conv2dSpec& spec, int64_t batch,
+                              int64_t h, int64_t w) {
+  ConvKernelShape s;
+  s.batch = batch;
+  s.in_channels = spec.in_channels;
+  s.height = h;
+  s.width = w;
+  s.out_channels = spec.out_channels;
+  s.kernel = spec.kernel;
+  s.stride = spec.stride;
+  s.pad = spec.pad;
+  return s;
 }
 
 }  // namespace
@@ -169,7 +116,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   RFED_CHECK_EQ(a.dim(1), b.dim(0));
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c(Shape{m, n});
-  GemmAccumulate(a.data(), b.data(), m, k, n, c.data());
+  GemmAdd(a.data(), b.data(), m, k, n, c.data());
   return c;
 }
 
@@ -180,16 +127,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c(Shape{k, n});
   // c[p, j] = sum_i a[i, p] * b[i, j]
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    const float* brow = b.data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* crow = c.data() + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  GemmTransAAdd(a.data(), b.data(), m, k, n, c.data());
   return c;
 }
 
@@ -200,16 +138,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(0), n = a.dim(1), k = b.dim(0);
   Tensor c(Shape{m, k});
   // c[i, p] = sum_j a[i, j] * b[p, j]  (dot of contiguous rows)
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * n;
-    float* crow = c.data() + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float* brow = b.data() + p * n;
-      double acc = 0.0;
-      for (int64_t j = 0; j < n; ++j) acc += static_cast<double>(arow[j]) * brow[j];
-      crow[p] = static_cast<float>(acc);
-    }
-  }
+  GemmTransBAssign(a.data(), b.data(), m, n, k, c.data());
   return c;
 }
 
@@ -323,78 +252,28 @@ Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b,
   const int64_t ho = spec.OutDim(h), wo = spec.OutDim(wd);
   RFED_CHECK_GT(ho, 0);
   RFED_CHECK_GT(wo, 0);
-  const int64_t out_area = ho * wo;
   Tensor out(Shape{batch, spec.out_channels, ho, wo});
-  std::vector<float> cols(static_cast<size_t>(patch * out_area));
-  for (int64_t i = 0; i < batch; ++i) {
-    Im2Col(x.data() + i * cin * h * wd, cin, h, wd, spec, cols.data());
-    float* out_i = out.data() + i * spec.out_channels * out_area;
-    GemmAccumulate(w.data(), cols.data(), spec.out_channels, patch, out_area,
-                   out_i);
-    for (int64_t oc = 0; oc < spec.out_channels; ++oc) {
-      float* plane = out_i + oc * out_area;
-      const float bias = b.at(oc);
-      for (int64_t p = 0; p < out_area; ++p) plane[p] += bias;
-    }
-  }
+  Conv2dForwardKernel(x.data(), w.data(), b.data(),
+                      ToKernelShape(spec, batch, h, wd), out.data());
   return out;
 }
 
 void Conv2dBackward(const Tensor& grad_out, const Tensor& x, const Tensor& w,
                     const Conv2dSpec& spec, Tensor* dx, Tensor* dw,
                     Tensor* db) {
-  const int64_t batch = x.dim(0), cin = x.dim(1), h = x.dim(2), wd = x.dim(3);
-  const int64_t patch = cin * spec.kernel * spec.kernel;
+  const int64_t batch = x.dim(0), h = x.dim(2), wd = x.dim(3);
   const int64_t ho = spec.OutDim(h), wo = spec.OutDim(wd);
-  const int64_t out_area = ho * wo;
   RFED_CHECK(grad_out.shape() == Shape({batch, spec.out_channels, ho, wo}));
 
   if (dx != nullptr) *dx = Tensor(x.shape());
   if (dw != nullptr) *dw = Tensor(w.shape());
   if (db != nullptr) *db = Tensor(Shape{spec.out_channels});
 
-  std::vector<float> cols(static_cast<size_t>(patch * out_area));
-  std::vector<float> dcols(static_cast<size_t>(patch * out_area));
-  for (int64_t i = 0; i < batch; ++i) {
-    const float* go = grad_out.data() + i * spec.out_channels * out_area;
-    if (db != nullptr) {
-      for (int64_t oc = 0; oc < spec.out_channels; ++oc) {
-        const float* plane = go + oc * out_area;
-        double acc = 0.0;
-        for (int64_t p = 0; p < out_area; ++p) acc += plane[p];
-        db->at(oc) += static_cast<float>(acc);
-      }
-    }
-    if (dw != nullptr) {
-      Im2Col(x.data() + i * cin * h * wd, cin, h, wd, spec, cols.data());
-      // dw[oc, p] += sum_a go[oc, a] * cols[p, a]
-      for (int64_t oc = 0; oc < spec.out_channels; ++oc) {
-        const float* grow = go + oc * out_area;
-        float* dwrow = dw->data() + oc * patch;
-        for (int64_t p = 0; p < patch; ++p) {
-          const float* crow = cols.data() + p * out_area;
-          double acc = 0.0;
-          for (int64_t a = 0; a < out_area; ++a) acc += static_cast<double>(grow[a]) * crow[a];
-          dwrow[p] += static_cast<float>(acc);
-        }
-      }
-    }
-    if (dx != nullptr) {
-      // dcols[p, a] = sum_oc w[oc, p] * go[oc, a]
-      std::fill(dcols.begin(), dcols.end(), 0.0f);
-      for (int64_t oc = 0; oc < spec.out_channels; ++oc) {
-        const float* wrow = w.data() + oc * patch;
-        const float* grow = go + oc * out_area;
-        for (int64_t p = 0; p < patch; ++p) {
-          const float wv = wrow[p];
-          if (wv == 0.0f) continue;
-          float* drow = dcols.data() + p * out_area;
-          for (int64_t a = 0; a < out_area; ++a) drow[a] += wv * grow[a];
-        }
-      }
-      Col2Im(dcols.data(), cin, h, wd, spec, dx->data() + i * cin * h * wd);
-    }
-  }
+  Conv2dBackwardKernel(grad_out.data(), x.data(), w.data(),
+                       ToKernelShape(spec, batch, h, wd),
+                       dx != nullptr ? dx->data() : nullptr,
+                       dw != nullptr ? dw->data() : nullptr,
+                       db != nullptr ? db->data() : nullptr);
 }
 
 Tensor MaxPool2x2Forward(const Tensor& x, std::vector<int64_t>* argmax) {

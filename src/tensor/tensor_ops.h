@@ -9,32 +9,44 @@ namespace rfed {
 
 // Raw numeric kernels over Tensors. These are pure functions (or write to
 // explicit outputs) with no knowledge of autograd; the autograd layer
-// composes them into differentiable ops.
+// composes them into differentiable ops. The hot paths (the three MatMul
+// variants and the convolution) delegate to the blocked kernel layer in
+// tensor/kernels.h — bit-identical to the naive loops for every block
+// size and thread count (see docs/KERNELS.md).
 
 // ---- Elementwise ----
+/// c = a + b (same shape).
 Tensor Add(const Tensor& a, const Tensor& b);
+/// c = a - b (same shape).
 Tensor Sub(const Tensor& a, const Tensor& b);
+/// Hadamard product c = a ⊙ b (same shape).
 Tensor Mul(const Tensor& a, const Tensor& b);
+/// c = s * a.
 Tensor Scale(const Tensor& a, float s);
+/// c = a + s elementwise.
 Tensor AddScalar(const Tensor& a, float s);
 
+/// max(x, 0) elementwise.
 Tensor Relu(const Tensor& x);
 /// dL/dx given upstream grad and forward input.
 Tensor ReluBackward(const Tensor& grad, const Tensor& x);
+/// tanh(x) elementwise.
 Tensor Tanh(const Tensor& x);
 /// dL/dx given upstream grad and forward *output* y = tanh(x).
 Tensor TanhBackwardFromOutput(const Tensor& grad, const Tensor& y);
+/// 1/(1+exp(-x)) elementwise.
 Tensor Sigmoid(const Tensor& x);
 /// dL/dx given upstream grad and forward *output* y = sigmoid(x).
 Tensor SigmoidBackwardFromOutput(const Tensor& grad, const Tensor& y);
 
 // ---- Linear algebra ----
-/// C[m,n] = A[m,k] * B[k,n].
+/// C[m,n] = A[m,k] * B[k,n] (blocked GemmAdd underneath).
 Tensor MatMul(const Tensor& a, const Tensor& b);
-/// C[k,n] = A[m,k]^T * B[m,n].
+/// C[k,n] = A[m,k]^T * B[m,n] (weight-gradient shape of y = xW).
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);
-/// C[m,k] = A[m,n] * B[k,n]^T.
+/// C[m,k] = A[m,n] * B[k,n]^T (input-gradient shape of y = xW).
 Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+/// Out-of-place transpose of a [r, c] tensor -> [c, r].
 Tensor Transpose2d(const Tensor& a);
 
 /// y[r, c] = x[r, c] + bias[c]  for x of shape [rows, cols].
@@ -55,6 +67,8 @@ float SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
                           Tensor* dlogits);
 
 // ---- Convolution (NCHW) ----
+/// Static shape parameters of a square-kernel 2-d convolution; OutDim
+/// maps an input side length to the output side under stride/pad.
 struct Conv2dSpec {
   int64_t in_channels = 0;
   int64_t out_channels = 0;
@@ -64,10 +78,12 @@ struct Conv2dSpec {
   int64_t OutDim(int64_t in) const { return (in + 2 * pad - kernel) / stride + 1; }
 };
 
-/// x: [B, Cin, H, W], w: [Cout, Cin*K*K], b: [Cout] -> [B, Cout, Ho, Wo].
+/// x: [B, Cin, H, W], w: [Cout, Cin*K*K], b: [Cout] -> [B, Cout, Ho, Wo];
+/// per-image im2col + blocked GEMM (Conv2dForwardKernel).
 Tensor Conv2dForward(const Tensor& x, const Tensor& w, const Tensor& b,
                      const Conv2dSpec& spec);
-/// Gradients of Conv2dForward. Any output pointer may be null to skip.
+/// Gradients of Conv2dForward. Any output pointer may be null to skip;
+/// non-null outputs are allocated (zeroed) here.
 void Conv2dBackward(const Tensor& grad_out, const Tensor& x, const Tensor& w,
                     const Conv2dSpec& spec, Tensor* dx, Tensor* dw,
                     Tensor* db);

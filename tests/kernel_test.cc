@@ -1,0 +1,376 @@
+// Bit-identity suite for the blocked/threaded kernel layer
+// (tensor/kernels.h). Every test compares the optimized kernels against
+// the retained naive references with EXPECT_EQ on floats — not
+// EXPECT_NEAR — because the layer's contract is *exact* equality for
+// every block size and thread count (docs/KERNELS.md). The final test
+// pins that contract end to end: a federated run's global model must be
+// byte-identical across kernel_threads in {1, 2, 4}.
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "fl/fedavg.h"
+#include "fl/trainer.h"
+#include "nn/models.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace rfed {
+namespace {
+
+using ::rfed::testing::MaxGradCheckError;
+
+Variable Leaf(Tensor t) { return Variable(std::move(t), true); }
+
+/// Restores the default kernel options when the test ends, so option
+/// overrides (tiny blocks, forced threading) never leak across tests.
+class KernelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetKernelOptions(KernelOptions{}); }
+};
+
+/// Options that force the blocked path (no naive fallback) with blocks
+/// small enough that the {1, 7, 17, 64, 65} sizes exercise full tiles,
+/// remainder rows/columns, and multiple KC slices.
+KernelOptions TinyBlocks(int threads) {
+  KernelOptions o;
+  o.threads = threads;
+  o.block_m = 8;
+  o.block_k = 8;
+  o.block_n = 16;
+  o.blocked_min_flops = 0;
+  o.parallel_min_flops = 0;
+  return o;
+}
+
+std::vector<float> Pattern(int64_t n, float scale, float phase) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    // sin ramp: non-degenerate, mixed signs, a sprinkling of exact zeros
+    // every 8th element to also cross the references' zero-skip path.
+    v[static_cast<size_t>(i)] =
+        (i % 8 == 3) ? 0.0f
+                     : scale * std::sin(0.7f * static_cast<float>(i) + phase);
+  }
+  return v;
+}
+
+constexpr int64_t kSizes[] = {1, 7, 17, 64, 65};
+constexpr int kThreadCounts[] = {1, 2, 4};
+
+TEST_F(KernelTest, GemmAddMatchesReferenceBitwise) {
+  for (int threads : kThreadCounts) {
+    SetKernelOptions(TinyBlocks(threads));
+    for (int64_t m : kSizes) {
+      for (int64_t k : kSizes) {
+        for (int64_t n : kSizes) {
+          const auto a = Pattern(m * k, 1.0f, 0.1f);
+          const auto b = Pattern(k * n, 0.5f, 1.3f);
+          // Nonzero initial C: the kernel accumulates, never assigns.
+          auto c_ref = Pattern(m * n, 0.25f, 2.7f);
+          auto c_opt = c_ref;
+          ref::GemmAdd(a.data(), b.data(), m, k, n, c_ref.data());
+          GemmAdd(a.data(), b.data(), m, k, n, c_opt.data());
+          ASSERT_EQ(0, std::memcmp(c_ref.data(), c_opt.data(),
+                                   c_ref.size() * sizeof(float)))
+              << "threads=" << threads << " m=" << m << " k=" << k
+              << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelTest, GemmTransAAddMatchesReferenceBitwise) {
+  for (int threads : kThreadCounts) {
+    SetKernelOptions(TinyBlocks(threads));
+    for (int64_t m : kSizes) {
+      for (int64_t k : kSizes) {
+        for (int64_t n : kSizes) {
+          const auto a = Pattern(m * k, 0.8f, 0.4f);
+          const auto b = Pattern(m * n, 0.6f, 1.9f);
+          auto c_ref = Pattern(k * n, 0.3f, 3.1f);
+          auto c_opt = c_ref;
+          ref::GemmTransAAdd(a.data(), b.data(), m, k, n, c_ref.data());
+          GemmTransAAdd(a.data(), b.data(), m, k, n, c_opt.data());
+          ASSERT_EQ(0, std::memcmp(c_ref.data(), c_opt.data(),
+                                   c_ref.size() * sizeof(float)))
+              << "threads=" << threads << " m=" << m << " k=" << k
+              << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelTest, GemmTransBAssignMatchesReferenceBitwise) {
+  for (int threads : kThreadCounts) {
+    SetKernelOptions(TinyBlocks(threads));
+    for (int64_t m : kSizes) {
+      for (int64_t n : kSizes) {
+        for (int64_t k : kSizes) {
+          const auto a = Pattern(m * n, 0.9f, 0.2f);
+          const auto b = Pattern(k * n, 0.7f, 1.1f);
+          // Assign semantics: garbage in C must be overwritten.
+          auto c_ref = Pattern(m * k, 99.0f, 0.0f);
+          auto c_opt = Pattern(m * k, -37.0f, 1.0f);
+          ref::GemmTransBAssign(a.data(), b.data(), m, n, k, c_ref.data());
+          GemmTransBAssign(a.data(), b.data(), m, n, k, c_opt.data());
+          ASSERT_EQ(0, std::memcmp(c_ref.data(), c_opt.data(),
+                                   c_ref.size() * sizeof(float)))
+              << "threads=" << threads << " m=" << m << " n=" << n
+              << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelTest, DefaultOptionsAlsoMatchReference) {
+  // Same check at production block sizes (the tiny blocks above stress
+  // edges; this covers the shipped configuration on a mid-size product).
+  for (int threads : kThreadCounts) {
+    KernelOptions o;
+    o.threads = threads;
+    o.blocked_min_flops = 0;
+    o.parallel_min_flops = 0;
+    SetKernelOptions(o);
+    const int64_t m = 65, k = 131, n = 197;  // off every block boundary
+    const auto a = Pattern(m * k, 1.0f, 0.5f);
+    const auto b = Pattern(k * n, 1.0f, 1.5f);
+    auto c_ref = Pattern(m * n, 0.1f, 2.5f);
+    auto c_opt = c_ref;
+    ref::GemmAdd(a.data(), b.data(), m, k, n, c_ref.data());
+    GemmAdd(a.data(), b.data(), m, k, n, c_opt.data());
+    ASSERT_EQ(0, std::memcmp(c_ref.data(), c_opt.data(),
+                             c_ref.size() * sizeof(float)))
+        << "threads=" << threads;
+  }
+}
+
+// ---- Convolution ----
+
+std::vector<ConvKernelShape> ConvCases() {
+  std::vector<ConvKernelShape> cases;
+  // batch, cin, h, w, cout, kernel, stride, pad
+  cases.push_back({2, 1, 8, 8, 3, 3, 1, 1});   // MNIST-ish same-pad
+  cases.push_back({3, 2, 7, 9, 4, 3, 2, 0});   // strided, non-square, valid
+  cases.push_back({1, 3, 11, 11, 2, 5, 1, 2}); // 5x5 kernel, wide pad
+  cases.push_back({4, 2, 6, 6, 1, 1, 1, 0});   // pointwise 1x1
+  cases.push_back({2, 1, 5, 5, 2, 3, 3, 1});   // stride > 1 with pad
+  return cases;
+}
+
+TEST_F(KernelTest, Conv2dForwardMatchesReferenceBitwise) {
+  for (int threads : kThreadCounts) {
+    SetKernelOptions(TinyBlocks(threads));
+    for (const ConvKernelShape& s : ConvCases()) {
+      const auto x = Pattern(s.batch * s.in_channels * s.height * s.width,
+                             1.0f, 0.3f);
+      const auto w = Pattern(s.out_channels * s.Patch(), 0.5f, 1.7f);
+      const auto bias = Pattern(s.out_channels, 0.2f, 0.9f);
+      std::vector<float> out_ref(
+          static_cast<size_t>(s.batch * s.out_channels * s.OutArea()), 0.0f);
+      auto out_opt = out_ref;
+      ref::Conv2dForwardKernel(x.data(), w.data(), bias.data(), s,
+                               out_ref.data());
+      Conv2dForwardKernel(x.data(), w.data(), bias.data(), s, out_opt.data());
+      ASSERT_EQ(0, std::memcmp(out_ref.data(), out_opt.data(),
+                               out_ref.size() * sizeof(float)))
+          << "threads=" << threads << " batch=" << s.batch
+          << " k=" << s.kernel << " stride=" << s.stride << " pad=" << s.pad;
+    }
+  }
+}
+
+TEST_F(KernelTest, Conv2dBackwardMatchesReferenceBitwise) {
+  for (int threads : kThreadCounts) {
+    SetKernelOptions(TinyBlocks(threads));
+    for (const ConvKernelShape& s : ConvCases()) {
+      const auto x = Pattern(s.batch * s.in_channels * s.height * s.width,
+                             1.0f, 0.6f);
+      const auto w = Pattern(s.out_channels * s.Patch(), 0.5f, 2.1f);
+      const auto go = Pattern(s.batch * s.out_channels * s.OutArea(),
+                              0.4f, 1.2f);
+      const size_t dx_size =
+          static_cast<size_t>(s.batch * s.in_channels * s.height * s.width);
+      const size_t dw_size = static_cast<size_t>(s.out_channels * s.Patch());
+      const size_t db_size = static_cast<size_t>(s.out_channels);
+      std::vector<float> dx_ref(dx_size, 0.0f), dx_opt(dx_size, 0.0f);
+      std::vector<float> dw_ref(dw_size, 0.0f), dw_opt(dw_size, 0.0f);
+      std::vector<float> db_ref(db_size, 0.0f), db_opt(db_size, 0.0f);
+      ref::Conv2dBackwardKernel(go.data(), x.data(), w.data(), s,
+                                dx_ref.data(), dw_ref.data(), db_ref.data());
+      Conv2dBackwardKernel(go.data(), x.data(), w.data(), s, dx_opt.data(),
+                           dw_opt.data(), db_opt.data());
+      ASSERT_EQ(0, std::memcmp(dx_ref.data(), dx_opt.data(),
+                               dx_size * sizeof(float)))
+          << "dx threads=" << threads << " stride=" << s.stride;
+      ASSERT_EQ(0, std::memcmp(dw_ref.data(), dw_opt.data(),
+                               dw_size * sizeof(float)))
+          << "dw threads=" << threads << " stride=" << s.stride;
+      ASSERT_EQ(0, std::memcmp(db_ref.data(), db_opt.data(),
+                               db_size * sizeof(float)))
+          << "db threads=" << threads << " stride=" << s.stride;
+    }
+  }
+}
+
+TEST_F(KernelTest, Conv2dBackwardHandlesNullOutputs) {
+  SetKernelOptions(TinyBlocks(4));
+  const ConvKernelShape s{2, 2, 6, 6, 3, 3, 1, 1};
+  const auto x = Pattern(s.batch * s.in_channels * s.height * s.width, 1.0f,
+                         0.0f);
+  const auto w = Pattern(s.out_channels * s.Patch(), 0.5f, 1.0f);
+  const auto go = Pattern(s.batch * s.out_channels * s.OutArea(), 0.4f, 2.0f);
+  const size_t dw_size = static_cast<size_t>(s.out_channels * s.Patch());
+  std::vector<float> dw_ref(dw_size, 0.0f), dw_opt(dw_size, 0.0f);
+  // dx and db skipped entirely.
+  ref::Conv2dBackwardKernel(go.data(), x.data(), w.data(), s, nullptr,
+                            dw_ref.data(), nullptr);
+  Conv2dBackwardKernel(go.data(), x.data(), w.data(), s, nullptr,
+                       dw_opt.data(), nullptr);
+  EXPECT_EQ(0, std::memcmp(dw_ref.data(), dw_opt.data(),
+                           dw_size * sizeof(float)));
+  // All three null: must be a no-op, not a crash.
+  Conv2dBackwardKernel(go.data(), x.data(), w.data(), s, nullptr, nullptr,
+                       nullptr);
+}
+
+TEST_F(KernelTest, Im2ColRoundTripAgainstStridedWindow) {
+  // stride 1 takes the memcpy fast path; stride 2 the scalar path. Both
+  // must produce the textbook patch layout.
+  for (int64_t stride : {int64_t{1}, int64_t{2}}) {
+    const int64_t cin = 2, h = 5, w = 6, kernel = 3, pad = 1;
+    const Im2ColSpec spec{kernel, stride, pad};
+    const int64_t ho = (h + 2 * pad - kernel) / stride + 1;
+    const int64_t wo = (w + 2 * pad - kernel) / stride + 1;
+    const auto x = Pattern(cin * h * w, 1.0f, 0.8f);
+    std::vector<float> cols(
+        static_cast<size_t>(cin * kernel * kernel * ho * wo), -1.0f);
+    Im2Col(x.data(), cin, h, w, spec, cols.data());
+    for (int64_t c = 0; c < cin; ++c) {
+      for (int64_t ky = 0; ky < kernel; ++ky) {
+        for (int64_t kx = 0; kx < kernel; ++kx) {
+          for (int64_t oy = 0; oy < ho; ++oy) {
+            for (int64_t ox = 0; ox < wo; ++ox) {
+              const int64_t iy = oy * stride + ky - pad;
+              const int64_t ix = ox * stride + kx - pad;
+              const float expected =
+                  (iy < 0 || iy >= h || ix < 0 || ix >= w)
+                      ? 0.0f
+                      : x[static_cast<size_t>((c * h + iy) * w + ix)];
+              const int64_t row = (c * kernel + ky) * kernel + kx;
+              ASSERT_EQ(expected,
+                        cols[static_cast<size_t>(row * ho * wo + oy * wo + ox)])
+                  << "stride=" << stride << " c=" << c << " ky=" << ky
+                  << " kx=" << kx << " oy=" << oy << " ox=" << ox;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelTest, GradCheckThroughBlockedConvPath) {
+  // Finite-difference check of the full autograd conv path while the
+  // blocked kernels (tiny blocks, 2 threads) are live underneath.
+  SetKernelOptions(TinyBlocks(2));
+  Rng rng(23);
+  Conv2dSpec spec{.in_channels = 2, .out_channels = 3, .kernel = 3,
+                  .stride = 2, .pad = 1};
+  Variable x = Leaf(Tensor::Normal(Shape{2, 2, 5, 5}, 0, 1, &rng));
+  Variable w = Leaf(Tensor::Normal(Shape{3, 18}, 0, 0.5f, &rng));
+  Variable b = Leaf(Tensor::Normal(Shape{3}, 0, 0.5f, &rng));
+  auto loss = [&] { return ag::Sum(ag::Tanh(ag::Conv2d(x, w, b, spec))); };
+  EXPECT_LT(MaxGradCheckError(loss, {&x, &w, &b}, 5e-3), 0.1);
+}
+
+// ---- Scratch arena ----
+
+TEST_F(KernelTest, ScratchArenaGrowsAndTracksPeak) {
+  ScratchArena& arena = ScratchArena::ThreadLocal();
+  ScratchArena::ResetPeak();
+  float* p = arena.Buffer(7, 100);
+  ASSERT_NE(p, nullptr);
+  p[0] = 1.0f;
+  p[99] = 2.0f;
+  EXPECT_GE(ScratchArena::PeakBytes(),
+            static_cast<int64_t>(100 * sizeof(float)));
+  // Same slot, smaller request: pointer is stable, no growth.
+  const int64_t peak_before = ScratchArena::PeakBytes();
+  EXPECT_EQ(p, arena.Buffer(7, 50));
+  EXPECT_EQ(ScratchArena::PeakBytes(), peak_before);
+  // Larger request grows the slot and raises the peak.
+  float* q = arena.Buffer(7, 1000);
+  ASSERT_NE(q, nullptr);
+  q[999] = 3.0f;
+  EXPECT_GT(ScratchArena::PeakBytes(), peak_before);
+}
+
+TEST_F(KernelTest, BlockedGemmReportsScratchUse) {
+  KernelOptions o;
+  o.blocked_min_flops = 0;
+  SetKernelOptions(o);
+  ScratchArena::ResetPeak();
+  const int64_t m = 32, k = 32, n = 32;
+  const auto a = Pattern(m * k, 1.0f, 0.0f);
+  const auto b = Pattern(k * n, 1.0f, 1.0f);
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  GemmAdd(a.data(), b.data(), m, k, n, c.data());
+  EXPECT_GT(ScratchArena::PeakBytes(), 0);
+}
+
+// ---- End-to-end federated bit-identity across kernel_threads ----
+
+Tensor RunTinyFedAvg(int kernel_threads) {
+  Rng rng(1234);
+  auto data = GenerateImageData(MnistLikeProfile(), 120, 60, &rng);
+  auto split = SimilarityPartition(data.train, 3, 0.5, &rng);
+  std::vector<ClientView> views;
+  for (auto& idx : split.client_indices) views.push_back({idx, {}});
+  CnnConfig mc;
+  mc.conv1_channels = 2;
+  mc.conv2_channels = 4;
+  mc.feature_dim = 8;
+  FlConfig config;
+  config.local_steps = 2;
+  config.batch_size = 8;
+  config.lr = 0.05;
+  config.seed = 77;
+  config.max_examples_per_pass = 64;
+  config.kernel_threads = kernel_threads;
+  FedAvg algo(config, &data.train, views, MakeCnnFactory(mc));
+  TrainerOptions options;
+  options.eval_max_examples = 60;
+  FederatedTrainer trainer(&algo, &data.test, options);
+  RunHistory history = trainer.Run(2);
+  EXPECT_GE(history.rounds.back().peak_scratch_bytes, 0);
+  return algo.global_state();
+}
+
+TEST_F(KernelTest, FederatedRunBitIdenticalAcrossKernelThreads) {
+  const Tensor base = RunTinyFedAvg(1);
+  for (int threads : {2, 4}) {
+    SetKernelOptions(KernelOptions{});  // the run sets its own threads
+    const Tensor other = RunTinyFedAvg(threads);
+    ASSERT_EQ(base.size(), other.size());
+    for (int64_t i = 0; i < base.size(); ++i) {
+      ASSERT_EQ(base.at(i), other.at(i))
+          << "threads=" << threads << " element " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfed
