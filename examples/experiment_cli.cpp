@@ -32,25 +32,84 @@
 //   --num_threads parallel local training (1 = sequential)
 //   --kernel_threads intra-op GEMM/conv threads (1 = serial kernels;
 //       any value is bit-identical, see docs/KERNELS.md)
+//   --trace / --trace_out / --csv_out observability outputs
+//       (docs/OBSERVABILITY.md); run `--help` for the full list
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/personalization.h"
 #include "core/rfedavg.h"
 #include "data/partition.h"
 #include "data/synthetic_images.h"
 #include "data/synthetic_text.h"
+#include "fl/checkpoint.h"
 #include "fl/fedavg.h"
 #include "fl/fednova.h"
 #include "fl/fedprox.h"
 #include "fl/qfedavg.h"
 #include "fl/scaffold.h"
 #include "fl/trainer.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 
 namespace {
 
 using namespace rfed;
+
+// Every flag the CLI accepts, in --help order. docs_check greps the
+// --help output for the flag names referenced in docs/, so keep this
+// list in sync with the Get*() calls in main().
+constexpr const char* kUsage = R"(usage: experiment_cli [--flag value | --flag=value ...]
+
+Experiment (defaults in parentheses):
+  --dataset mnist|cifar|femnist|sent140 (mnist)
+  --method FedAvg|FedProx|Scaffold|q-FedAvg|FedNova|rFedAvg|rFedAvg+ (rFedAvg+)
+  --clients N (10)          --similarity 0..1 (0)     --rounds C (15)
+  --local_steps E (5)       --batch B (24; 10 text)   --sample_ratio SR (1.0)
+  --lr (0.08; 0.01 text)    --lambda (1e-3; 1e-4 text) --dp_sigma (0)
+  --compressor none|q8|q4|topk10|topk1|sketch (none)
+  --selection uniform|loss (uniform)
+  --model cnn|mlp (cnn, image datasets only)
+  --train_examples (1500)   --test_examples (400)     --seed (1)
+  --eval_every (1)          --fine_tune (false: also report personalized acc)
+
+Fault channel (per-attempt probabilities):
+  --drop/--corrupt/--duplicate/--delay 0..1 (0)
+  --mean_delay_ms (50)      --timeout_ms (250, 0=off) --retries (0)
+
+Sim runtime:
+  --sim_mode sync|deadline|async (sync)
+  --compute_model constant|lognormal|drift (constant)
+  --compute_ms per-step virtual ms (0 = free)         --compute_sigma (1.0)
+  --compute_drift (0.05)    --compute_spread (0)
+  --down_bw/--up_bw bytes per virtual ms (0 = infinite)
+  --base_latency_ms (0)     --deadline_ms (deadline mode, required > 0)
+  --async_buffer K arrivals per server update (2)
+
+Parallelism (bit-identical at any setting):
+  --num_threads parallel local training (1 = sequential)
+  --kernel_threads intra-op GEMM/conv threads (1 = serial kernels)
+
+Observability (docs/OBSERVABILITY.md):
+  --trace record phase/kernel spans and print the per-phase summary (false)
+  --trace_out PATH write spans as Chrome trace_event JSON (implies --trace;
+      load in chrome://tracing or https://ui.perfetto.dev)
+  --csv_out PATH write the per-round history, including the metric
+      registry's per-round snapshots, as CSV
+
+  --help print this message and exit
+)";
+
+constexpr const char* kKnownFlags[] = {
+    "dataset", "method", "clients", "similarity", "rounds", "local_steps",
+    "batch", "sample_ratio", "lr", "lambda", "dp_sigma", "compressor",
+    "selection", "model", "train_examples", "test_examples", "seed",
+    "eval_every", "fine_tune", "drop", "corrupt", "duplicate", "delay",
+    "mean_delay_ms", "timeout_ms", "retries", "sim_mode", "compute_model",
+    "compute_ms", "compute_sigma", "compute_drift", "compute_spread",
+    "down_bw", "up_bw", "base_latency_ms", "deadline_ms", "async_buffer",
+    "num_threads", "kernel_threads", "trace", "trace_out", "csv_out", "help"};
 
 std::unique_ptr<FederatedAlgorithm> Build(
     const std::string& method, const FlConfig& fl,
@@ -86,6 +145,23 @@ std::unique_ptr<FederatedAlgorithm> Build(
 
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  for (const std::string& key : flags.Keys()) {
+    bool known = false;
+    for (const char* k : kKnownFlags) {
+      if (key == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown flag --%s (see --help)\n", key.c_str());
+      return 1;
+    }
+  }
   const std::string dataset = flags.GetString("dataset", "mnist");
   const std::string method = flags.GetString("method", "rFedAvg+");
   const int clients = flags.GetInt("clients", 10);
@@ -135,6 +211,9 @@ int main(int argc, char** argv) {
   fl.sim.async_buffer = flags.GetInt("async_buffer", 2);
   fl.num_threads = flags.GetInt("num_threads", 1);
   fl.kernel_threads = flags.GetInt("kernel_threads", 1);
+  const std::string trace_out = flags.GetString("trace_out", "");
+  const std::string csv_out = flags.GetString("csv_out", "");
+  fl.trace = flags.GetBool("trace", false) || !trace_out.empty();
 
   RegularizerOptions reg;
   reg.lambda = flags.GetDouble("lambda", is_text ? 1e-4 : 1e-3);
@@ -224,6 +303,19 @@ int main(int argc, char** argv) {
         history.rounds.back().client_p50_ms,
         history.rounds.back().client_p95_ms,
         static_cast<long long>(history.TotalStragglersCut()));
+  }
+  if (fl.trace) {
+    std::printf("\ntrace summary (wall vs virtual per phase):\n%s",
+                obs::FormatTraceSummary().c_str());
+    if (!trace_out.empty()) {
+      obs::WriteChromeTrace(trace_out);
+      std::printf("chrome trace written to %s (load in chrome://tracing)\n",
+                  trace_out.c_str());
+    }
+  }
+  if (!csv_out.empty()) {
+    SaveHistoryCsv(history, csv_out);
+    std::printf("per-round history written to %s\n", csv_out.c_str());
   }
 
   if (flags.GetBool("fine_tune", false) && !views[0].test_indices.empty()) {

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace rfed {
@@ -28,6 +29,7 @@ void Variable::Backward() {
   RFED_CHECK(valid());
   RFED_CHECK_EQ(node_->value().size(), 1)
       << "Backward() must start from a scalar";
+  obs::TraceSpan trace_span("backward");
 
   // Iterative post-order DFS for a reverse topological order.
   std::vector<GraphNode*> order;

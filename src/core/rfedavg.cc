@@ -1,6 +1,7 @@
 #include "core/rfedavg.h"
 
 #include "core/mmd.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace rfed {
@@ -24,10 +25,13 @@ void RFedAvg::OnRoundStart(int round, const std::vector<int>& selected) {
   // client (Algorithm 1, line 3): N-1 foreign maps per client. A client
   // whose broadcast is lost has no targets to regularize against and
   // degrades to a plain FedAvg round.
+  obs::TraceSpan trace_span("map_broadcast");
   map_received_.assign(static_cast<size_t>(num_clients()), 0);
   for (int k : selected) {
     map_received_[static_cast<size_t>(k)] =
-        channel().Download(store_.BroadcastBytesPairwise()) ? 1 : 0;
+        channel().Download(store_.BroadcastBytesPairwise(), channel_kind::kMap)
+            ? 1
+            : 0;
   }
   pending_updates_.clear();
 }
@@ -36,6 +40,7 @@ Variable RFedAvg::ExtraLoss(int client, const ModelOutput& output,
                             const Batch& batch) {
   if (reg_.lambda == 0.0) return Variable();
   if (!map_received_[static_cast<size_t>(client)]) return Variable();
+  obs::TraceSpan trace_span("mmd_penalty");
   const Variable& rep =
       reg_.regularize_logits ? output.logits : output.features;
   // r'_k: mean squared MMD against every other client's delayed map.
@@ -49,10 +54,11 @@ void RFedAvg::OnClientTrained(int round, int client, const Tensor& new_state) {
   // model (the source of the map inconsistency Theorem 2 quantifies).
   // A map upload lost on the channel never reaches the store; the server
   // keeps that client's previous (delayed) map.
+  obs::TraceSpan trace_span("map_update");
   Tensor delta = ComputeClientDelta(client, new_state,
                                    reg_.regularize_logits);
   ApplyDpNoise(reg_.dp, &delta, &noise_rng_);
-  if (channel().Upload(store_.MapBytes())) {
+  if (channel().Upload(store_.MapBytes(), channel_kind::kMap)) {
     pending_updates_.emplace_back(client, std::move(delta));
   }
 }

@@ -1,6 +1,7 @@
 #include "core/rfedavg.h"
 
 #include "core/mmd.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace rfed {
@@ -25,10 +26,13 @@ void RFedAvgPlus::OnRoundStart(int round, const std::vector<int>& selected) {
   // δ̄^{-k} (Algorithm 2, line 10 input): one map per client, O(d N)
   // total instead of rFedAvg's O(d N^2). A client whose copy is lost
   // trains without the regularizer this round.
+  obs::TraceSpan trace_span("map_broadcast");
   map_received_.assign(static_cast<size_t>(num_clients()), 0);
   for (int k : selected) {
     map_received_[static_cast<size_t>(k)] =
-        channel().Download(store_.BroadcastBytesAveraged()) ? 1 : 0;
+        channel().Download(store_.BroadcastBytesAveraged(), channel_kind::kMap)
+            ? 1
+            : 0;
   }
 }
 
@@ -36,6 +40,7 @@ Variable RFedAvgPlus::ExtraLoss(int client, const ModelOutput& output,
                                 const Batch& batch) {
   if (reg_.lambda == 0.0) return Variable();
   if (!map_received_[static_cast<size_t>(client)]) return Variable();
+  obs::TraceSpan trace_span("mmd_penalty");
   const Variable& rep =
       reg_.regularize_logits ? output.logits : output.features;
   Variable r = AveragedMmdRegularizer(rep, store_.LeaveOneOutMean(client));
@@ -50,12 +55,13 @@ void RFedAvgPlus::OnRoundEnd(int round, const std::vector<int>& selected) {
   // model cannot recompute, and a map upload lost in flight leaves the
   // store holding that client's previous map — the server's averaged map
   // is always the mean of the maps it actually *received*.
+  obs::TraceSpan trace_span("map_sync");
   for (int k : selected) {
     if (!ChargeModelDownload()) continue;
     Tensor delta =
         ComputeClientDelta(k, global_state(), reg_.regularize_logits);
     ApplyDpNoise(reg_.dp, &delta, &noise_rng_);
-    if (channel().Upload(store_.MapBytes())) {
+    if (channel().Upload(store_.MapBytes(), channel_kind::kMap)) {
       store_.Update(k, std::move(delta));
     }
   }

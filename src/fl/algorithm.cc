@@ -7,6 +7,8 @@
 #include "fl/model_state.h"
 #include "fl/selection.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/kernels.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -24,6 +26,21 @@ double PercentileMs(std::vector<double> values, double p) {
       std::clamp<double>(rank - 1.0, 0.0,
                          static_cast<double>(values.size() - 1)));
   return values[index];
+}
+
+// Staleness of each aggregated async update, in server versions. Edges
+// sit between integers so bucket k holds exactly staleness == k (0, 1,
+// 2, 3–4, 5–8, >8).
+obs::Histogram* StalenessHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Get().GetHistogram(
+      "fl.staleness", {0.5, 1.5, 2.5, 4.5, 8.5});
+  return h;
+}
+
+obs::Counter* StragglersCutCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("fl.stragglers_cut");
+  return c;
 }
 
 }  // namespace
@@ -55,6 +72,9 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
   // Intra-op kernel parallelism (tensor/kernels.h). Results are
   // bit-identical for every thread count, so this only affects speed.
   SetKernelThreads(config_.kernel_threads);
+  // Tracing is process-global; the flag only ever turns it on so that a
+  // traced run is never silently disabled by a second algorithm instance.
+  if (config_.trace) obs::EnableTracing(true);
 
   // FedAvg weights p_k = n_k / n.
   int64_t total = 0;
@@ -123,7 +143,8 @@ Tensor FederatedAlgorithm::CompressUploadedState(const Tensor& state,
   Rng fork = rng_.Fork();
   Tensor reconstructed = compressor_->RoundTrip(delta, &fork);
   reconstructed.AddInPlace(global_state_);
-  const bool ok = channel_.Upload(compressor_->WireBytes(state.size()));
+  const bool ok =
+      channel_.Upload(compressor_->WireBytes(state.size()), channel_kind::kUpdate);
   if (delivered != nullptr) *delivered = ok;
   return reconstructed;
 }
@@ -195,7 +216,7 @@ bool FederatedAlgorithm::ChargeModelDownload() {
   return channel_.Download(model_bytes_);
 }
 bool FederatedAlgorithm::ChargeModelUpload() {
-  return channel_.Upload(model_bytes_);
+  return channel_.Upload(model_bytes_, channel_kind::kUpdate);
 }
 
 void FederatedAlgorithm::Aggregate(int round, const std::vector<int>& selected,
@@ -237,6 +258,9 @@ void FederatedAlgorithm::TrainCohort(int round, const std::vector<int>& cohort,
   // order: the fault channel's RNG stream must be consumed in a
   // deterministic order, and compute draws are cheap.
   for (int i = 0; i < n; ++i) {
+    // Per-client span (not per-phase-A-pass) so the "broadcast" count is
+    // the same on the parallel and sequential round paths.
+    obs::TraceSpan trace_span("broadcast");
     ClientWork& w = (*work)[static_cast<size_t>(i)];
     w.client = cohort[static_cast<size_t>(i)];
     w.trained = ChargeModelDownload();  // broadcast lost: client sits out
@@ -252,6 +276,7 @@ void FederatedAlgorithm::TrainCohort(int round, const std::vector<int>& cohort,
   const auto train_one = [&](int i, FeatureModel* model) {
     ClientWork& w = (*work)[static_cast<size_t>(i)];
     if (!w.trained) return;
+    obs::TraceSpan trace_span("local_train");
     if (want_start_losses) {
       w.start_loss = EvaluateLocalLoss(w.client, global_state_, model);
     }
@@ -284,21 +309,25 @@ RoundResult FederatedAlgorithm::RunRound(int round) {
 RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
   Stopwatch watch;
   const double t0 = clock_.now_ms();
-  std::vector<int> selected = SampleClients();
-  // Straggler fault injection: drop sampled clients with the configured
-  // probability, keeping at least one. Dropped clients still cost the
-  // server a model download (they failed *after* receiving it).
-  if (config_.dropout_prob > 0.0) {
-    std::vector<int> kept;
-    for (int k : selected) {
-      if (rng_.Uniform() < config_.dropout_prob) {
-        ChargeModelDownload();  // wasted transfer
-      } else {
-        kept.push_back(k);
+  std::vector<int> selected;
+  {
+    obs::TraceSpan trace_span("select");
+    selected = SampleClients();
+    // Straggler fault injection: drop sampled clients with the configured
+    // probability, keeping at least one. Dropped clients still cost the
+    // server a model download (they failed *after* receiving it).
+    if (config_.dropout_prob > 0.0) {
+      std::vector<int> kept;
+      for (int k : selected) {
+        if (rng_.Uniform() < config_.dropout_prob) {
+          ChargeModelDownload();  // wasted transfer
+        } else {
+          kept.push_back(k);
+        }
       }
+      if (kept.empty()) kept.push_back(selected[0]);
+      selected = std::move(kept);
     }
-    if (kept.empty()) kept.push_back(selected[0]);
-    selected = std::move(kept);
   }
   OnRoundStart(round, selected);
 
@@ -335,7 +364,10 @@ RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
     trained_weight += pw;
     trained_loss += pw * w.loss;
     bool delivered = true;
-    Tensor uploaded = CompressUploadedState(w.state, &delivered);
+    Tensor uploaded = [&] {
+      obs::TraceSpan trace_span("upload");
+      return CompressUploadedState(w.state, &delivered);
+    }();
     const int64_t up_bytes = compression_enabled_
                                  ? compressor_->WireBytes(w.state.size())
                                  : model_bytes_;
@@ -347,6 +379,7 @@ RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
     if (!delivered) return;  // update lost in flight
     if (deadline_mode && completion > config_.sim.deadline_ms) {
       ++cut;  // arrived after the cut: the work and bytes were wasted
+      StragglersCutCounter()->Increment();
       return;
     }
     OnClientTrained(round, w.client, w.state);
@@ -367,11 +400,15 @@ RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
     for (int k : selected) {
       ClientWork w;
       w.client = k;
-      w.trained = ChargeModelDownload();  // broadcast lost: sits out
-      w.down_ms =
-          network_model_.DownMs(model_bytes_) + channel_.last_latency_ms();
-      w.compute_ms = compute_model_->SampleMs(k, round, LocalSteps(k));
+      {
+        obs::TraceSpan trace_span("broadcast");
+        w.trained = ChargeModelDownload();  // broadcast lost: sits out
+        w.down_ms =
+            network_model_.DownMs(model_bytes_) + channel_.last_latency_ms();
+        w.compute_ms = compute_model_->SampleMs(k, round, LocalSteps(k));
+      }
       if (w.trained) {
+        obs::TraceSpan trace_span("local_train");
         if (want_start_losses) {
           w.start_loss = EvaluateLocalLoss(k, global_state_);
         }
@@ -384,6 +421,7 @@ RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
   }
 
   if (!survivors.empty()) {
+    obs::TraceSpan trace_span("aggregate");
     Aggregate(round, survivors, new_states, start_losses);
     ++server_version_;
   }
@@ -424,30 +462,33 @@ RoundResult FederatedAlgorithm::RunRoundAsync(int round) {
   // uniform over the idle set (loss-adaptive selection would bias toward
   // clients whose losses are stalest here). dropout_prob applies at
   // dispatch; a dropped client wastes its broadcast and stays idle.
-  std::vector<int> idle;
-  for (int k = 0; k < n; ++k) {
-    if (!client_busy_[static_cast<size_t>(k)]) idle.push_back(k);
-  }
-  const int busy = n - static_cast<int>(idle.size());
   std::vector<int> fresh;
-  if (cohort > busy && !idle.empty()) {
-    const int take =
-        std::min(cohort - busy, static_cast<int>(idle.size()));
-    for (int pick :
-         UniformSelection(static_cast<int>(idle.size()), take, &rng_)) {
-      fresh.push_back(idle[static_cast<size_t>(pick)]);
+  {
+    obs::TraceSpan trace_span("select");
+    std::vector<int> idle;
+    for (int k = 0; k < n; ++k) {
+      if (!client_busy_[static_cast<size_t>(k)]) idle.push_back(k);
     }
-  }
-  if (config_.dropout_prob > 0.0) {
-    std::vector<int> kept;
-    for (int k : fresh) {
-      if (rng_.Uniform() < config_.dropout_prob) {
-        ChargeModelDownload();  // wasted transfer
-      } else {
-        kept.push_back(k);
+    const int busy = n - static_cast<int>(idle.size());
+    if (cohort > busy && !idle.empty()) {
+      const int take =
+          std::min(cohort - busy, static_cast<int>(idle.size()));
+      for (int pick :
+           UniformSelection(static_cast<int>(idle.size()), take, &rng_)) {
+        fresh.push_back(idle[static_cast<size_t>(pick)]);
       }
     }
-    fresh = std::move(kept);
+    if (config_.dropout_prob > 0.0) {
+      std::vector<int> kept;
+      for (int k : fresh) {
+        if (rng_.Uniform() < config_.dropout_prob) {
+          ChargeModelDownload();  // wasted transfer
+        } else {
+          kept.push_back(k);
+        }
+      }
+      fresh = std::move(kept);
+    }
   }
   OnRoundStart(round, fresh);
 
@@ -465,7 +506,10 @@ RoundResult FederatedAlgorithm::RunRoundAsync(int round) {
     flight.version = server_version_;
     flight.loss = w.loss;
     flight.start_loss = w.start_loss;
-    flight.uploaded = CompressUploadedState(w.state, &flight.delivered);
+    {
+      obs::TraceSpan trace_span("upload");
+      flight.uploaded = CompressUploadedState(w.state, &flight.delivered);
+    }
     flight.state = std::move(w.state);
     const int64_t up_bytes = compression_enabled_
                                  ? compressor_->WireBytes(flight.state.size())
@@ -500,6 +544,7 @@ RoundResult FederatedAlgorithm::RunRoundAsync(int round) {
     if (!flight.delivered) continue;  // upload lost in flight
     const int staleness = server_version_ - flight.version;
     staleness_sum += static_cast<double>(staleness);
+    StalenessHistogram()->Observe(static_cast<double>(staleness));
     completions.push_back(flight.completion_ms);
     const double pw = weights_[static_cast<size_t>(flight.client)];
     trained_weight += pw;
@@ -512,6 +557,7 @@ RoundResult FederatedAlgorithm::RunRoundAsync(int round) {
   }
 
   if (!survivors.empty()) {
+    obs::TraceSpan trace_span("aggregate");
     agg_scale_ = std::move(scales);
     Aggregate(round, survivors, new_states, start_losses);
     agg_scale_.clear();

@@ -6,6 +6,7 @@
 
 #include "fl/comm.h"
 #include "fl/message.h"
+#include "obs/metrics.h"
 #include "util/backoff.h"
 #include "util/rng.h"
 
@@ -38,6 +39,16 @@ struct FaultOptions {
 
 /// Which way a transfer flows; determines the CommStats side it charges.
 enum class ChannelDirection { kDownload, kUpload };
+
+/// Message-type tag for per-kind byte accounting in the metrics registry
+/// (`comm.{down,up}_bytes.<kind>`). Callers pass one of these literals to
+/// Send/Download/Upload; the default covers the common model transfer.
+namespace channel_kind {
+inline constexpr const char* kModel = "model";      ///< global model broadcast
+inline constexpr const char* kUpdate = "update";    ///< trained client update
+inline constexpr const char* kMap = "map";          ///< rFedAvg/+ δ-map traffic
+inline constexpr const char* kControl = "control";  ///< SCAFFOLD control variates
+}  // namespace channel_kind
 
 /// Message-level delivery counters, cumulative and per-round. One
 /// "delivered" or "dropped" tick per *logical* message; retries,
@@ -76,21 +87,26 @@ class FaultChannel {
  public:
   FaultChannel(const FaultOptions& options, uint64_t seed, CommStats* ledger);
 
-  /// Attempts delivery of one logical message of `bytes` bytes. Returns
+  /// Attempts delivery of one logical message of `bytes` bytes tagged
+  /// with a `channel_kind` literal for per-kind byte metrics. Returns
   /// true iff a copy arrived within the round deadline.
-  bool Send(ChannelDirection direction, int64_t bytes);
+  bool Send(ChannelDirection direction, int64_t bytes,
+            const char* kind = channel_kind::kModel);
 
-  bool Download(int64_t bytes) {
-    return Send(ChannelDirection::kDownload, bytes);
+  bool Download(int64_t bytes, const char* kind = channel_kind::kModel) {
+    return Send(ChannelDirection::kDownload, bytes, kind);
   }
-  bool Upload(int64_t bytes) { return Send(ChannelDirection::kUpload, bytes); }
+  bool Upload(int64_t bytes, const char* kind = channel_kind::kModel) {
+    return Send(ChannelDirection::kUpload, bytes, kind);
+  }
 
   /// Full-fidelity transmission: encodes `message`, injects the faults
   /// into the actual bytes (corruption = real bit flips), and decodes on
   /// the receive side with checksum verification. Returns the received
   /// message, or nullopt if every attempt was lost, rejected, or late.
   std::optional<FlMessage> Transmit(const FlMessage& message,
-                                    ChannelDirection direction);
+                                    ChannelDirection direction,
+                                    const char* kind = channel_kind::kModel);
 
   /// Resets the per-round delivery counters (and the ledger's, if the
   /// caller has not already done so, is harmless to repeat).
@@ -117,13 +133,24 @@ class FaultChannel {
   /// *latency_ms.
   Attempt AttemptOnce(double* latency_ms);
 
-  void Charge(ChannelDirection direction, int64_t bytes);
+  void Charge(ChannelDirection direction, int64_t bytes, const char* kind);
 
   FaultOptions options_;
   CommStats* ledger_;
   Rng rng_;
   ChannelStats stats_;
   double last_latency_ms_ = 0.0;
+
+  // Registry handles, resolved once at construction (registered eagerly
+  // so every run's CSV has the same metric columns).
+  obs::Counter* m_delivered_;
+  obs::Counter* m_dropped_;
+  obs::Counter* m_retried_;
+  obs::Counter* m_corrupted_;
+  obs::Counter* m_duplicated_;
+  obs::Counter* m_timed_out_;
+  obs::Counter* m_down_bytes_;
+  obs::Counter* m_up_bytes_;
 };
 
 }  // namespace rfed

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <fstream>
+#include <map>
+#include <set>
 
 #include "tensor/serialize.h"
 #include "util/check.h"
@@ -32,27 +34,42 @@ Tensor LoadTensorFromFile(const std::string& path) {
 }
 
 void SaveHistoryCsv(const RunHistory& history, const std::string& path) {
-  CsvWriter csv(path, {"round", "train_loss", "test_accuracy",
-                       "round_seconds", "round_bytes", "delivered",
-                       "dropped", "retried", "virtual_ms", "client_p50_ms",
-                       "client_p95_ms", "stragglers_cut", "mean_staleness",
-                       "peak_scratch_bytes"});
+  // The fixed columns are followed by one column per observability
+  // metric seen in any round (sorted union of names), blank where a
+  // round has no sample for that name. Metric names are already sorted
+  // within each round's snapshot, so the union stays sorted too.
+  std::set<std::string> metric_names;
   for (const RoundMetrics& r : history.rounds) {
-    csv.WriteRow({std::to_string(r.round), StrFormat("%.6f", r.train_loss),
-                  std::isnan(r.test_accuracy)
-                      ? ""
-                      : StrFormat("%.6f", r.test_accuracy),
-                  StrFormat("%.6f", r.round_seconds),
-                  std::to_string(r.round_bytes),
-                  std::to_string(r.delivered_messages),
-                  std::to_string(r.dropped_messages),
-                  std::to_string(r.retried_messages),
-                  StrFormat("%.3f", r.virtual_ms),
-                  StrFormat("%.3f", r.client_p50_ms),
-                  StrFormat("%.3f", r.client_p95_ms),
-                  std::to_string(r.stragglers_cut),
-                  StrFormat("%.3f", r.mean_staleness),
-                  std::to_string(r.peak_scratch_bytes)});
+    for (const auto& kv : r.metrics) metric_names.insert(kv.first);
+  }
+  std::vector<std::string> header = {
+      "round", "train_loss", "test_accuracy", "round_seconds", "round_bytes",
+      "delivered", "dropped", "retried", "virtual_ms", "client_p50_ms",
+      "client_p95_ms", "stragglers_cut", "mean_staleness",
+      "peak_scratch_bytes"};
+  header.insert(header.end(), metric_names.begin(), metric_names.end());
+  CsvWriter csv(path, header);
+  for (const RoundMetrics& r : history.rounds) {
+    std::vector<std::string> row = {
+        std::to_string(r.round), StrFormat("%.6f", r.train_loss),
+        std::isnan(r.test_accuracy) ? "" : StrFormat("%.6f", r.test_accuracy),
+        StrFormat("%.6f", r.round_seconds),
+        std::to_string(r.round_bytes),
+        std::to_string(r.delivered_messages),
+        std::to_string(r.dropped_messages),
+        std::to_string(r.retried_messages),
+        StrFormat("%.3f", r.virtual_ms),
+        StrFormat("%.3f", r.client_p50_ms),
+        StrFormat("%.3f", r.client_p95_ms),
+        std::to_string(r.stragglers_cut),
+        StrFormat("%.3f", r.mean_staleness),
+        std::to_string(r.peak_scratch_bytes)};
+    std::map<std::string, double> by_name(r.metrics.begin(), r.metrics.end());
+    for (const std::string& name : metric_names) {
+      auto it = by_name.find(name);
+      row.push_back(it == by_name.end() ? "" : StrFormat("%g", it->second));
+    }
+    csv.WriteRow(row);
   }
 }
 

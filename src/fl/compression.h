@@ -45,8 +45,10 @@ class NoCompression : public UpdateCompressor {
 class StochasticQuantizer : public UpdateCompressor {
  public:
   explicit StochasticQuantizer(int bits);
-  std::string Name() const override;
+  std::string Name() const override;  ///< "q<bits>", e.g. "q8"
   Tensor RoundTrip(const Tensor& update, Rng* rng) override;
+  /// bits+1 bits per element (sign embedded in the level), rounded up to
+  /// whole bytes, plus 4 bytes for the per-tensor scale.
   int64_t WireBytes(int64_t n) const override;
 
  private:
@@ -58,8 +60,9 @@ class StochasticQuantizer : public UpdateCompressor {
 /// kept coordinate.
 class TopKSparsifier : public UpdateCompressor {
  public:
+  /// `fraction` in (0, 1]: 0.1 keeps the top 10% (at least 1 element).
   explicit TopKSparsifier(double fraction);
-  std::string Name() const override;
+  std::string Name() const override;  ///< "topk<percent>", e.g. "topk10"
   Tensor RoundTrip(const Tensor& update, Rng* rng) override;
   int64_t WireBytes(int64_t n) const override;
 
@@ -73,10 +76,12 @@ class TopKSparsifier : public UpdateCompressor {
 /// controlled by width.
 class CountSketchCompressor : public UpdateCompressor {
  public:
+  /// `seed` keys the hash/sign functions; both sides must share it. The
+  /// sketch size (and wire cost) is rows x width counters regardless of n.
   CountSketchCompressor(int rows, int64_t width, uint64_t seed);
-  std::string Name() const override;
+  std::string Name() const override;  ///< "sketch"
   Tensor RoundTrip(const Tensor& update, Rng* rng) override;
-  int64_t WireBytes(int64_t n) const override;
+  int64_t WireBytes(int64_t n) const override;  ///< 4 * rows * width
 
  private:
   int rows_;
@@ -84,7 +89,9 @@ class CountSketchCompressor : public UpdateCompressor {
   uint64_t seed_;
 };
 
-/// Factory by name: "none", "q8", "q4", "topk10", "topk1", "sketch".
+/// Factory by name: "none", "q8", "q4", "topk10", "topk1", "sketch"
+/// (the values FlConfig::upload_compressor and the CLI's --compressor
+/// accept). Aborts on an unknown name.
 std::unique_ptr<UpdateCompressor> MakeCompressor(const std::string& name);
 
 }  // namespace rfed

@@ -2,6 +2,7 @@
 #define RFED_FL_METRICS_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rfed {
@@ -30,6 +31,13 @@ struct RoundMetrics {
   /// arenas) as of the end of this round; see ScratchArena in
   /// tensor/kernels.h. Monotone over a run — the arenas grow and stay.
   int64_t peak_scratch_bytes = 0;
+  /// Per-round snapshot of the observability metrics registry
+  /// (obs/metrics.h), sorted by name: cumulative metrics (counters,
+  /// histogram buckets) as this-round deltas, gauges as absolute
+  /// readings. Appended as extra columns by SaveHistoryCsv; the name →
+  /// unit table lives in docs/OBSERVABILITY.md. Kept last so existing
+  /// aggregate initializers of the fixed fields stay valid.
+  std::vector<std::pair<std::string, double>> metrics;
 };
 
 /// Full training history of one run.

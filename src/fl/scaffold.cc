@@ -22,7 +22,7 @@ void Scaffold::OnRoundStart(int round, const std::vector<int>& selected) {
   // stale view of c — the standard straggler approximation — so delivery
   // is charged but not otherwise acted on.
   for (size_t i = 0; i < selected.size(); ++i) {
-    channel().Download(model_bytes());
+    channel().Download(model_bytes(), channel_kind::kControl);
   }
 }
 
@@ -51,7 +51,8 @@ void Scaffold::OnClientTrained(int round, int client,
   // refresh happens regardless, but the server-side c update — the
   // cohort mean of (c_k+ - c_k) weighted by |S|/N, i.e. 1/N per trained
   // client — only applies when the upload actually arrives.
-  const bool delivered = channel().Upload(model_bytes());
+  const bool delivered =
+      channel().Upload(model_bytes(), channel_kind::kControl);
   if (delivered) {
     Tensor delta_c = ck_new;
     delta_c.SubInPlace(ck);

@@ -29,12 +29,16 @@ class SecureAggregator {
                    double mask_scale = 10.0);
 
   /// Masked upload of `client`'s update given the round's cohort
-  /// (sorted or not; must contain `client`).
+  /// (sorted or not; must contain `client`). Masks are deterministic in
+  /// (session_seed, pair, dim) — independent of cohort order — so the
+  /// two sides of each pair derive identical m_ij without interaction.
   Tensor Mask(int client, const Tensor& update,
               const std::vector<int>& cohort) const;
 
-  /// Server-side aggregate: the plain sum of masked uploads (the masks
-  /// cancel when every cohort member reported).
+  /// Server-side aggregate: the plain sum of masked uploads. The masks
+  /// cancel exactly only when every cohort member's upload is present;
+  /// with dropouts the residual masks stay in the sum (no recovery
+  /// protocol — see the class comment).
   static Tensor SumMasked(const std::vector<Tensor>& masked_uploads);
 
   int64_t dim() const { return dim_; }

@@ -13,12 +13,18 @@ namespace rfed {
 /// Power-of-Choice) over-samples clients whose last known local loss is
 /// high, which speeds convergence on skewed data at some fairness risk.
 
-/// Uniform sample of k of n clients.
+/// Uniform sample of cohort_size of num_clients clients without
+/// replacement. Aborts if cohort_size > num_clients; the full-cohort
+/// case (cohort_size == num_clients) returns 0..N-1 in order without
+/// consuming randomness, so SR = 1.0 runs are RNG-neutral.
 std::vector<int> UniformSelection(int num_clients, int cohort_size, Rng* rng);
 
-/// Loss-proportional sampling without replacement: client k is drawn
-/// with probability proportional to max(last_losses[k], floor). Clients
-/// that never reported a loss (NaN/<=0 entries) get the mean weight.
+/// Loss-proportional sampling without replacement (sequential weighted
+/// draws): client k is drawn with probability proportional to its last
+/// known local loss. Clients that never reported a loss (NaN/<=0
+/// entries) get the mean of the known losses, so unseen clients are
+/// neither starved nor favored. Consumes exactly cohort_size Uniform()
+/// draws from `rng`.
 std::vector<int> LossProportionalSelection(
     const std::vector<double>& last_losses, int cohort_size, Rng* rng);
 

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/kernels.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -75,8 +77,17 @@ RunHistory FederatedTrainer::Run(int rounds) {
   RunHistory history;
   history.algorithm = algorithm_->name();
   history.rounds.reserve(static_cast<size_t>(rounds));
+  // Per-round registry deltas are taken against the snapshot at entry,
+  // so a second Run() in the same process (the registry is global and
+  // cumulative) still reports only its own rounds.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Gauge* scratch_gauge = registry.GetGauge("kernel.scratch_peak_bytes");
+  std::vector<obs::MetricSample> prev_snapshot = registry.Snapshot();
   for (int round = 0; round < rounds; ++round) {
-    RoundResult result = algorithm_->RunRound(round);
+    RoundResult result = [&] {
+      obs::TraceSpan trace_span("round");
+      return algorithm_->RunRound(round);
+    }();
     RoundMetrics metrics;
     metrics.round = round;
     metrics.train_loss = result.train_loss;
@@ -93,9 +104,18 @@ RunHistory FederatedTrainer::Run(int rounds) {
     metrics.stragglers_cut = result.stragglers_cut;
     metrics.mean_staleness = result.mean_staleness;
     metrics.peak_scratch_bytes = ScratchArena::PeakBytes();
+    scratch_gauge->Set(static_cast<double>(metrics.peak_scratch_bytes));
+    std::vector<obs::MetricSample> snapshot = registry.Snapshot();
+    metrics.metrics = obs::SnapshotDelta(prev_snapshot, snapshot);
+    prev_snapshot = std::move(snapshot);
     const bool eval_now =
         (round % options_.eval_every == 0) || round == rounds - 1;
-    metrics.test_accuracy = eval_now ? EvaluateGlobal() : std::nan("");
+    if (eval_now) {
+      obs::TraceSpan trace_span("evaluate");
+      metrics.test_accuracy = EvaluateGlobal();
+    } else {
+      metrics.test_accuracy = std::nan("");
+    }
     if (options_.verbose && eval_now) {
       RFED_LOG(Info) << algorithm_->name() << " round " << round
                      << " loss=" << metrics.train_loss

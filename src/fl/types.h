@@ -68,6 +68,13 @@ struct FlConfig {
   /// deterministic partition never splits a reduction — so this only
   /// trades wall time, pinned by the golden suite across {1, 2, 4}.
   int kernel_threads = 1;
+  /// Turns on the observability layer (obs/trace.h) for the run: phase
+  /// and kernel trace spans plus FLOP counters. Purely additive — spans
+  /// consume no RNG draws and touch no tensor state, so a seeded run is
+  /// byte-identical with tracing on or off (pinned by tests/obs_test.cc).
+  /// The per-round metric snapshots in RoundMetrics::metrics are
+  /// collected regardless of this flag.
+  bool trace = false;
 };
 
 }  // namespace rfed

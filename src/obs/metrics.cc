@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace rfed {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), buckets_(edges_.size() + 1) {
+  RFED_CHECK(!edges_.empty()) << "Histogram needs at least one bucket edge";
+  for (size_t i = 1; i < edges_.size(); ++i) {
+    RFED_CHECK(edges_[i - 1] < edges_[i])
+        << "Histogram edges must be strictly increasing";
+  }
+}
+
+void Histogram::Observe(double v) {
+  size_t i = 0;
+  while (i < edges_.size() && v > edges_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+int64_t Histogram::BucketCount(size_t i) const {
+  RFED_CHECK(i < buckets_.size()) << "Histogram bucket index out of range";
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* r = new MetricsRegistry();  // leaked on purpose
+  return *r;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RFED_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered as a different kind";
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RFED_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered as a different kind";
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RFED_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
+      << "metric '" << name << "' already registered as a different kind";
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new Histogram(std::move(edges)));
+  return slot.get();
+}
+
+namespace {
+
+std::string FormatEdge(double edge) {
+  char buf[32];
+  // Trim trailing zeros so "2.500000" reads "2.5" in CSV headers.
+  std::snprintf(buf, sizeof(buf), "%g", edge);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 4);
+  for (const auto& kv : counters_) {
+    out.push_back({kv.first, static_cast<double>(kv.second->value()), true});
+  }
+  for (const auto& kv : gauges_) {
+    out.push_back({kv.first, kv.second->value(), false});
+  }
+  for (const auto& kv : histograms_) {
+    const Histogram& h = *kv.second;
+    for (size_t i = 0; i < h.edges().size(); ++i) {
+      out.push_back({kv.first + ".le" + FormatEdge(h.edges()[i]),
+                     static_cast<double>(h.BucketCount(i)), true});
+    }
+    out.push_back({kv.first + ".over",
+                   static_cast<double>(h.BucketCount(h.edges().size())), true});
+    out.push_back(
+        {kv.first + ".count", static_cast<double>(h.TotalCount()), true});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : counters_) kv.second->Reset();
+  for (auto& kv : gauges_) kv.second->Reset();
+  for (auto& kv : histograms_) kv.second->Reset();
+}
+
+std::vector<std::pair<std::string, double>> SnapshotDelta(
+    const std::vector<MetricSample>& base,
+    const std::vector<MetricSample>& now) {
+  std::map<std::string, double> base_by_name;
+  for (const MetricSample& s : base) base_by_name[s.name] = s.value;
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(now.size());
+  for (const MetricSample& s : now) {
+    double v = s.value;
+    if (s.cumulative) {
+      auto it = base_by_name.find(s.name);
+      if (it != base_by_name.end()) v -= it->second;
+    }
+    out.emplace_back(s.name, v);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rfed

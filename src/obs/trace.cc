@@ -1,0 +1,242 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rfed {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+std::atomic<double> g_virtual_now_ms{0.0};
+}  // namespace internal
+
+namespace {
+
+// All wall timestamps are reported relative to one process-wide epoch so
+// events from different lanes share a timeline in the Chrome viewer.
+int64_t NowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+// One thread's buffer. The registry keeps these alive via shared_ptr so
+// the (lane, events) survive the thread itself — worker pools are torn
+// down per algorithm, but their spans must still be collectible.
+struct ThreadBuffer {
+  int lane = 0;
+  int depth = 0;        // open spans on this thread (thread-private)
+  int64_t next_seq = 0;
+  std::mutex mu;        // guards events + next_seq vs. collector
+  std::vector<TraceEvent> events;
+};
+
+struct Registry {
+  std::mutex mu;
+  int next_lane = 0;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: outlives exiting threads
+  return *r;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* buf = [] {
+    auto owned = std::make_shared<ThreadBuffer>();
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    owned->lane = r.next_lane++;
+    r.buffers.push_back(owned);
+    return owned.get();
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+void EnableTracing(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void TraceSpan::Begin(const char* name) {
+  name_ = name;
+  start_ns_ = NowNs();
+  virt_start_ms_ = TraceVirtualNowMs();
+  ++LocalBuffer().depth;
+}
+
+void TraceSpan::End() {
+  const int64_t end_ns = NowNs();
+  ThreadBuffer& buf = LocalBuffer();
+  --buf.depth;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.depth = buf.depth;
+  ev.start_us = static_cast<double>(start_ns_) * 1e-3;
+  ev.dur_us = static_cast<double>(end_ns - start_ns_) * 1e-3;
+  ev.virt_start_ms = virt_start_ms_;
+  ev.virt_end_ms = TraceVirtualNowMs();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  ev.seq = buf.next_seq++;
+  buf.events.push_back(ev);
+}
+
+std::vector<LaneTrace> CollectTrace() {
+  Registry& r = GetRegistry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    buffers = r.buffers;
+  }
+  std::vector<LaneTrace> lanes;
+  lanes.reserve(buffers.size());
+  for (const auto& buf : buffers) {
+    LaneTrace lane;
+    lane.lane = buf->lane;
+    {
+      std::lock_guard<std::mutex> lock(buf->mu);
+      lane.events = buf->events;
+    }
+    if (!lane.events.empty()) lanes.push_back(std::move(lane));
+  }
+  std::sort(lanes.begin(), lanes.end(),
+            [](const LaneTrace& a, const LaneTrace& b) {
+              return a.lane < b.lane;
+            });
+  return lanes;
+}
+
+void ClearTrace() {
+  Registry& r = GetRegistry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    buffers = r.buffers;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->events.clear();
+    buf->next_seq = 0;
+  }
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+      *out += hex;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::string& path) {
+  const std::vector<LaneTrace> lanes = CollectTrace();
+  std::string json;
+  json.reserve(256 + lanes.size() * 4096);
+  json += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const LaneTrace& lane : lanes) {
+    if (!first) json += ",";
+    first = false;
+    char meta[128];
+    std::snprintf(meta, sizeof(meta),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"lane %d\"}}",
+                  lane.lane, lane.lane);
+    json += meta;
+    for (const TraceEvent& ev : lane.events) {
+      json += ",{\"name\":\"";
+      AppendJsonEscaped(&json, ev.name);
+      json += "\",\"ph\":\"X\",\"cat\":\"rfed\",\"pid\":1,\"tid\":";
+      json += std::to_string(lane.lane);
+      json += ",\"ts\":";
+      AppendDouble(&json, ev.start_us);
+      json += ",\"dur\":";
+      AppendDouble(&json, ev.dur_us);
+      json += ",\"args\":{\"seq\":";
+      json += std::to_string(ev.seq);
+      json += ",\"depth\":";
+      json += std::to_string(ev.depth);
+      json += ",\"virt_start_ms\":";
+      AppendDouble(&json, ev.virt_start_ms);
+      json += ",\"virt_end_ms\":";
+      AppendDouble(&json, ev.virt_end_ms);
+      json += "}}";
+    }
+  }
+  json += "]}\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  RFED_CHECK(f != nullptr) << "WriteChromeTrace: cannot open " << path;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  RFED_CHECK(written == json.size()) << "WriteChromeTrace: short write to " << path;
+}
+
+std::vector<PhaseStats> SummarizeTrace() {
+  std::map<std::string, PhaseStats> by_name;
+  for (const LaneTrace& lane : CollectTrace()) {
+    for (const TraceEvent& ev : lane.events) {
+      PhaseStats& s = by_name[ev.name];
+      if (s.name.empty()) s.name = ev.name;
+      ++s.count;
+      s.wall_ms += ev.dur_us * 1e-3;
+      s.virt_ms += ev.virt_end_ms - ev.virt_start_ms;
+    }
+  }
+  std::vector<PhaseStats> out;
+  out.reserve(by_name.size());
+  for (auto& kv : by_name) out.push_back(std::move(kv.second));
+  std::sort(out.begin(), out.end(), [](const PhaseStats& a, const PhaseStats& b) {
+    if (a.wall_ms != b.wall_ms) return a.wall_ms > b.wall_ms;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::string FormatTraceSummary() {
+  const std::vector<PhaseStats> stats = SummarizeTrace();
+  std::ostringstream os;
+  os << "phase                 count    wall_ms    virt_ms\n";
+  for (const PhaseStats& s : stats) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-20s %6lld %10.2f %10.2f\n",
+                  s.name.c_str(), static_cast<long long>(s.count), s.wall_ms,
+                  s.virt_ms);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace rfed

@@ -1,6 +1,7 @@
 #ifndef RFED_SIM_CLOCK_H_
 #define RFED_SIM_CLOCK_H_
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace rfed {
@@ -11,6 +12,10 @@ namespace rfed {
 /// it processes, so "how long the federation took" is a deterministic
 /// function of the configured compute/network models, never of host
 /// wall-clock speed or thread scheduling.
+///
+/// Every advance is published to the tracing layer
+/// (`obs::SetTraceVirtualNowMs`) so `TraceSpan`s can stamp virtual
+/// begin/end times alongside wall time.
 class VirtualClock {
  public:
   double now_ms() const { return now_ms_; }
@@ -20,12 +25,14 @@ class VirtualClock {
   void AdvanceTo(double t_ms) {
     RFED_CHECK_GE(t_ms, now_ms_) << "virtual clock cannot run backwards";
     now_ms_ = t_ms;
+    obs::SetTraceVirtualNowMs(now_ms_);
   }
 
   /// Moves the clock forward by a nonnegative duration.
   void AdvanceBy(double delta_ms) {
     RFED_CHECK_GE(delta_ms, 0.0);
     now_ms_ += delta_ms;
+    obs::SetTraceVirtualNowMs(now_ms_);
   }
 
  private:

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -337,10 +339,13 @@ void GemmBlock(const float* a, int64_t lda, const float* b, int64_t ldb,
   }
 }
 
-}  // namespace
+// Uninstrumented kernel bodies. The public entry points below wrap
+// these with a trace span + FLOP counter; the conv drivers and
+// GemmTransAAdd call the Impl forms directly so one logical op never
+// records nested kernel spans or double-counted FLOPs.
 
-void GemmAdd(const float* a, const float* b, int64_t m, int64_t k, int64_t n,
-             float* c) {
+void GemmAddImpl(const float* a, const float* b, int64_t m, int64_t k,
+                 int64_t n, float* c) {
   if (m <= 0 || k <= 0 || n <= 0) return;
   const KernelOptions& opt = g_options;
   const int64_t flops = 2 * m * k * n;
@@ -377,8 +382,8 @@ void GemmAdd(const float* a, const float* b, int64_t m, int64_t k, int64_t n,
   }
 }
 
-void GemmTransAAdd(const float* a, const float* b, int64_t m, int64_t k,
-                   int64_t n, float* c) {
+void GemmTransAAddImpl(const float* a, const float* b, int64_t m, int64_t k,
+                       int64_t n, float* c) {
   if (m <= 0 || k <= 0 || n <= 0) return;
   const KernelOptions& opt = g_options;
   if (2 * m * k * n < opt.blocked_min_flops) {
@@ -400,11 +405,11 @@ void GemmTransAAdd(const float* a, const float* b, int64_t m, int64_t k,
       }
     }
   }
-  GemmAdd(at, b, k, m, n, c);
+  GemmAddImpl(at, b, k, m, n, c);
 }
 
-void GemmTransBAssign(const float* a, const float* b, int64_t m, int64_t n,
-                      int64_t k, float* c) {
+void GemmTransBAssignImpl(const float* a, const float* b, int64_t m, int64_t n,
+                          int64_t k, float* c) {
   if (m <= 0 || k <= 0) return;
   const KernelOptions& opt = g_options;
   if (n <= 0 || k < kTR || 2 * m * n * k < opt.blocked_min_flops) {
@@ -464,12 +469,68 @@ void GemmTransBAssign(const float* a, const float* b, int64_t m, int64_t n,
   }
 }
 
+// FLOP counters are looked up once; the adds (and the spans) only run
+// when tracing is enabled so the disabled path stays a single branch.
+obs::Counter* GemmFlopCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("kernel.gemm_flops");
+  return c;
+}
+
+obs::Counter* ConvFlopCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("kernel.conv_flops");
+  return c;
+}
+
+}  // namespace
+
+void GemmAdd(const float* a, const float* b, int64_t m, int64_t k, int64_t n,
+             float* c) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  if (obs::TracingEnabled()) {
+    obs::TraceSpan span("gemm_add");
+    GemmFlopCounter()->Add(2 * m * k * n);
+    GemmAddImpl(a, b, m, k, n, c);
+    return;
+  }
+  GemmAddImpl(a, b, m, k, n, c);
+}
+
+void GemmTransAAdd(const float* a, const float* b, int64_t m, int64_t k,
+                   int64_t n, float* c) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  if (obs::TracingEnabled()) {
+    obs::TraceSpan span("gemm_ta");
+    GemmFlopCounter()->Add(2 * m * k * n);
+    GemmTransAAddImpl(a, b, m, k, n, c);
+    return;
+  }
+  GemmTransAAddImpl(a, b, m, k, n, c);
+}
+
+void GemmTransBAssign(const float* a, const float* b, int64_t m, int64_t n,
+                      int64_t k, float* c) {
+  if (m <= 0 || k <= 0) return;
+  if (obs::TracingEnabled()) {
+    obs::TraceSpan span("gemm_tb");
+    GemmFlopCounter()->Add(2 * m * (n > 0 ? n : 0) * k);
+    GemmTransBAssignImpl(a, b, m, n, k, c);
+    return;
+  }
+  GemmTransBAssignImpl(a, b, m, n, k, c);
+}
+
 // ---- Convolution drivers ----
 
 void Conv2dForwardKernel(const float* x, const float* w, const float* bias,
                          const ConvKernelShape& s, float* out) {
   const int64_t patch = s.Patch();
   const int64_t out_area = s.OutArea();
+  obs::TraceSpan trace_span("conv2d_fwd");
+  if (obs::TracingEnabled()) {
+    ConvFlopCounter()->Add(2 * s.batch * s.out_channels * patch * out_area);
+  }
   const Im2ColSpec ispec{s.kernel, s.stride, s.pad};
   const int64_t in_size = s.in_channels * s.height * s.width;
   const int64_t out_size = s.out_channels * out_area;
@@ -478,7 +539,7 @@ void Conv2dForwardKernel(const float* x, const float* w, const float* bias,
         kSlotIm2Col, static_cast<size_t>(patch * out_area));
     Im2Col(x + i * in_size, s.in_channels, s.height, s.width, ispec, cols);
     float* out_i = out + i * out_size;
-    GemmAdd(w, cols, s.out_channels, patch, out_area, out_i);
+    GemmAddImpl(w, cols, s.out_channels, patch, out_area, out_i);
     for (int64_t oc = 0; oc < s.out_channels; ++oc) {
       float* plane = out_i + oc * out_area;
       const float bv = bias[oc];
@@ -492,6 +553,12 @@ void Conv2dBackwardKernel(const float* grad_out, const float* x,
                           float* dw, float* db) {
   const int64_t patch = s.Patch();
   const int64_t out_area = s.OutArea();
+  obs::TraceSpan trace_span("conv2d_bwd");
+  if (obs::TracingEnabled()) {
+    const int64_t gemms = (dw != nullptr ? 1 : 0) + (dx != nullptr ? 1 : 0);
+    ConvFlopCounter()->Add(2 * s.batch * s.out_channels * patch * out_area *
+                           gemms);
+  }
   const Im2ColSpec ispec{s.kernel, s.stride, s.pad};
   const int64_t in_size = s.in_channels * s.height * s.width;
   const int64_t out_size = s.out_channels * out_area;
@@ -526,7 +593,7 @@ void Conv2dBackwardKernel(const float* grad_out, const float* x,
                                  static_cast<size_t>(patch * out_area));
       Im2Col(x + i * in_size, s.in_channels, s.height, s.width, ispec, cols);
       // dw_i[oc, p] = go[oc, :] . cols[p, :] (double dots).
-      GemmTransBAssign(go, cols, s.out_channels, out_area, patch, part);
+      GemmTransBAssignImpl(go, cols, s.out_channels, out_area, patch, part);
     }
     if (dx != nullptr) {
       float* dcols = arena.Buffer(kSlotDCols,
@@ -534,7 +601,7 @@ void Conv2dBackwardKernel(const float* grad_out, const float* x,
       std::memset(dcols, 0,
                   sizeof(float) * static_cast<size_t>(patch * out_area));
       // dcols[p, a] = sum_oc w[oc, p] * go[oc, a], ascending oc.
-      GemmTransAAdd(w, go, s.out_channels, patch, out_area, dcols);
+      GemmTransAAddImpl(w, go, s.out_channels, patch, out_area, dcols);
       Col2Im(dcols, s.in_channels, s.height, s.width, ispec,
              dx + i * in_size);
     }

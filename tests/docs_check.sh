@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# docs_check.sh <repo_root> <experiment_cli_binary>
+#
+# Two stale-documentation tripwires, run as `ctest -L docs`:
+#   1. Every relative markdown link in README.md and docs/*.md must
+#      resolve to an existing file or directory.
+#   2. Every `--flag` token mentioned in docs/REPRODUCING.md and
+#      docs/OBSERVABILITY.md must appear in `experiment_cli --help`
+#      (modulo a short whitelist of cmake/ctest flags the docs quote).
+set -u
+
+root="${1:?usage: docs_check.sh <repo_root> <experiment_cli>}"
+cli="${2:?usage: docs_check.sh <repo_root> <experiment_cli>}"
+failures=0
+
+fail() {
+  echo "docs_check: $*" >&2
+  failures=$((failures + 1))
+}
+
+# ---- 1. Dead relative links ----
+for doc in "$root"/README.md "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Markdown inline links: capture the (target) part of [text](target).
+  grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"        # strip fragment
+    path="${path%% *}"          # strip optional link title
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$root/$path" ]; then
+      echo "DEADLINK $doc -> $target"
+    fi
+  done
+done > /tmp/docs_check_links.$$ 2>&1
+if [ -s /tmp/docs_check_links.$$ ]; then
+  cat /tmp/docs_check_links.$$ >&2
+  fail "dead relative links found"
+fi
+rm -f /tmp/docs_check_links.$$
+
+# ---- 2. Stale flag names ----
+help_out=$("$cli" --help 2>&1) || fail "experiment_cli --help exited nonzero"
+# Flags the docs legitimately mention that belong to other tools.
+whitelist="--help --build --output-on-failure --label-regex --test-dir"
+
+for doc in "$root"/docs/REPRODUCING.md "$root"/docs/OBSERVABILITY.md; do
+  [ -f "$doc" ] || { fail "missing $doc"; continue; }
+  for flag in $(grep -oE '\-\-[a-z][a-z0-9_-]*' "$doc" | sort -u); do
+    case " $whitelist " in *" $flag "*) continue ;; esac
+    if ! printf '%s\n' "$help_out" | grep -q -- "$flag"; then
+      fail "$doc mentions $flag, absent from experiment_cli --help"
+    fi
+  done
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "docs_check: FAILED ($failures problem(s))" >&2
+  exit 1
+fi
+echo "docs_check: OK"
