@@ -87,6 +87,23 @@ Sim runtime:
   --base_latency_ms (0)     --deadline_ms (deadline mode, required > 0)
   --async_buffer K arrivals per server update (2)
 
+Adversarial clients (seeded, deterministic; docs/ARCHITECTURE.md):
+  --adversary none|nan|sign_flip|scale|noise|label_flip (none)
+  --adversary_frac fraction of clients compromised (0.2)
+  --adversary_scale delta blow-up of the scale attack (100)
+  --adversary_sigma stddev of the noise attack (1)
+
+Robust aggregation (server side):
+  --aggregator mean|trimmed_mean|median|norm_clip (mean)
+  --trim_fraction per-side trim of trimmed_mean (0.2)
+  --clip_multiplier norm bound as a multiple of the median delta norm (3)
+  --validate screen non-finite updates/maps before aggregation (true)
+
+Checkpoint / resume (bit-identical crash recovery):
+  --checkpoint_every write a run checkpoint every k rounds (0 = never)
+  --checkpoint_path PATH of the checkpoint file (required with the above)
+  --resume_from PATH restore a checkpoint and continue to --rounds
+
 Parallelism (bit-identical at any setting):
   --num_threads parallel local training (1 = sequential)
   --kernel_threads intra-op GEMM/conv threads (1 = serial kernels)
@@ -109,6 +126,9 @@ constexpr const char* kKnownFlags[] = {
     "mean_delay_ms", "timeout_ms", "retries", "sim_mode", "compute_model",
     "compute_ms", "compute_sigma", "compute_drift", "compute_spread",
     "down_bw", "up_bw", "base_latency_ms", "deadline_ms", "async_buffer",
+    "adversary", "adversary_frac", "adversary_scale", "adversary_sigma",
+    "aggregator", "trim_fraction", "clip_multiplier", "validate",
+    "checkpoint_every", "checkpoint_path", "resume_from",
     "num_threads", "kernel_threads", "trace", "trace_out", "csv_out", "help"};
 
 std::unique_ptr<FederatedAlgorithm> Build(
@@ -209,6 +229,24 @@ int main(int argc, char** argv) {
   fl.sim.network.base_latency_ms = flags.GetDouble("base_latency_ms", 0.0);
   fl.sim.deadline_ms = flags.GetDouble("deadline_ms", 0.0);
   fl.sim.async_buffer = flags.GetInt("async_buffer", 2);
+  fl.adversary.mode = flags.GetString("adversary", "none");
+  fl.adversary.fraction = flags.GetDouble("adversary_frac", 0.2);
+  fl.adversary.scale = flags.GetDouble("adversary_scale", 100.0);
+  fl.adversary.noise_sigma = flags.GetDouble("adversary_sigma", 1.0);
+  if (!KnownAdversaryMode(fl.adversary.mode)) {
+    std::fprintf(stderr, "unknown --adversary %s\n",
+                 fl.adversary.mode.c_str());
+    return 1;
+  }
+  fl.robust.aggregator = flags.GetString("aggregator", "mean");
+  fl.robust.trim_fraction = flags.GetDouble("trim_fraction", 0.2);
+  fl.robust.clip_multiplier = flags.GetDouble("clip_multiplier", 3.0);
+  fl.robust.validate = flags.GetBool("validate", true);
+  if (!KnownAggregator(fl.robust.aggregator)) {
+    std::fprintf(stderr, "unknown --aggregator %s\n",
+                 fl.robust.aggregator.c_str());
+    return 1;
+  }
   fl.num_threads = flags.GetInt("num_threads", 1);
   fl.kernel_threads = flags.GetInt("kernel_threads", 1);
   const std::string trace_out = flags.GetString("trace_out", "");
@@ -280,8 +318,23 @@ int main(int argc, char** argv) {
   options.eval_every = flags.GetInt("eval_every", 1);
   options.eval_max_examples = 400;
   options.verbose = true;
+  options.checkpoint_every = flags.GetInt("checkpoint_every", 0);
+  options.checkpoint_path = flags.GetString("checkpoint_path", "");
+  if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--checkpoint_every needs --checkpoint_path\n");
+    return 1;
+  }
+  const std::string resume_from = flags.GetString("resume_from", "");
   FederatedTrainer trainer(algorithm.get(), test.get(), options);
-  RunHistory history = trainer.Run(rounds);
+  RunHistory history;
+  if (!resume_from.empty()) {
+    RunCheckpoint resume = RunCheckpoint::Load(resume_from);
+    std::printf("resuming from %s at round %d\n", resume_from.c_str(),
+                resume.next_round);
+    history = trainer.Run(rounds, &resume);
+  } else {
+    history = trainer.Run(rounds);
+  }
 
   std::printf("\n%s on %s: final=%.3f best=%.3f total_comm=%lld bytes "
               "kernel_scratch_peak=%lld bytes\n",
@@ -294,6 +347,15 @@ int main(int argc, char** argv) {
                 static_cast<long long>(history.TotalDelivered()),
                 static_cast<long long>(history.TotalDropped()),
                 static_cast<long long>(history.TotalRetried()));
+  }
+  if (fl.adversary.enabled() || !fl.robust.mean()) {
+    int64_t rejected = 0;
+    for (int64_t c : algorithm->rejection_counts()) rejected += c;
+    std::printf(
+        "resilience: adversary=%s adversarial_clients=%d aggregator=%s "
+        "rejected_updates=%lld\n",
+        fl.adversary.mode.c_str(), algorithm->adversary().num_adversarial(),
+        fl.robust.aggregator.c_str(), static_cast<long long>(rejected));
   }
   if (!fl.sim.compute.free() || !fl.sim.network.free()) {
     std::printf(

@@ -1,6 +1,7 @@
 #include "core/rfedavg.h"
 
 #include "core/mmd.h"
+#include "fl/checkpoint.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -58,7 +59,11 @@ void RFedAvg::OnClientTrained(int round, int client, const Tensor& new_state) {
   Tensor delta = ComputeClientDelta(client, new_state,
                                    reg_.regularize_logits);
   ApplyDpNoise(reg_.dp, &delta, &noise_rng_);
-  if (channel().Upload(store_.MapBytes(), channel_kind::kMap)) {
+  // The upload rides the fault channel; on arrival the server screens
+  // the map (a finite-but-extreme poisoned model can still overflow the
+  // forward pass into Inf features) before it can enter the store.
+  if (channel().Upload(store_.MapBytes(), channel_kind::kMap) &&
+      ScreenMap(client, delta)) {
     pending_updates_.emplace_back(client, std::move(delta));
   }
 }
@@ -83,6 +88,22 @@ double RFedAvg::MeanPairwiseMmd() const {
     }
   }
   return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+void RFedAvg::SaveExtraState(CheckpointWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(store_.num_clients()));
+  for (const Tensor& delta : store_.All()) writer->WriteTensor(delta);
+  writer->WriteRng(noise_rng_.SaveState());
+}
+
+void RFedAvg::LoadExtraState(CheckpointReader* reader) {
+  const uint32_t count = reader->ReadU32();
+  RFED_CHECK_EQ(count, static_cast<uint32_t>(store_.num_clients()))
+      << "checkpoint is for a different client count";
+  for (int k = 0; k < store_.num_clients(); ++k) {
+    store_.Update(k, reader->ReadTensor());
+  }
+  noise_rng_.LoadState(reader->ReadRng());
 }
 
 }  // namespace rfed

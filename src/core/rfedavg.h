@@ -50,6 +50,10 @@ class RFedAvg : public FederatedAlgorithm {
                      const Batch& batch) override;
   void OnClientTrained(int round, int client, const Tensor& new_state) override;
   void OnRoundEnd(int round, const std::vector<int>& selected) override;
+  /// Checkpointing: the map store and the DP noise stream (pending map
+  /// updates are round-scoped and always empty at a round boundary).
+  void SaveExtraState(CheckpointWriter* writer) const override;
+  void LoadExtraState(CheckpointReader* reader) override;
 
  private:
   RegularizerOptions reg_;
@@ -84,6 +88,9 @@ class RFedAvgPlus : public FederatedAlgorithm {
   Variable ExtraLoss(int client, const ModelOutput& output,
                      const Batch& batch) override;
   void OnRoundEnd(int round, const std::vector<int>& selected) override;
+  /// Checkpointing: the map store and the DP noise stream.
+  void SaveExtraState(CheckpointWriter* writer) const override;
+  void LoadExtraState(CheckpointReader* reader) override;
 
  private:
   RegularizerOptions reg_;

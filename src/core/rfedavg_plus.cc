@@ -1,6 +1,7 @@
 #include "core/rfedavg.h"
 
 #include "core/mmd.h"
+#include "fl/checkpoint.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -61,10 +62,30 @@ void RFedAvgPlus::OnRoundEnd(int round, const std::vector<int>& selected) {
     Tensor delta =
         ComputeClientDelta(k, global_state(), reg_.regularize_logits);
     ApplyDpNoise(reg_.dp, &delta, &noise_rng_);
-    if (channel().Upload(store_.MapBytes(), channel_kind::kMap)) {
+    // Arriving maps pass the server's non-finite screen before entering
+    // the store (a poisoned global model — possible with validation off
+    // — would otherwise spread NaN maps to every client).
+    if (channel().Upload(store_.MapBytes(), channel_kind::kMap) &&
+        ScreenMap(k, delta)) {
       store_.Update(k, std::move(delta));
     }
   }
+}
+
+void RFedAvgPlus::SaveExtraState(CheckpointWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(store_.num_clients()));
+  for (const Tensor& delta : store_.All()) writer->WriteTensor(delta);
+  writer->WriteRng(noise_rng_.SaveState());
+}
+
+void RFedAvgPlus::LoadExtraState(CheckpointReader* reader) {
+  const uint32_t count = reader->ReadU32();
+  RFED_CHECK_EQ(count, static_cast<uint32_t>(store_.num_clients()))
+      << "checkpoint is for a different client count";
+  for (int k = 0; k < store_.num_clients(); ++k) {
+    store_.Update(k, reader->ReadTensor());
+  }
+  noise_rng_.LoadState(reader->ReadRng());
 }
 
 }  // namespace rfed

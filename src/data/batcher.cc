@@ -29,6 +29,23 @@ Batch Batcher::Next() {
   return dataset_->GetBatch(batch_indices);
 }
 
+BatcherState Batcher::SaveState() const {
+  BatcherState state;
+  state.indices = indices_;
+  state.cursor = static_cast<uint64_t>(cursor_);
+  state.rng = rng_.SaveState();
+  return state;
+}
+
+void Batcher::LoadState(const BatcherState& state) {
+  RFED_CHECK_EQ(state.indices.size(), indices_.size())
+      << "checkpointed batcher state is for a different client view";
+  RFED_CHECK_LE(state.cursor, state.indices.size());
+  indices_ = state.indices;
+  cursor_ = static_cast<size_t>(state.cursor);
+  rng_.LoadState(state.rng);
+}
+
 int64_t Batcher::BatchesPerEpoch() const {
   return (num_examples() + batch_size_ - 1) / batch_size_;
 }

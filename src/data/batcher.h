@@ -8,6 +8,16 @@
 
 namespace rfed {
 
+/// Exact iteration state of a Batcher — the current shuffled order, the
+/// epoch cursor, and the shuffle RNG position — captured by run
+/// checkpoints so a resumed client continues its epoch mid-stream,
+/// bit-identical to the uninterrupted run.
+struct BatcherState {
+  std::vector<int> indices;  ///< current shuffled order
+  uint64_t cursor = 0;
+  RngState rng;
+};
+
 /// Mini-batch sampler over a client's index view of a shared dataset.
 /// Iterates epochs of a client-local shuffle; the final batch of an epoch
 /// may be smaller than batch_size. Owns its Rng so per-client sampling
@@ -19,6 +29,12 @@ class Batcher {
 
   /// Next mini-batch, reshuffling at epoch boundaries.
   Batch Next();
+
+  /// Snapshot / restore of the iteration state (checkpointing). Load
+  /// aborts if the state's index multiset does not match this batcher's
+  /// client view (wrong client or wrong partition).
+  BatcherState SaveState() const;
+  void LoadState(const BatcherState& state);
 
   /// Number of batches per epoch (ceil division).
   int64_t BatchesPerEpoch() const;

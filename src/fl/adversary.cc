@@ -1,0 +1,95 @@
+#include "fl/adversary.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace rfed {
+
+bool KnownAdversaryMode(const std::string& mode) {
+  return mode == "none" || mode == "nan" || mode == "sign_flip" ||
+         mode == "scale" || mode == "noise" || mode == "label_flip";
+}
+
+Adversary::Adversary(const AdversaryOptions& options, uint64_t seed,
+                     int num_clients)
+    : options_(options), seed_(seed) {
+  RFED_CHECK(KnownAdversaryMode(options_.mode))
+      << "unknown adversary mode '" << options_.mode
+      << "' (none|nan|sign_flip|scale|noise|label_flip)";
+  RFED_CHECK_GE(options_.fraction, 0.0);
+  RFED_CHECK_LE(options_.fraction, 1.0);
+  RFED_CHECK_GE(options_.noise_sigma, 0.0);
+  adversarial_.assign(static_cast<size_t>(num_clients), 0);
+  if (!options_.enabled()) return;
+  num_adversarial_ = static_cast<int>(
+      std::lround(options_.fraction * static_cast<double>(num_clients)));
+  num_adversarial_ = std::min(num_adversarial_, num_clients);
+  // The bad actors are fixed for the whole run and drawn from their own
+  // seed lineage, so enabling an attack never perturbs the training,
+  // channel, or sim randomness.
+  Rng pick(seed_);
+  for (int k : pick.SampleWithoutReplacement(num_clients, num_adversarial_)) {
+    adversarial_[static_cast<size_t>(k)] = 1;
+  }
+}
+
+bool Adversary::CorruptsUpdates() const {
+  return options_.enabled() && options_.mode != "label_flip";
+}
+
+bool Adversary::CorruptsLabels() const {
+  return options_.enabled() && options_.mode == "label_flip";
+}
+
+Tensor Adversary::CorruptUpdate(int client, int round, const Tensor& global,
+                                const Tensor& trained) const {
+  if (!CorruptsUpdates() || !IsAdversarial(client)) return trained;
+  if (options_.mode == "nan") {
+    // Alternate quiet NaN and +Inf so both non-finite classes hit the
+    // server's validation screen.
+    Tensor bad(trained.shape());
+    for (int64_t i = 0; i < bad.size(); ++i) {
+      bad.at(i) = (i % 2 == 0) ? std::numeric_limits<float>::quiet_NaN()
+                               : std::numeric_limits<float>::infinity();
+    }
+    return bad;
+  }
+  if (options_.mode == "sign_flip") {
+    // w_t - (y_k - w_t) = 2 w_t - y_k.
+    Tensor out = global;
+    out.MulInPlace(2.0f);
+    out.SubInPlace(trained);
+    return out;
+  }
+  if (options_.mode == "scale") {
+    // w_t + scale * (y_k - w_t).
+    Tensor delta = trained;
+    delta.SubInPlace(global);
+    Tensor out = global;
+    out.Axpy(static_cast<float>(options_.scale), delta);
+    return out;
+  }
+  RFED_CHECK(options_.mode == "noise");
+  // Per-(client, round) keyed stream: the same draw whatever the call
+  // order, thread count, or resume point.
+  Rng noise(MixU64(seed_, MixU64(static_cast<uint64_t>(client) + 1,
+                                 static_cast<uint64_t>(round) + 1)));
+  Tensor out = trained;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.at(i) +=
+        static_cast<float>(noise.Normal(0.0, options_.noise_sigma));
+  }
+  return out;
+}
+
+void Adversary::CorruptLabels(int client, std::vector<int>* labels,
+                              int num_classes) const {
+  if (!CorruptsLabels() || !IsAdversarial(client)) return;
+  for (int& y : *labels) y = num_classes - 1 - y;
+}
+
+}  // namespace rfed

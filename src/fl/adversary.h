@@ -1,0 +1,95 @@
+#ifndef RFED_FL_ADVERSARY_H_
+#define RFED_FL_ADVERSARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rfed {
+
+/// Client-side fault models beyond the wire faults of fl/channel.h: a
+/// seeded subset of clients *misbehaves* — emitting non-finite updates,
+/// flipping the sign of their deltas, scaling them, adding Gaussian
+/// noise, or training on flipped labels. Zero configuration (mode
+/// "none") injects nothing and consumes no randomness, so clean runs are
+/// bit-identical to the pre-adversary simulator.
+struct AdversaryOptions {
+  /// Behavior of the adversarial clients:
+  ///   "none"       — no adversaries (the default).
+  ///   "nan"        — the NaN/Inf emitter: the uploaded update is filled
+  ///                  with alternating quiet-NaN / +Inf values, the
+  ///                  classic diverged-client signature.
+  ///   "sign_flip"  — uploads w_t - (y_k - w_t): the exact negation of
+  ///                  the client's learning progress (gradient-ascent
+  ///                  poisoning).
+  ///   "scale"      — uploads w_t + scale * (y_k - w_t): a boosted update
+  ///                  that dominates a plain weighted mean.
+  ///   "noise"      — adds iid N(0, noise_sigma) to every coordinate of
+  ///                  the update (keyed per (client, round), call-order
+  ///                  independent).
+  ///   "label_flip" — trains honestly but on remapped labels
+  ///                  (y -> num_classes-1-y), the data-poisoning variant;
+  ///                  the update itself is left untouched.
+  std::string mode = "none";
+  /// Fraction of clients that are adversarial; round(fraction * N)
+  /// clients are picked once per run from a dedicated seed lineage, so
+  /// the same seed always corrupts the same clients.
+  double fraction = 0.0;
+  double scale = 100.0;      ///< multiplier of the "scale" attack
+  double noise_sigma = 1.0;  ///< stddev of the "noise" attack
+
+  bool enabled() const { return mode != "none" && fraction > 0.0; }
+};
+
+/// True iff `mode` is one of the AdversaryOptions behaviors.
+bool KnownAdversaryMode(const std::string& mode);
+
+/// The run's adversary: owns the (deterministic) choice of which clients
+/// misbehave and applies the configured corruption. All randomness is
+/// keyed on (seed, client, round) — never on shared mutable state — so
+/// the injected faults are identical across sim modes, thread counts and
+/// checkpoint/resume boundaries.
+class Adversary {
+ public:
+  /// Aborts (RFED_CHECK) on an unknown mode or fraction outside [0, 1].
+  Adversary(const AdversaryOptions& options, uint64_t seed, int num_clients);
+
+  const AdversaryOptions& options() const { return options_; }
+
+  /// Whether `client` is one of the round(fraction * N) bad actors.
+  bool IsAdversarial(int client) const {
+    return adversarial_[static_cast<size_t>(client)] != 0;
+  }
+  int num_adversarial() const { return num_adversarial_; }
+
+  /// True when the attack perturbs the *uploaded update* (every mode
+  /// except "none" and "label_flip").
+  bool CorruptsUpdates() const;
+  /// True for the "label_flip" data-poisoning mode.
+  bool CorruptsLabels() const;
+
+  /// The update `client` actually reports for round `round` in place of
+  /// its honest trained state: identity for honest clients, else the
+  /// configured corruption of the delta from `global`. Thread-safe and
+  /// call-order independent (const; keyed draws only).
+  Tensor CorruptUpdate(int client, int round, const Tensor& global,
+                       const Tensor& trained) const;
+
+  /// Remaps the labels of an adversarial client's training batch in
+  /// place (y -> num_classes-1-y). No-op for honest clients or modes
+  /// other than "label_flip".
+  void CorruptLabels(int client, std::vector<int>* labels,
+                     int num_classes) const;
+
+ private:
+  AdversaryOptions options_;
+  uint64_t seed_;
+  std::vector<char> adversarial_;
+  int num_adversarial_ = 0;
+};
+
+}  // namespace rfed
+
+#endif  // RFED_FL_ADVERSARY_H_

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "fl/checkpoint.h"
 #include "fl/model_state.h"
+#include "fl/robust_agg.h"
 #include "fl/selection.h"
 #include "nn/loss.h"
 #include "obs/metrics.h"
@@ -53,6 +55,11 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
       config_(config),
       train_data_(train_data),
       clients_(std::move(clients)),
+      // The adversary draws its bad-actor choice from its own seed
+      // lineage (like the channel), so enabling an attack never perturbs
+      // the training randomness.
+      adversary_(config.adversary, config.seed ^ 0xbadc11e575a1ULL,
+                 static_cast<int>(clients_.size())),
       model_factory_(model_factory),
       rng_(config.seed),
       // The channel draws from its own stream so that enabling faults
@@ -103,6 +110,24 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
   compression_enabled_ = config_.upload_compressor != "none";
   last_losses_.assign(clients_.size(),
                       std::numeric_limits<double>::quiet_NaN());
+
+  RFED_CHECK(KnownAggregator(config_.robust.aggregator))
+      << "unknown aggregator '" << config_.robust.aggregator
+      << "' (mean|trimmed_mean|median|norm_clip)";
+  RFED_CHECK_GE(config_.robust.trim_fraction, 0.0);
+  RFED_CHECK_LT(config_.robust.trim_fraction, 0.5);
+  RFED_CHECK_GT(config_.robust.clip_multiplier, 0.0);
+  rejection_counts_.assign(clients_.size(), 0);
+  // Eager registration keeps the CSV columns stable whether or not any
+  // update is ever quarantined or clipped.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  m_quarantined_ = registry.GetCounter("fl.quarantined_updates");
+  m_quarantined_maps_ = registry.GetCounter("fl.quarantined_maps");
+  m_clipped_ = registry.GetCounter("fl.clipped_updates");
+  // Pre-clip L2 norms of the survivors' deltas under the norm_clip
+  // aggregator (log-spaced buckets; the attack sweeps live far right).
+  m_update_norm_ =
+      registry.GetHistogram("fl.update_norm", {0.01, 0.1, 1.0, 10.0, 100.0});
 
   // The compute model keys its draws on (seed, client, round) with its
   // own lineage, like the channel: stragglers never perturb training
@@ -177,6 +202,10 @@ std::pair<Tensor, double> FederatedAlgorithm::LocalTrain(
   double loss_sum = 0.0;
   for (int step = 0; step < steps; ++step) {
     Batch batch = batcher.Next();
+    // Data poisoning: a label-flip adversary trains honestly but on
+    // remapped labels (no-op for honest clients and other modes).
+    adversary_.CorruptLabels(client, &batch.labels,
+                             train_data_->num_classes());
     ModelOutput out = model->Forward(batch);
     Variable loss = CrossEntropyLoss(out.logits, batch.labels);
     Variable extra = ExtraLoss(client, out, batch);
@@ -222,6 +251,12 @@ bool FederatedAlgorithm::ChargeModelUpload() {
 void FederatedAlgorithm::Aggregate(int round, const std::vector<int>& selected,
                                    const std::vector<Tensor>& new_states,
                                    const std::vector<double>& start_losses) {
+  if (!config_.robust.mean()) {
+    global_state_ = RobustCombine(selected, new_states, global_state_);
+    return;
+  }
+  // The FedAvg weighted mean below is the original accumulation loop,
+  // untouched: its float-op order is pinned by the golden suite.
   const bool scaled = !agg_scale_.empty();
   if (scaled) RFED_CHECK_EQ(agg_scale_.size(), selected.size());
   double weight_sum = 0.0;
@@ -237,6 +272,59 @@ void FederatedAlgorithm::Aggregate(int round, const std::vector<int>& selected,
     next.Axpy(static_cast<float>(w / weight_sum), new_states[i]);
   }
   global_state_ = std::move(next);
+}
+
+Tensor FederatedAlgorithm::RobustCombine(const std::vector<int>& selected,
+                                         const std::vector<Tensor>& values,
+                                         const Tensor& reference) {
+  const bool scaled = !agg_scale_.empty();
+  if (scaled) RFED_CHECK_EQ(agg_scale_.size(), selected.size());
+  std::vector<double> combine_weights(selected.size());
+  for (size_t i = 0; i < selected.size(); ++i) {
+    combine_weights[i] = weights_[static_cast<size_t>(selected[i])];
+    if (scaled) combine_weights[i] *= agg_scale_[i];
+  }
+  const RobustAggOptions& robust = config_.robust;
+  if (robust.aggregator == "trimmed_mean") {
+    return CoordinateTrimmedMean(values, combine_weights,
+                                 robust.trim_fraction);
+  }
+  if (robust.aggregator == "median") {
+    return CoordinateMedian(values, combine_weights);
+  }
+  RFED_CHECK(robust.aggregator == "norm_clip")
+      << "unknown aggregator '" << robust.aggregator << "'";
+  NormClipReport report;
+  Tensor out = NormBoundedMean(reference, values, combine_weights,
+                               robust.clip_multiplier, &report);
+  m_clipped_->Add(report.clipped);
+  for (double norm : report.norms) m_update_norm_->Observe(norm);
+  return out;
+}
+
+void FederatedAlgorithm::RecordRejection(int client) {
+  const int64_t count = ++rejection_counts_[static_cast<size_t>(client)];
+  // Lazily registered per-client gauge: the CSV column appears only once
+  // a client has actually been rejected, so clean-run CSVs are unchanged.
+  obs::MetricsRegistry::Get()
+      .GetGauge("fl.rejections.c" + std::to_string(client))
+      ->Set(static_cast<double>(count));
+}
+
+bool FederatedAlgorithm::ValidateUpdate(int client, const Tensor& state,
+                                        const Tensor& uploaded) {
+  if (!config_.robust.validate) return true;
+  if (AllFinite(state) && AllFinite(uploaded)) return true;
+  m_quarantined_->Increment();
+  RecordRejection(client);
+  return false;
+}
+
+bool FederatedAlgorithm::ScreenMap(int client, const Tensor& map) {
+  if (!config_.robust.validate || AllFinite(map)) return true;
+  m_quarantined_maps_->Increment();
+  RecordRejection(client);
+  return false;
 }
 
 void FederatedAlgorithm::EnsureScratchModels(size_t n) {
@@ -363,6 +451,14 @@ RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
     const double pw = weights_[static_cast<size_t>(w.client)];
     trained_weight += pw;
     trained_loss += pw * w.loss;
+    // An adversarial client reports a corrupted update in place of its
+    // honest trained state (identity for honest clients and clean runs).
+    // global_state_ is still the round-start model here: aggregation
+    // happens only after every client finished.
+    if (adversary_.CorruptsUpdates()) {
+      w.state =
+          adversary_.CorruptUpdate(w.client, round, global_state_, w.state);
+    }
     bool delivered = true;
     Tensor uploaded = [&] {
       obs::TraceSpan trace_span("upload");
@@ -382,6 +478,10 @@ RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
       StragglersCutCounter()->Increment();
       return;
     }
+    // Server-side validation: a non-finite update is quarantined here,
+    // before it can reach the aggregator, SCAFFOLD's control-variate
+    // refresh, or the rFedAvg map computation.
+    if (!ValidateUpdate(w.client, w.state, uploaded)) return;
     OnClientTrained(round, w.client, w.state);
     survivors.push_back(w.client);
     new_states.push_back(std::move(uploaded));
@@ -501,6 +601,12 @@ RoundResult FederatedAlgorithm::RunRoundAsync(int round) {
   for (ClientWork& w : work) {
     if (!w.trained) continue;
     last_losses_[static_cast<size_t>(w.client)] = w.loss;
+    // Adversarial corruption at dispatch: global_state_ is the model
+    // this client downloaded (the server has not aggregated yet).
+    if (adversary_.CorruptsUpdates()) {
+      w.state =
+          adversary_.CorruptUpdate(w.client, round, global_state_, w.state);
+    }
     InFlight flight;
     flight.client = w.client;
     flight.version = server_version_;
@@ -542,6 +648,11 @@ RoundResult FederatedAlgorithm::RunRoundAsync(int round) {
     in_flight_.erase(it);
     client_busy_[static_cast<size_t>(flight.client)] = 0;
     if (!flight.delivered) continue;  // upload lost in flight
+    // Quarantined updates free their client but, like lost uploads,
+    // fill no buffer slot and never reach the server state.
+    if (!ValidateUpdate(flight.client, flight.state, flight.uploaded)) {
+      continue;
+    }
     const int staleness = server_version_ - flight.version;
     staleness_sum += static_cast<double>(staleness);
     StalenessHistogram()->Observe(static_cast<double>(staleness));
@@ -577,6 +688,114 @@ RoundResult FederatedAlgorithm::RunRoundAsync(int round) {
           ? 0.0
           : staleness_sum / static_cast<double>(survivors.size());
   return result;
+}
+
+void FederatedAlgorithm::SaveRunState(std::vector<uint8_t>* out) const {
+  // A checkpoint is a *round boundary* snapshot. The async policy leaves
+  // updates travelling between rounds, and an InFlight (event-queue
+  // position, staleness base, pending tensors) has no meaningful
+  // restoration into a fresh event queue — so it cannot checkpoint
+  // mid-flight.
+  RFED_CHECK(in_flight_.empty())
+      << "cannot checkpoint an async run with updates still in flight";
+  CheckpointWriter w(out);
+  w.WriteString(name_);
+  w.WriteTensor(global_state_);
+  w.WriteRng(rng_.SaveState());
+  w.WriteU32(static_cast<uint32_t>(batchers_.size()));
+  for (const Batcher& b : batchers_) {
+    const BatcherState s = b.SaveState();
+    w.WriteU32(static_cast<uint32_t>(s.indices.size()));
+    for (int index : s.indices) w.WriteI32(index);
+    w.WriteU64(s.cursor);
+    w.WriteRng(s.rng);
+  }
+  const ChannelState ch = channel_.SaveState();
+  w.WriteRng(ch.rng);
+  w.WriteI64(ch.stats.delivered);
+  w.WriteI64(ch.stats.dropped);
+  w.WriteI64(ch.stats.retried);
+  w.WriteI64(ch.stats.corrupted);
+  w.WriteI64(ch.stats.duplicated);
+  w.WriteI64(ch.stats.timed_out);
+  w.WriteDouble(ch.last_latency_ms);
+  w.WriteI64(comm_.total_down_bytes());
+  w.WriteI64(comm_.total_up_bytes());
+  w.WriteI64(comm_.down_messages());
+  w.WriteI64(comm_.up_messages());
+  w.WriteU32(static_cast<uint32_t>(last_losses_.size()));
+  for (double loss : last_losses_) w.WriteDouble(loss);
+  w.WriteDouble(clock_.now_ms());
+  w.WriteI32(server_version_);
+  w.WriteU32(static_cast<uint32_t>(rejection_counts_.size()));
+  for (int64_t count : rejection_counts_) w.WriteI64(count);
+  SaveExtraState(&w);
+}
+
+void FederatedAlgorithm::LoadRunState(const std::vector<uint8_t>& blob) {
+  CheckpointReader r(blob);
+  const std::string saved_name = r.ReadString();
+  RFED_CHECK(saved_name == name_)
+      << "checkpoint is for algorithm '" << saved_name << "', not '"
+      << name_ << "'";
+  Tensor state = r.ReadTensor();
+  RFED_CHECK_EQ(state.size(), global_state_.size())
+      << "checkpointed model has a different parameter count";
+  global_state_ = std::move(state);
+  rng_.LoadState(r.ReadRng());
+  const uint32_t num_batchers = r.ReadU32();
+  RFED_CHECK_EQ(num_batchers, batchers_.size())
+      << "checkpoint is for a different client count";
+  for (Batcher& b : batchers_) {
+    BatcherState s;
+    const uint32_t num_indices = r.ReadU32();
+    s.indices.reserve(num_indices);
+    for (uint32_t i = 0; i < num_indices; ++i) s.indices.push_back(r.ReadI32());
+    s.cursor = r.ReadU64();
+    s.rng = r.ReadRng();
+    b.LoadState(s);
+  }
+  ChannelState ch;
+  ch.rng = r.ReadRng();
+  ch.stats.delivered = r.ReadI64();
+  ch.stats.dropped = r.ReadI64();
+  ch.stats.retried = r.ReadI64();
+  ch.stats.corrupted = r.ReadI64();
+  ch.stats.duplicated = r.ReadI64();
+  ch.stats.timed_out = r.ReadI64();
+  ch.last_latency_ms = r.ReadDouble();
+  channel_.LoadState(ch);
+  const int64_t down_bytes = r.ReadI64();
+  const int64_t up_bytes = r.ReadI64();
+  const int64_t down_msgs = r.ReadI64();
+  const int64_t up_msgs = r.ReadI64();
+  comm_.Restore(down_bytes, up_bytes, down_msgs, up_msgs);
+  const uint32_t num_losses = r.ReadU32();
+  RFED_CHECK_EQ(num_losses, last_losses_.size())
+      << "checkpoint is for a different client count";
+  for (double& loss : last_losses_) loss = r.ReadDouble();
+  clock_.AdvanceTo(r.ReadDouble());
+  server_version_ = r.ReadI32();
+  const uint32_t num_rejections = r.ReadU32();
+  RFED_CHECK_EQ(num_rejections, rejection_counts_.size())
+      << "checkpoint is for a different client count";
+  for (size_t k = 0; k < rejection_counts_.size(); ++k) {
+    rejection_counts_[k] = r.ReadI64();
+    // Re-publish nonzero reputations so the resumed run's CSV has the
+    // same gauge columns as the uninterrupted one.
+    if (rejection_counts_[k] > 0) {
+      obs::MetricsRegistry::Get()
+          .GetGauge("fl.rejections.c" + std::to_string(k))
+          ->Set(static_cast<double>(rejection_counts_[k]));
+    }
+  }
+  LoadExtraState(&r);
+  RFED_CHECK(r.AtEnd()) << "trailing bytes in checkpointed algorithm state";
+  // Round-scoped bookkeeping: a checkpoint is always at a round boundary,
+  // so nothing is in flight and no client is busy.
+  in_flight_.clear();
+  std::fill(client_busy_.begin(), client_busy_.end(), 0);
+  agg_scale_.clear();
 }
 
 }  // namespace rfed

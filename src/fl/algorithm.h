@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "data/batcher.h"
+#include "fl/adversary.h"
 #include "fl/channel.h"
 #include "fl/comm.h"
 #include "fl/compression.h"
@@ -21,6 +22,9 @@
 #include "util/thread_pool.h"
 
 namespace rfed {
+
+class CheckpointWriter;
+class CheckpointReader;
 
 /// Result of one communication round.
 struct RoundResult {
@@ -85,6 +89,28 @@ class FederatedAlgorithm {
   /// Number of server aggregations applied so far (the "version" that
   /// async staleness is measured against).
   int server_version() const { return server_version_; }
+  /// The run's adversarial-client fault model (inactive by default).
+  const Adversary& adversary() const { return adversary_; }
+  /// Per-client count of updates/maps the server quarantined (the
+  /// rejection reputation; all zero on clean runs).
+  const std::vector<int64_t>& rejection_counts() const {
+    return rejection_counts_;
+  }
+
+  /// Serializes the run's complete mutable state — global model, every
+  /// RNG stream position, batcher cursors, channel/ledger counters,
+  /// virtual clock, selection losses, rejection reputation, plus the
+  /// subclass's SaveExtraState — into *out (appended). Together with the
+  /// trainer's history this is a round-granular checkpoint: restoring it
+  /// into a freshly constructed algorithm reproduces the uninterrupted
+  /// run bit for bit. Must be called at a round boundary; aborts if
+  /// async updates are still in flight.
+  void SaveRunState(std::vector<uint8_t>* out) const;
+
+  /// Restores state written by SaveRunState into this freshly
+  /// constructed instance. Aborts on an algorithm/topology mismatch
+  /// (different name, client count, or model size) or a malformed blob.
+  void LoadRunState(const std::vector<uint8_t>& blob);
 
   /// The scratch model with the *global* state loaded (for evaluation).
   FeatureModel* GlobalModel();
@@ -155,6 +181,13 @@ class FederatedAlgorithm {
   /// configured E; FedNova lets it vary with the client's data size.
   virtual int LocalSteps(int client) const { return config_.local_steps; }
 
+  /// Hook for subclass state that must survive a crash: SCAFFOLD's
+  /// control variates, FedAvgM's momentum, rFedAvg's map store and DP
+  /// noise stream. Called by Save/LoadRunState after the base state;
+  /// Load must read exactly what Save wrote (the blob is length-checked).
+  virtual void SaveExtraState(CheckpointWriter* writer) const {}
+  virtual void LoadExtraState(CheckpointReader* reader) {}
+
   /// Whether a round's clients may train concurrently. Algorithms whose
   /// OnClientTrained feeds freshly updated server state back into the
   /// same round's later training (SCAFFOLD's incremental control-variate
@@ -216,6 +249,23 @@ class FederatedAlgorithm {
   /// Mutable channel for subclasses routing their own transfers.
   FaultChannel& channel() { return channel_; }
 
+  /// Applies the configured robust aggregation rule (trimmed mean,
+  /// median, or norm-bounded mean anchored at `reference`) to the
+  /// survivors' values under their renormalized p_k weights (times the
+  /// async staleness scales when set). Only valid when
+  /// config().robust.mean() is false; the FedAvg mean keeps its original
+  /// byte-identical path in Aggregate.
+  Tensor RobustCombine(const std::vector<int>& selected,
+                       const std::vector<Tensor>& values,
+                       const Tensor& reference);
+
+  /// Non-finite screen for a client-computed feature map (rFedAvg/+).
+  /// Returns true when the map is clean or validation is off; otherwise
+  /// quarantines it — `fl.quarantined_maps` plus the client's rejection
+  /// reputation — and returns false, so the poisoned map never reaches
+  /// the DeltaMapStore.
+  bool ScreenMap(int client, const Tensor& map);
+
   /// Caps an index list to config.max_examples_per_pass examples
   /// (deterministic prefix after a client-stable shuffle).
   std::vector<int> CappedIndices(int client) const;
@@ -264,11 +314,24 @@ class FederatedAlgorithm {
   /// Buffered-async policy: one server update per async_buffer arrivals.
   RoundResult RunRoundAsync(int round);
 
+  /// Bumps `client`'s rejection reputation and publishes its (lazily
+  /// registered) `fl.rejections.c<k>` gauge.
+  void RecordRejection(int client);
+
+  /// The server-side validation screen: true when `state` and `uploaded`
+  /// are both clean (or validation is off), false after quarantining the
+  /// update (counter + reputation). Runs before OnClientTrained so a
+  /// poisoned update never touches control variates or map stores.
+  bool ValidateUpdate(int client, const Tensor& state,
+                      const Tensor& uploaded);
+
   std::string name_;
   FlConfig config_;
   const Dataset* train_data_;
   std::vector<ClientView> clients_;
   std::vector<double> weights_;  // p_k = n_k / n over all clients
+  /// The run's adversarial clients (fl/adversary.h); inert by default.
+  Adversary adversary_;
   ModelFactory model_factory_;
   std::unique_ptr<FeatureModel> model_;
   Tensor global_state_;
@@ -281,6 +344,14 @@ class FederatedAlgorithm {
   bool compression_enabled_;
   /// Last reported local loss per client (drives adaptive selection).
   std::vector<double> last_losses_;
+  /// Per-client quarantine counts (the rejection reputation).
+  std::vector<int64_t> rejection_counts_;
+  // Robustness metric handles, registered eagerly at construction so
+  // every run's CSV has the same columns.
+  obs::Counter* m_quarantined_;
+  obs::Counter* m_quarantined_maps_;
+  obs::Counter* m_clipped_;
+  obs::Histogram* m_update_norm_;
 
   // ---- Simulation runtime ----
   VirtualClock clock_;

@@ -71,6 +71,16 @@ struct ChannelStats {
   }
 };
 
+/// Exact transport state captured by run checkpoints: the fault-lottery
+/// RNG position, the cumulative delivery counters, and the latency of
+/// the most recent transfer. Restoring it resumes the fault pattern
+/// bit-identically mid-run.
+struct ChannelState {
+  RngState rng;
+  ChannelStats stats;
+  double last_latency_ms = 0.0;
+};
+
 /// Simulated lossy transport between the server and its clients. Every
 /// transfer an algorithm used to charge straight to CommStats now goes
 /// through Send(), which plays a seeded fault lottery per attempt: the
@@ -124,6 +134,22 @@ class FaultChannel {
   /// Swaps the fault model mid-run (tests use this to toggle regimes);
   /// the RNG stream and counters carry over.
   void set_options(const FaultOptions& options) { options_ = options; }
+
+  /// Snapshot / restore of the lottery stream and counters
+  /// (checkpointing). Does not touch the CommStats ledger, which the
+  /// run checkpoint restores separately.
+  ChannelState SaveState() const {
+    ChannelState state;
+    state.rng = rng_.SaveState();
+    state.stats = stats_;
+    state.last_latency_ms = last_latency_ms_;
+    return state;
+  }
+  void LoadState(const ChannelState& state) {
+    rng_.LoadState(state.rng);
+    stats_ = state.stats;
+    last_latency_ms_ = state.last_latency_ms;
+  }
 
  private:
   /// Outcome of one attempt of the per-attempt fault lottery.

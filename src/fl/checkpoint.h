@@ -1,29 +1,114 @@
 #ifndef RFED_FL_CHECKPOINT_H_
 #define RFED_FL_CHECKPOINT_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fl/metrics.h"
 #include "tensor/tensor.h"
+#include "util/rng.h"
 
 namespace rfed {
 
 /// On-disk persistence for long simulations: flat model states round-trip
-/// through the same wire codec the communication ledger charges, and run
-/// histories land as CSV for downstream plotting.
+/// through the same wire codec the communication ledger charges, run
+/// histories land as CSV for downstream plotting, and full run
+/// checkpoints (model + per-algorithm server state + every RNG stream
+/// position) make a killed run resumable *bit-identically* — the resumed
+/// rounds reproduce the uninterrupted run's numbers byte for byte.
+///
+/// Every binary artifact carries a trailing FNV-1a checksum; loading a
+/// truncated, extended, or bit-flipped file aborts with a clear message
+/// instead of silently training from garbage.
 
-/// Writes a flat model state (or any tensor) to `path`. Aborts on I/O
-/// failure.
+/// Writes a flat model state (or any tensor) to `path`, followed by a
+/// FNV-1a checksum footer. Aborts on I/O failure.
 void SaveTensorToFile(const Tensor& tensor, const std::string& path);
 
-/// Reads a tensor written by SaveTensorToFile.
+/// Reads a tensor written by SaveTensorToFile, verifying the checksum.
+/// Aborts on truncation, trailing bytes, or corruption.
 Tensor LoadTensorFromFile(const std::string& path);
 
 /// Writes a run history as CSV, one row per round: training/eval curves
 /// (train_loss, test_accuracy), cost accounting (round_seconds,
 /// round_bytes, peak_scratch_bytes), fault-channel delivery counts and
-/// the sim runtime's latency columns.
+/// the sim runtime's latency columns. Non-finite values render as empty
+/// cells in every float column (uniformly, so a NaN train loss from a
+/// diverged or adversarial round never prints a literal "nan").
 void SaveHistoryCsv(const RunHistory& history, const std::string& path);
+
+/// Append-only binary encoder for checkpoint payloads. Fixed-width
+/// little-endian-in-practice (host byte order; checkpoints are a
+/// single-machine crash-recovery artifact, not an interchange format).
+/// Doubles are written as raw IEEE bytes so NaN payloads (e.g. the
+/// never-trained markers in the selection state) round-trip exactly.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof v); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof v); }
+  void WriteI32(int32_t v) { WriteRaw(&v, sizeof v); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof v); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof v); }
+  void WriteBool(bool v) { WriteU32(v ? 1u : 0u); }
+  void WriteString(const std::string& s);
+  void WriteTensor(const Tensor& t);
+  void WriteRng(const RngState& s);
+
+ private:
+  void WriteRaw(const void* data, size_t bytes);
+
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked decoder matching CheckpointWriter. Every read aborts
+/// (RFED_CHECK) rather than running past the end of a truncated buffer.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(const std::vector<uint8_t>& buffer)
+      : buffer_(&buffer) {}
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int32_t ReadI32();
+  int64_t ReadI64();
+  double ReadDouble();
+  bool ReadBool() { return ReadU32() != 0; }
+  std::string ReadString();
+  Tensor ReadTensor();
+  RngState ReadRng();
+
+  size_t remaining() const { return buffer_->size() - cursor_; }
+  bool AtEnd() const { return cursor_ == buffer_->size(); }
+
+ private:
+  void ReadRaw(void* data, size_t bytes);
+
+  const std::vector<uint8_t>* buffer_;
+  size_t cursor_ = 0;
+};
+
+/// A round-granular snapshot of an entire federated run: how many rounds
+/// completed, the history recorded so far, and the algorithm's full
+/// mutable state (model, server buffers, every RNG stream) as an opaque
+/// blob produced by FederatedAlgorithm::SaveRunState. Written atomically
+/// enough for crash recovery (single write) with a magic, a format
+/// version, and a trailing FNV-1a checksum over everything before it.
+struct RunCheckpoint {
+  int next_round = 0;  ///< first round the resumed run should execute
+  RunHistory history;  ///< rounds [0, next_round) as already recorded
+  std::vector<uint8_t> algorithm_state;  ///< opaque SaveRunState blob
+
+  /// Serializes to `path`. Aborts on I/O failure.
+  void Save(const std::string& path) const;
+
+  /// Reads a checkpoint written by Save, verifying magic, version, and
+  /// checksum. Aborts on any corruption (truncation, trailing bytes,
+  /// bit flips).
+  static RunCheckpoint Load(const std::string& path);
+};
 
 }  // namespace rfed
 

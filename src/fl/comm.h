@@ -50,6 +50,18 @@ class CommStats {
     return round_down_messages_ + round_up_messages_;
   }
 
+  /// Restores the cumulative totals from a checkpoint. Per-round
+  /// counters are not restored: a resumed run always continues at a
+  /// round boundary, where BeginRound() zeroes them anyway.
+  void Restore(int64_t down_bytes, int64_t up_bytes, int64_t down_msgs,
+               int64_t up_msgs) {
+    total_down_bytes_ = down_bytes;
+    total_up_bytes_ = up_bytes;
+    down_messages_ = down_msgs;
+    up_messages_ = up_msgs;
+    BeginRound();
+  }
+
  private:
   int64_t total_down_bytes_ = 0;
   int64_t total_up_bytes_ = 0;

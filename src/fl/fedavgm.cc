@@ -1,5 +1,6 @@
 #include "fl/fedavgm.h"
 
+#include "fl/checkpoint.h"
 #include "util/check.h"
 
 namespace rfed {
@@ -18,6 +19,19 @@ FedAvgM::FedAvgM(const FlConfig& config, double server_momentum,
 void FedAvgM::Aggregate(int round, const std::vector<int>& selected,
                         const std::vector<Tensor>& new_states,
                         const std::vector<double>& start_losses) {
+  if (!config().robust.mean()) {
+    // Robust variant: combine the survivors' models robustly and feed
+    // the resulting displacement into the same momentum update.
+    Tensor combined = RobustCombine(selected, new_states, global_state());
+    Tensor pseudo_grad = global_state();
+    pseudo_grad.SubInPlace(combined);
+    momentum_.MulInPlace(static_cast<float>(beta_));
+    momentum_.AddInPlace(pseudo_grad);
+    Tensor next = global_state();
+    next.Axpy(-1.0f, momentum_);
+    SetGlobalState(std::move(next));
+    return;
+  }
   double weight_sum = 0.0;
   for (int k : selected) weight_sum += weights()[static_cast<size_t>(k)];
   RFED_CHECK_GT(weight_sum, 0.0);
@@ -34,6 +48,16 @@ void FedAvgM::Aggregate(int round, const std::vector<int>& selected,
   Tensor next = global_state();
   next.Axpy(-1.0f, momentum_);
   SetGlobalState(std::move(next));
+}
+
+void FedAvgM::SaveExtraState(CheckpointWriter* writer) const {
+  writer->WriteTensor(momentum_);
+}
+
+void FedAvgM::LoadExtraState(CheckpointReader* reader) {
+  Tensor m = reader->ReadTensor();
+  RFED_CHECK_EQ(m.size(), momentum_.size());
+  momentum_ = std::move(m);
 }
 
 }  // namespace rfed

@@ -25,6 +25,9 @@ class FedAvgM : public FederatedAlgorithm {
   void Aggregate(int round, const std::vector<int>& selected,
                  const std::vector<Tensor>& new_states,
                  const std::vector<double>& start_losses) override;
+  /// Checkpointing: the server momentum buffer.
+  void SaveExtraState(CheckpointWriter* writer) const override;
+  void LoadExtraState(CheckpointReader* reader) override;
 
  private:
   double beta_;

@@ -31,6 +31,32 @@ void FedNova::Aggregate(int round, const std::vector<int>& selected,
   for (int k : selected) weight_sum += weights()[static_cast<size_t>(k)];
   RFED_CHECK_GT(weight_sum, 0.0);
 
+  if (!config().robust.mean()) {
+    // Robust variant: combine the per-step updates d_k = (x - y_k)/tau_k
+    // robustly under the survivors' p_k weights (reference zero for the
+    // norm bound — d_k is already a delta), then apply the same
+    // tau_eff-scaled server step.
+    std::vector<Tensor> normalized;
+    normalized.reserve(selected.size());
+    double tau_eff = 0.0;
+    for (size_t i = 0; i < selected.size(); ++i) {
+      const int k = selected[i];
+      const double pk = weights()[static_cast<size_t>(k)] / weight_sum;
+      const double tau = static_cast<double>(LocalSteps(k));
+      tau_eff += pk * tau;
+      Tensor d = global_state();
+      d.SubInPlace(new_states[i]);  // x - y_k
+      d.MulInPlace(static_cast<float>(1.0 / tau));
+      normalized.push_back(std::move(d));
+    }
+    Tensor combined =
+        RobustCombine(selected, normalized, Tensor(global_state().shape()));
+    Tensor next = global_state();
+    next.Axpy(static_cast<float>(-tau_eff), combined);
+    SetGlobalState(std::move(next));
+    return;
+  }
+
   // Normalized average of per-step updates and the effective step count.
   Tensor normalized(global_state().shape());
   double tau_eff = 0.0;

@@ -4,6 +4,7 @@
 
 #include "tensor/serialize.h"
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace rfed {
 namespace {
@@ -35,16 +36,6 @@ T PeekRaw(const std::vector<uint8_t>& buf, size_t offset) {
   return value;
 }
 
-// 32-bit FNV-1a over [begin, begin + length).
-uint32_t Fnv1a(const uint8_t* begin, size_t length) {
-  uint32_t hash = 2166136261u;
-  for (size_t i = 0; i < length; ++i) {
-    hash ^= begin[i];
-    hash *= 16777619u;
-  }
-  return hash;
-}
-
 }  // namespace
 
 int64_t FlMessage::EncodedBytes() const {
@@ -63,7 +54,7 @@ void FlMessage::EncodeTo(std::vector<uint8_t>* out) const {
   AppendRaw<int32_t>(static_cast<int32_t>(payload.size()), out);
   AppendRaw<int64_t>(payload_bytes, out);
   for (const Tensor& t : payload) SerializeTensor(t, out);
-  AppendRaw<uint32_t>(Fnv1a(out->data() + start, out->size() - start), out);
+  AppendRaw<uint32_t>(Fnv1a32(out->data() + start, out->size() - start), out);
 }
 
 uint32_t FlMessage::Checksum() const {
@@ -95,7 +86,7 @@ FlMessage FlMessage::Decode(const std::vector<uint8_t>& buffer,
   }
   RFED_CHECK_EQ(*offset, body_end);
   const uint32_t stored = ReadRaw<uint32_t>(buffer, offset);
-  RFED_CHECK_EQ(stored, Fnv1a(buffer.data() + start, body_end - start))
+  RFED_CHECK_EQ(stored, Fnv1a32(buffer.data() + start, body_end - start))
       << "message checksum mismatch";
   return message;
 }
@@ -118,7 +109,7 @@ bool FlMessage::TryDecode(const std::vector<uint8_t>& buffer, size_t* offset,
   const size_t body_end = start + kHeaderBytes +
                           static_cast<size_t>(payload_bytes);
   const uint32_t stored = PeekRaw<uint32_t>(buffer, body_end);
-  if (stored != Fnv1a(buffer.data() + start, body_end - start)) return false;
+  if (stored != Fnv1a32(buffer.data() + start, body_end - start)) return false;
   // The checksum matched, so the bytes are exactly what EncodeTo wrote;
   // the aborting decoder is now safe to run.
   size_t cursor = start;

@@ -1,5 +1,6 @@
 #include "fl/scaffold.h"
 
+#include "fl/checkpoint.h"
 #include "fl/model_state.h"
 #include "util/check.h"
 
@@ -59,6 +60,26 @@ void Scaffold::OnClientTrained(int round, int client,
     global_control_.Axpy(1.0f / static_cast<float>(num_clients()), delta_c);
   }
   ck = std::move(ck_new);
+}
+
+void Scaffold::SaveExtraState(CheckpointWriter* writer) const {
+  writer->WriteTensor(global_control_);
+  writer->WriteU32(static_cast<uint32_t>(client_controls_.size()));
+  for (const Tensor& ck : client_controls_) writer->WriteTensor(ck);
+}
+
+void Scaffold::LoadExtraState(CheckpointReader* reader) {
+  Tensor c = reader->ReadTensor();
+  RFED_CHECK_EQ(c.size(), global_control_.size());
+  global_control_ = std::move(c);
+  const uint32_t count = reader->ReadU32();
+  RFED_CHECK_EQ(count, client_controls_.size())
+      << "checkpoint is for a different client count";
+  for (Tensor& ck : client_controls_) {
+    Tensor saved = reader->ReadTensor();
+    RFED_CHECK_EQ(saved.size(), ck.size());
+    ck = std::move(saved);
+  }
 }
 
 }  // namespace rfed

@@ -27,6 +27,10 @@ class Scaffold : public FederatedAlgorithm {
   /// later clients of the same round, so training order matters: the
   /// parallel path would silently change the optimization.
   bool SupportsParallelTraining() const override { return false; }
+  /// Checkpointing: the control variates are the algorithm's only state
+  /// beyond the base class (round_start_state_ is round-scoped).
+  void SaveExtraState(CheckpointWriter* writer) const override;
+  void LoadExtraState(CheckpointReader* reader) override;
 
  private:
   Tensor round_start_state_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace rfed {
@@ -32,10 +33,20 @@ std::vector<int> LossProportionalSelection(
   }
   const double fallback = known > 0 ? known_sum / known : 1.0;
   std::vector<double> weights(static_cast<size_t>(n));
+  int64_t nonfinite = 0;
   for (int i = 0; i < n; ++i) {
     const double loss = last_losses[static_cast<size_t>(i)];
-    weights[static_cast<size_t>(i)] =
-        (std::isfinite(loss) && loss > 0.0) ? loss : fallback;
+    const bool usable = std::isfinite(loss) && loss > 0.0;
+    if (!std::isfinite(loss)) ++nonfinite;
+    weights[static_cast<size_t>(i)] = usable ? loss : fallback;
+  }
+  if (nonfinite > 0) {
+    // A diverged (or adversarial) client reports a NaN/Inf loss; the
+    // fallback weight keeps sampling well-defined, but the substitution
+    // must be visible, not silently masked.
+    obs::MetricsRegistry::Get()
+        .GetCounter("fl.nonfinite_loss")
+        ->Add(nonfinite);
   }
   // Weighted sampling without replacement (sequential draws).
   std::vector<int> selected;

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "fl/checkpoint.h"
 #include "nn/loss.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -73,9 +74,17 @@ std::vector<double> FederatedTrainer::PerClientAccuracy(
   return out;
 }
 
-RunHistory FederatedTrainer::Run(int rounds) {
+RunHistory FederatedTrainer::Run(int rounds, const RunCheckpoint* resume) {
   RunHistory history;
   history.algorithm = algorithm_->name();
+  int start_round = 0;
+  if (resume != nullptr) {
+    RFED_CHECK_LE(resume->next_round, rounds)
+        << "checkpoint is past the requested round count";
+    algorithm_->LoadRunState(resume->algorithm_state);
+    history = resume->history;
+    start_round = resume->next_round;
+  }
   history.rounds.reserve(static_cast<size_t>(rounds));
   // Per-round registry deltas are taken against the snapshot at entry,
   // so a second Run() in the same process (the registry is global and
@@ -83,7 +92,7 @@ RunHistory FederatedTrainer::Run(int rounds) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
   obs::Gauge* scratch_gauge = registry.GetGauge("kernel.scratch_peak_bytes");
   std::vector<obs::MetricSample> prev_snapshot = registry.Snapshot();
-  for (int round = 0; round < rounds; ++round) {
+  for (int round = start_round; round < rounds; ++round) {
     RoundResult result = [&] {
       obs::TraceSpan trace_span("round");
       return algorithm_->RunRound(round);
@@ -122,6 +131,15 @@ RunHistory FederatedTrainer::Run(int rounds) {
                      << " acc=" << metrics.test_accuracy;
     }
     history.rounds.push_back(metrics);
+    if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty() &&
+        (round + 1) % options_.checkpoint_every == 0) {
+      obs::TraceSpan trace_span("checkpoint");
+      RunCheckpoint ck;
+      ck.next_round = round + 1;
+      ck.history = history;
+      algorithm_->SaveRunState(&ck.algorithm_state);
+      ck.Save(options_.checkpoint_path);
+    }
   }
   return history;
 }

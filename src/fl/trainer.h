@@ -1,6 +1,7 @@
 #ifndef RFED_FL_TRAINER_H_
 #define RFED_FL_TRAINER_H_
 
+#include <string>
 #include <vector>
 
 #include "fl/algorithm.h"
@@ -8,12 +9,19 @@
 
 namespace rfed {
 
+struct RunCheckpoint;
+
 /// Options of the simulation driver (evaluation cadence and sizes).
 struct TrainerOptions {
   int eval_every = 1;            ///< evaluate the global model every k rounds
   int64_t eval_max_examples = 1024;  ///< test subsample cap (0 = all)
   int eval_batch_size = 64;
   bool verbose = false;          ///< log each evaluated round
+  /// Crash recovery: write a RunCheckpoint to `checkpoint_path` every k
+  /// completed rounds (0 = never). Resuming from such a file reproduces
+  /// the uninterrupted run bit-for-bit.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
 };
 
 /// Drives a federated algorithm for C rounds against a held-out test set
@@ -24,8 +32,11 @@ class FederatedTrainer {
   FederatedTrainer(FederatedAlgorithm* algorithm, const Dataset* test_data,
                    const TrainerOptions& options);
 
-  /// Runs `rounds` communication rounds; returns the full history.
-  RunHistory Run(int rounds);
+  /// Runs `rounds` communication rounds; returns the full history. If
+  /// `resume` is non-null the algorithm state is restored from it and
+  /// training continues at `resume->next_round` with the checkpointed
+  /// history prefix already in place.
+  RunHistory Run(int rounds, const RunCheckpoint* resume = nullptr);
 
   /// Accuracy of the current global model on the (subsampled) test set.
   double EvaluateGlobal();

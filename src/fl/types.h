@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "fl/adversary.h"
 #include "fl/channel.h"
+#include "fl/robust_agg.h"
 #include "nn/optimizer.h"
 #include "sim/options.h"
 
@@ -51,6 +53,16 @@ struct FlConfig {
   /// whichever clients' updates actually arrive. Defaults to a
   /// transparent channel (no faults, bit-identical to the direct path).
   FaultOptions fault;
+  /// Adversarial *client* fault injection (see fl/adversary.h): a seeded
+  /// fraction of clients misbehaves — NaN/Inf emission, sign-flipped or
+  /// scaled updates, Gaussian update noise, or label-flipped local
+  /// training. Defaults to no adversaries (bit-identical clean runs).
+  AdversaryOptions adversary;
+  /// Server-side defenses (see fl/robust_agg.h): the non-finite update
+  /// screen and the robust aggregation rule. The defaults (validate on,
+  /// aggregator "mean") leave clean runs bit-identical to the undefended
+  /// simulator.
+  RobustAggOptions robust;
   /// Discrete-event simulation runtime (see sim/options.h): virtual
   /// clock, per-client compute-time models, byte->latency network model,
   /// and the server's round-termination policy (sync barrier, deadline

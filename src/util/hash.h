@@ -1,0 +1,34 @@
+#ifndef RFED_UTIL_HASH_H_
+#define RFED_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rfed {
+
+/// 32-bit FNV-1a over [data, data + length). The integrity checksum used
+/// by every on-disk / on-wire artifact in the repo (FlMessage frames,
+/// tensor files, run checkpoints): cheap, byte-order independent, and
+/// sensitive to single bit flips.
+inline uint32_t Fnv1a32(const uint8_t* data, size_t length) {
+  uint32_t hash = 2166136261u;
+  for (size_t i = 0; i < length; ++i) {
+    hash ^= data[i];
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+/// 64-bit splitmix-style mix of two words; used to derive deterministic
+/// per-(client, round) RNG streams whose draws are call-order independent
+/// (the same keying discipline as sim/compute_model.h).
+inline uint64_t MixU64(uint64_t a, uint64_t b) {
+  uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rfed
+
+#endif  // RFED_UTIL_HASH_H_

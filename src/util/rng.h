@@ -6,6 +6,16 @@
 
 namespace rfed {
 
+/// Exact serializable position of an Rng stream: the four xoshiro256**
+/// state words plus the Box-Muller spare. Restoring it resumes the stream
+/// bit-identically, which is what makes run checkpoints (fl/checkpoint.h)
+/// reproduce an uninterrupted run byte-for-byte.
+struct RngState {
+  uint64_t words[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256** seeded via
 /// splitmix64). All stochastic components of the simulator (data synthesis,
 /// partitioning, client sampling, mini-batching, init, DP noise) draw from
@@ -48,6 +58,10 @@ class Rng {
   /// Derives an independent child generator; used to give each client or
   /// each round its own stream without correlation.
   Rng Fork();
+
+  /// Snapshot / restore of the exact stream position (checkpointing).
+  RngState SaveState() const;
+  void LoadState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -19,6 +19,7 @@
 #include "core/rfedavg.h"
 #include "data/partition.h"
 #include "data/synthetic_images.h"
+#include "fl/checkpoint.h"
 #include "fl/fedavg.h"
 #include "fl/fedavgm.h"
 #include "fl/fednova.h"
@@ -272,6 +273,93 @@ TEST_P(SimGoldenTest, SeededSimRunMatchesCheckedInValues) {
 }
 
 INSTANTIATE_TEST_SUITE_P(SimModes, SimGoldenTest, ::testing::Range(0, 2));
+
+// ---- Kill-and-resume determinism goldens ----
+// Checkpoint at round 3, throw the whole process state away (fresh
+// fixture, fresh algorithm, fresh model init), restore, and continue to
+// round 6: every deterministic per-round field and every model
+// coordinate must match the uninterrupted 6-round run bit for bit. The
+// config includes wire faults and a compute-time model so the channel
+// RNG, the comm ledger, and the virtual clock restores are all load-
+// bearing. (round_seconds is wall-clock and excluded.)
+
+constexpr const char* kResumeAlgorithms[] = {"fedavg", "scaffold",
+                                             "rfedavg_plus"};
+
+FlConfig ResumeGoldenConfig() {
+  FlConfig config = GoldenConfig();
+  config.fault.drop_prob = 0.2;
+  config.fault.max_retries = 1;
+  config.fault.round_timeout_ms = 0.0;
+  config.sim.compute.kind = ComputeModelKind::kLognormal;
+  config.sim.compute.mean_ms_per_step = 10.0;
+  config.sim.network.down_bytes_per_ms = 1000.0;
+  config.sim.network.up_bytes_per_ms = 1000.0;
+  return config;
+}
+
+struct ResumeRun {
+  RunHistory history;
+  Tensor state;
+};
+
+ResumeRun RunWithOptionalResume(const std::string& name, int rounds,
+                                const TrainerOptions& options,
+                                const RunCheckpoint* resume) {
+  GoldenFixture fx;
+  auto algo = MakeAlgorithm(name, ResumeGoldenConfig(), &fx);
+  FederatedTrainer trainer(algo.get(), &fx.data.test, options);
+  ResumeRun run;
+  run.history = trainer.Run(rounds, resume);
+  run.state = algo->global_state();
+  return run;
+}
+
+class ResumeGoldenTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ResumeGoldenTest, KillAtRoundThreeThenResumeIsBitIdentical) {
+  const std::string name = GetParam();
+  const std::string path =
+      ::testing::TempDir() + "golden_resume_" + name + ".ckpt";
+  TrainerOptions options;
+  options.eval_max_examples = 120;
+
+  // Uninterrupted 6-round reference.
+  ResumeRun full = RunWithOptionalResume(name, 6, options, nullptr);
+
+  // "Crashed" run: checkpoints after round 3, then its entire process
+  // state (algorithm, model, RNGs, channel) goes out of scope.
+  TrainerOptions ck_options = options;
+  ck_options.checkpoint_every = 3;
+  ck_options.checkpoint_path = path;
+  RunWithOptionalResume(name, 3, ck_options, nullptr);
+
+  // Fresh state, restore, continue to round 6.
+  RunCheckpoint resume = RunCheckpoint::Load(path);
+  ASSERT_EQ(resume.next_round, 3);
+  ResumeRun resumed = RunWithOptionalResume(name, 6, options, &resume);
+
+  ASSERT_EQ(resumed.history.rounds.size(), full.history.rounds.size());
+  for (size_t i = 0; i < full.history.rounds.size(); ++i) {
+    const RoundMetrics& a = full.history.rounds[i];
+    const RoundMetrics& b = resumed.history.rounds[i];
+    EXPECT_EQ(a.train_loss, b.train_loss) << name << " round " << i;
+    EXPECT_EQ(a.test_accuracy, b.test_accuracy) << name << " round " << i;
+    EXPECT_EQ(a.round_bytes, b.round_bytes) << name << " round " << i;
+    EXPECT_EQ(a.delivered_messages, b.delivered_messages) << name;
+    EXPECT_EQ(a.dropped_messages, b.dropped_messages) << name;
+    EXPECT_EQ(a.retried_messages, b.retried_messages) << name;
+    EXPECT_EQ(a.virtual_ms, b.virtual_ms) << name << " round " << i;
+  }
+  ASSERT_EQ(resumed.state.size(), full.state.size());
+  for (int64_t i = 0; i < full.state.size(); ++i) {
+    ASSERT_EQ(full.state.at(i), resumed.state.at(i))
+        << name << " model coordinate " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KillAndResume, ResumeGoldenTest,
+                         ::testing::ValuesIn(kResumeAlgorithms));
 
 }  // namespace
 }  // namespace rfed

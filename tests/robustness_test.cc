@@ -3,6 +3,9 @@
 // extreme sampling, degenerate batches — must train without corruption.
 
 #include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -10,6 +13,7 @@
 #include "data/batcher.h"
 #include "data/partition.h"
 #include "data/synthetic_images.h"
+#include "fl/checkpoint.h"
 #include "fl/fedavg.h"
 #include "fl/message.h"
 #include "fl/trainer.h"
@@ -47,6 +51,105 @@ TEST(CheckedInvariantsDeathTest, MalformedMessageKindAborts) {
   buffer[0] = 200;
   size_t offset = 0;
   EXPECT_DEATH(FlMessage::Decode(buffer, &offset), "RFED_CHECK failed");
+}
+
+// ---- Corrupted checkpoint files ----
+// Every binary artifact carries a trailing FNV-1a checksum; a truncated,
+// extended, or bit-flipped file must abort loudly instead of silently
+// resuming from garbage.
+
+std::vector<uint8_t> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAllBytes(const std::string& path,
+                   const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  EXPECT_TRUE(out.good()) << path;
+}
+
+std::string SavedTensorPath(const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "corrupt_" + tag + ".bin";
+  SaveTensorToFile(Tensor(Shape{4}, {1.5f, -2.0f, 3.25f, 0.0f}), path);
+  return path;
+}
+
+TEST(CorruptCheckpointDeathTest, TruncatedTensorFileAborts) {
+  const std::string path = SavedTensorPath("truncated");
+  std::vector<uint8_t> bytes = ReadAllBytes(path);
+  bytes.resize(bytes.size() - 3);  // clobbers the checksum footer
+  WriteAllBytes(path, bytes);
+  EXPECT_DEATH(LoadTensorFromFile(path), "RFED_CHECK failed");
+}
+
+TEST(CorruptCheckpointDeathTest, TrailingBytesInTensorFileAbort) {
+  const std::string path = SavedTensorPath("trailing");
+  std::vector<uint8_t> bytes = ReadAllBytes(path);
+  bytes.push_back(0xab);
+  bytes.push_back(0xcd);
+  WriteAllBytes(path, bytes);
+  EXPECT_DEATH(LoadTensorFromFile(path), "RFED_CHECK failed");
+}
+
+TEST(CorruptCheckpointDeathTest, BitFlippedTensorFileAborts) {
+  const std::string path = SavedTensorPath("bitflip");
+  std::vector<uint8_t> bytes = ReadAllBytes(path);
+  bytes[bytes.size() / 2] ^= 0x10;  // single bit, mid-payload
+  WriteAllBytes(path, bytes);
+  EXPECT_DEATH(LoadTensorFromFile(path), "checksum mismatch");
+}
+
+RunCheckpoint TinyRunCheckpoint() {
+  RunCheckpoint ck;
+  ck.next_round = 2;
+  ck.history.algorithm = "FedAvg";
+  ck.history.rounds.resize(2);
+  ck.history.rounds[0].round = 0;
+  ck.history.rounds[1].round = 1;
+  ck.algorithm_state = {1, 2, 3, 4, 5, 6, 7, 8};
+  return ck;
+}
+
+TEST(CorruptCheckpointDeathTest, TruncatedRunCheckpointAborts) {
+  const std::string path = ::testing::TempDir() + "run_truncated.ckpt";
+  TinyRunCheckpoint().Save(path);
+  std::vector<uint8_t> bytes = ReadAllBytes(path);
+  bytes.resize(bytes.size() / 2);
+  WriteAllBytes(path, bytes);
+  EXPECT_DEATH(RunCheckpoint::Load(path), "RFED_CHECK failed");
+}
+
+TEST(CorruptCheckpointDeathTest, TrailingBytesInRunCheckpointAbort) {
+  const std::string path = ::testing::TempDir() + "run_trailing.ckpt";
+  TinyRunCheckpoint().Save(path);
+  std::vector<uint8_t> bytes = ReadAllBytes(path);
+  bytes.push_back(0x00);
+  WriteAllBytes(path, bytes);
+  EXPECT_DEATH(RunCheckpoint::Load(path), "RFED_CHECK failed");
+}
+
+TEST(CorruptCheckpointDeathTest, BitFlippedRunCheckpointAborts) {
+  const std::string path = ::testing::TempDir() + "run_bitflip.ckpt";
+  TinyRunCheckpoint().Save(path);
+  std::vector<uint8_t> bytes = ReadAllBytes(path);
+  bytes[bytes.size() - 8] ^= 0x01;
+  WriteAllBytes(path, bytes);
+  EXPECT_DEATH(RunCheckpoint::Load(path), "checksum mismatch");
+}
+
+TEST(CorruptCheckpointDeathTest, InconsistentRoundCountAborts) {
+  // A checkpoint whose recorded history disagrees with next_round is
+  // internally inconsistent even when the checksum is intact.
+  RunCheckpoint ck = TinyRunCheckpoint();
+  ck.next_round = 3;  // but only 2 rounds of history
+  const std::string path = ::testing::TempDir() + "run_inconsistent.ckpt";
+  ck.Save(path);
+  EXPECT_DEATH(RunCheckpoint::Load(path), "RFED_CHECK failed");
 }
 
 TEST(CheckedInvariantsDeathTest, ScalarBackwardOnlyFromScalar) {
