@@ -108,6 +108,14 @@ Parallelism (bit-identical at any setting):
   --num_threads parallel local training (1 = sequential)
   --kernel_threads intra-op GEMM/conv threads (1 = serial kernels)
 
+Scale (hierarchical aggregation; docs/ARCHITECTURE.md):
+  --shard_fanout updates per shard task of the canonical aggregation
+      tree (power of two; 0 = flat loop, byte-identical to goldens;
+      any power of two yields one canonical tree result)
+  --stream_chunk train/fold the cohort in chunks of this many clients
+      (requires --shard_fanout > 0; mean-aggregating methods only;
+      0 = all-at-once)
+
 Observability (docs/OBSERVABILITY.md):
   --trace record phase/kernel spans and print the per-phase summary (false)
   --trace_out PATH write spans as Chrome trace_event JSON (implies --trace;
@@ -129,7 +137,8 @@ constexpr const char* kKnownFlags[] = {
     "adversary", "adversary_frac", "adversary_scale", "adversary_sigma",
     "aggregator", "trim_fraction", "clip_multiplier", "validate",
     "checkpoint_every", "checkpoint_path", "resume_from",
-    "num_threads", "kernel_threads", "trace", "trace_out", "csv_out", "help"};
+    "num_threads", "kernel_threads", "shard_fanout", "stream_chunk",
+    "trace", "trace_out", "csv_out", "help"};
 
 std::unique_ptr<FederatedAlgorithm> Build(
     const std::string& method, const FlConfig& fl,
@@ -249,6 +258,8 @@ int main(int argc, char** argv) {
   }
   fl.num_threads = flags.GetInt("num_threads", 1);
   fl.kernel_threads = flags.GetInt("kernel_threads", 1);
+  fl.shard_fanout = flags.GetInt("shard_fanout", 0);
+  fl.stream_chunk = flags.GetInt("stream_chunk", 0);
   const std::string trace_out = flags.GetString("trace_out", "");
   const std::string csv_out = flags.GetString("csv_out", "");
   fl.trace = flags.GetBool("trace", false) || !trace_out.empty();

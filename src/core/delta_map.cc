@@ -1,36 +1,96 @@
 #include "core/delta_map.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "core/mmd.h"
+#include "fl/shard_agg.h"
 #include "util/check.h"
 
 namespace rfed {
 
 DeltaMapStore::DeltaMapStore(int num_clients, int64_t feature_dim)
-    : feature_dim_(feature_dim) {
+    : DeltaMapStore(num_clients, feature_dim, /*sparse=*/false) {}
+
+DeltaMapStore DeltaMapStore::Sparse(int num_clients, int64_t feature_dim) {
+  return DeltaMapStore(num_clients, feature_dim, /*sparse=*/true);
+}
+
+DeltaMapStore::DeltaMapStore(int num_clients, int64_t feature_dim, bool sparse)
+    : num_clients_(num_clients), feature_dim_(feature_dim), sparse_(sparse) {
   RFED_CHECK_GT(num_clients, 1);
   RFED_CHECK_GT(feature_dim, 0);
-  deltas_.assign(static_cast<size_t>(num_clients),
-                 Tensor(Shape{feature_dim}));
+  if (sparse_) {
+    zero_ = Tensor(Shape{feature_dim});
+  } else {
+    deltas_.assign(static_cast<size_t>(num_clients),
+                   Tensor(Shape{feature_dim}));
+  }
 }
 
 void DeltaMapStore::Update(int client, Tensor delta) {
   RFED_CHECK_GE(client, 0);
   RFED_CHECK_LT(client, num_clients());
   RFED_CHECK(delta.shape() == Shape({feature_dim_}));
-  deltas_[static_cast<size_t>(client)] = std::move(delta);
+  if (sparse_) {
+    sparse_deltas_[client] = std::move(delta);
+  } else {
+    deltas_[static_cast<size_t>(client)] = std::move(delta);
+  }
 }
 
 const Tensor& DeltaMapStore::Get(int client) const {
   RFED_CHECK_GE(client, 0);
   RFED_CHECK_LT(client, num_clients());
+  if (sparse_) {
+    const auto it = sparse_deltas_.find(client);
+    return it == sparse_deltas_.end() ? zero_ : it->second;
+  }
   return deltas_[static_cast<size_t>(client)];
 }
 
+const std::vector<Tensor>& DeltaMapStore::All() const {
+  RFED_CHECK(!sparse_)
+      << "a sparse map store cannot materialize all per-client maps";
+  return deltas_;
+}
+
+std::vector<int> DeltaMapStore::TouchedClients() const {
+  std::vector<int> ids;
+  ids.reserve(sparse_deltas_.size());
+  for (const auto& [id, delta] : sparse_deltas_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void DeltaMapStore::Reset() {
+  RFED_CHECK(sparse_) << "only sparse map stores support Reset";
+  sparse_deltas_.clear();
+}
+
 Tensor DeltaMapStore::LeaveOneOutMean(int client) const {
-  return LeaveOneOutMeanDelta(deltas_, client);
+  if (!sparse_) return LeaveOneOutMeanDelta(deltas_, client);
+  RFED_CHECK_GE(client, 0);
+  RFED_CHECK_LT(client, num_clients());
+  RFED_CHECK_GT(num_clients(), 1);
+  // Canonical-tree total over the touched maps (ascending id), minus the
+  // excluded client's own map, over the N-1 implicit-zero-inclusive
+  // denominator. Report order never enters the float-op sequence.
+  const std::vector<int> ids = TouchedClients();
+  std::vector<const Tensor*> leaves;
+  leaves.reserve(ids.size());
+  for (int id : ids) leaves.push_back(&sparse_deltas_.at(id));
+  Tensor mean = leaves.empty() ? Tensor(Shape{feature_dim_})
+                               : PairwiseTreeSum(leaves);
+  const auto it = sparse_deltas_.find(client);
+  if (it != sparse_deltas_.end()) mean.SubInPlace(it->second);
+  mean.MulInPlace(1.0f / static_cast<float>(num_clients() - 1));
+  return mean;
 }
 
 std::vector<Tensor> DeltaMapStore::AllExcept(int client) const {
+  RFED_CHECK(!sparse_)
+      << "a sparse map store cannot materialize all per-client maps";
   std::vector<Tensor> out;
   out.reserve(deltas_.size() - 1);
   for (size_t j = 0; j < deltas_.size(); ++j) {

@@ -2,6 +2,7 @@
 #define RFED_CORE_RFEDAVG_H_
 
 #include <optional>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -80,6 +81,15 @@ class RFedAvgPlus : public FederatedAlgorithm {
               const Dataset* train_data, std::vector<ClientView> clients,
               const ModelFactory& model_factory);
 
+  /// Pool-mode (cross-device scale) constructor: lazy client state plus a
+  /// *sparse* map store — only clients that have ever reported hold a
+  /// resident map, every other δ^k is the implicit zero of the paper's
+  /// δ_0 initialization, and the leave-one-out averages reduce over the
+  /// touched set with the canonical shard tree. The pool must outlive
+  /// the algorithm.
+  RFedAvgPlus(const FlConfig& config, const RegularizerOptions& reg,
+              const ClientPool* pool, const ModelFactory& model_factory);
+
   const DeltaMapStore& delta_store() const { return store_; }
   const RegularizerOptions& regularizer_options() const { return reg_; }
 
@@ -95,8 +105,10 @@ class RFedAvgPlus : public FederatedAlgorithm {
  private:
   RegularizerOptions reg_;
   DeltaMapStore store_;
-  /// Whether this round's averaged-map broadcast reached each client.
-  std::vector<char> map_received_;
+  /// Clients whose averaged-map broadcast arrived this round. A set (not
+  /// a dense per-client vector) so pool-mode rounds cost O(cohort); the
+  /// membership control flow is identical to the old flag vector.
+  std::unordered_set<int> map_received_;
   Rng noise_rng_;
 };
 

@@ -19,7 +19,19 @@ RFedAvgPlus::RFedAvgPlus(const FlConfig& config, const RegularizerOptions& reg,
                                 : raw_model()->feature_dim()),
       noise_rng_(config.seed ^ 0x7f4a7c159e3779b9ULL) {
   RFED_CHECK_GE(reg_.lambda, 0.0);
-  map_received_.assign(static_cast<size_t>(num_clients()), 1);
+}
+
+RFedAvgPlus::RFedAvgPlus(const FlConfig& config, const RegularizerOptions& reg,
+                         const ClientPool* pool,
+                         const ModelFactory& model_factory)
+    : FederatedAlgorithm("rFedAvg+", config, pool, model_factory),
+      reg_(reg),
+      store_(DeltaMapStore::Sparse(num_clients(),
+                                   reg.regularize_logits
+                                       ? raw_model()->num_classes()
+                                       : raw_model()->feature_dim())),
+      noise_rng_(config.seed ^ 0x7f4a7c159e3779b9ULL) {
+  RFED_CHECK_GE(reg_.lambda, 0.0);
 }
 
 void RFedAvgPlus::OnRoundStart(int round, const std::vector<int>& selected) {
@@ -28,19 +40,19 @@ void RFedAvgPlus::OnRoundStart(int round, const std::vector<int>& selected) {
   // total instead of rFedAvg's O(d N^2). A client whose copy is lost
   // trains without the regularizer this round.
   obs::TraceSpan trace_span("map_broadcast");
-  map_received_.assign(static_cast<size_t>(num_clients()), 0);
+  map_received_.clear();
   for (int k : selected) {
-    map_received_[static_cast<size_t>(k)] =
-        channel().Download(store_.BroadcastBytesAveraged(), channel_kind::kMap)
-            ? 1
-            : 0;
+    if (channel().Download(store_.BroadcastBytesAveraged(),
+                           channel_kind::kMap)) {
+      map_received_.insert(k);
+    }
   }
 }
 
 Variable RFedAvgPlus::ExtraLoss(int client, const ModelOutput& output,
                                 const Batch& batch) {
   if (reg_.lambda == 0.0) return Variable();
-  if (!map_received_[static_cast<size_t>(client)]) return Variable();
+  if (map_received_.find(client) == map_received_.end()) return Variable();
   obs::TraceSpan trace_span("mmd_penalty");
   const Variable& rep =
       reg_.regularize_logits ? output.logits : output.features;
@@ -73,17 +85,39 @@ void RFedAvgPlus::OnRoundEnd(int round, const std::vector<int>& selected) {
 }
 
 void RFedAvgPlus::SaveExtraState(CheckpointWriter* writer) const {
-  writer->WriteU32(static_cast<uint32_t>(store_.num_clients()));
-  for (const Tensor& delta : store_.All()) writer->WriteTensor(delta);
+  if (store_.sparse()) {
+    // Pool-mode checkpoints save only the touched maps (ascending id);
+    // everything else is the implicit zero δ_0.
+    const std::vector<int> ids = store_.TouchedClients();
+    writer->WriteU32(static_cast<uint32_t>(ids.size()));
+    for (int id : ids) {
+      writer->WriteI32(id);
+      writer->WriteTensor(store_.Get(id));
+    }
+  } else {
+    writer->WriteU32(static_cast<uint32_t>(store_.num_clients()));
+    for (const Tensor& delta : store_.All()) writer->WriteTensor(delta);
+  }
   writer->WriteRng(noise_rng_.SaveState());
 }
 
 void RFedAvgPlus::LoadExtraState(CheckpointReader* reader) {
   const uint32_t count = reader->ReadU32();
-  RFED_CHECK_EQ(count, static_cast<uint32_t>(store_.num_clients()))
-      << "checkpoint is for a different client count";
-  for (int k = 0; k < store_.num_clients(); ++k) {
-    store_.Update(k, reader->ReadTensor());
+  if (store_.sparse()) {
+    store_.Reset();
+    for (uint32_t i = 0; i < count; ++i) {
+      const int id = reader->ReadI32();
+      RFED_CHECK(id >= 0 && id < store_.num_clients())
+          << "checkpoint names client id " << id << " outside the pool of "
+          << store_.num_clients() << " clients";
+      store_.Update(id, reader->ReadTensor());
+    }
+  } else {
+    RFED_CHECK_EQ(count, static_cast<uint32_t>(store_.num_clients()))
+        << "checkpoint is for a different client count";
+    for (int k = 0; k < store_.num_clients(); ++k) {
+      store_.Update(k, reader->ReadTensor());
+    }
   }
   noise_rng_.LoadState(reader->ReadRng());
 }

@@ -1,0 +1,97 @@
+#include "data/client_pool.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rfed {
+namespace {
+
+// Seed lineages for per-client streams. Distinct constants keep the train
+// view, test view, and (in fl/) batcher streams of the same client
+// decorrelated even though they share the root seed.
+constexpr uint64_t kTrainViewLineage = 0xc11e9700a11dull;
+constexpr uint64_t kTestViewLineage = 0xc11e97007e57ull;
+
+std::vector<std::vector<int>> IndicesByClass(const Dataset& pool) {
+  std::vector<std::vector<int>> by_class(
+      static_cast<size_t>(pool.num_classes()));
+  const std::vector<int>& labels = pool.labels();
+  for (size_t i = 0; i < labels.size(); ++i) {
+    by_class[static_cast<size_t>(labels[i])].push_back(static_cast<int>(i));
+  }
+  return by_class;
+}
+
+}  // namespace
+
+ClientPool::ClientPool(const Dataset* train_pool, const Dataset* test_pool,
+                       const ClientPoolOptions& options)
+    : train_pool_(train_pool), test_pool_(test_pool), options_(options) {
+  RFED_CHECK(train_pool_ != nullptr);
+  RFED_CHECK_GT(options_.num_clients, 0);
+  RFED_CHECK_GT(options_.examples_per_client, 0);
+  RFED_CHECK_GE(options_.similarity, 0.0);
+  RFED_CHECK_LE(options_.similarity, 1.0);
+  RFED_CHECK_GT(train_pool_->size(), 0);
+  train_by_class_ = IndicesByClass(*train_pool_);
+  // Non-IID draws come from per-class slices; a class with no pool
+  // examples would leave its clients with nothing to draw from.
+  for (const auto& cls : train_by_class_) RFED_CHECK(!cls.empty());
+  if (options_.test_examples_per_client > 0) {
+    RFED_CHECK(test_pool_ != nullptr);
+    RFED_CHECK_GT(test_pool_->size(), 0);
+    test_by_class_ = IndicesByClass(*test_pool_);
+    for (const auto& cls : test_by_class_) RFED_CHECK(!cls.empty());
+  }
+}
+
+int ClientPool::ClientClass(int k) const {
+  RFED_CHECK_GE(k, 0);
+  RFED_CHECK_LT(k, options_.num_clients);
+  return static_cast<int>(static_cast<int64_t>(k) *
+                          train_pool_->num_classes() / options_.num_clients);
+}
+
+std::vector<int> ClientPool::DrawView(
+    int k, uint64_t lineage, const Dataset& pool,
+    const std::vector<std::vector<int>>& by_class, int count) const {
+  Rng rng(MixSeed(options_.seed, lineage, static_cast<uint64_t>(k)));
+  const std::vector<int>& cls = by_class[static_cast<size_t>(ClientClass(k))];
+  const int pool_size = static_cast<int>(pool.size());
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // One Uniform per example regardless of similarity keeps the stream
+    // layout fixed, so the view is a pure function of (seed, lineage, k).
+    const bool iid = rng.Uniform() < options_.similarity;
+    if (iid) {
+      out.push_back(rng.UniformInt(pool_size));
+    } else {
+      out.push_back(cls[static_cast<size_t>(
+          rng.UniformInt(static_cast<int>(cls.size())))]);
+    }
+  }
+  return out;
+}
+
+std::vector<int> ClientPool::TrainIndices(int k) const {
+  return DrawView(k, kTrainViewLineage, *train_pool_, train_by_class_,
+                  options_.examples_per_client);
+}
+
+std::vector<int> ClientPool::TestIndices(int k) const {
+  if (options_.test_examples_per_client <= 0) return {};
+  return DrawView(k, kTestViewLineage, *test_pool_, test_by_class_,
+                  options_.test_examples_per_client);
+}
+
+std::vector<std::vector<int>> ClientPool::MaterializeAllTrainIndices() const {
+  std::vector<std::vector<int>> all;
+  all.reserve(static_cast<size_t>(options_.num_clients));
+  for (int k = 0; k < options_.num_clients; ++k) {
+    all.push_back(TrainIndices(k));
+  }
+  return all;
+}
+
+}  // namespace rfed

@@ -8,6 +8,7 @@
 #include "fl/model_state.h"
 #include "fl/robust_agg.h"
 #include "fl/selection.h"
+#include "fl/shard_agg.h"
 #include "nn/loss.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -45,21 +46,46 @@ obs::Counter* StragglersCutCounter() {
   return c;
 }
 
+/// Magic word opening the pool-mode checkpoint layout (sparse per-client
+/// sections keyed by client id, instead of the legacy dense tables).
+constexpr uint32_t kPoolStateMagic = 0x700c57a7u;
+
+const Dataset* PoolTrainData(const ClientPool* pool) {
+  RFED_CHECK(pool != nullptr);
+  return &pool->train_pool();
+}
+
 }  // namespace
 
 FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
                                        const Dataset* train_data,
                                        std::vector<ClientView> clients,
                                        const ModelFactory& model_factory)
+    : FederatedAlgorithm(std::move(name), config, train_data,
+                         std::move(clients), nullptr, model_factory) {}
+
+FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
+                                       const ClientPool* pool,
+                                       const ModelFactory& model_factory)
+    : FederatedAlgorithm(std::move(name), config, PoolTrainData(pool), {},
+                         pool, model_factory) {}
+
+FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
+                                       const Dataset* train_data,
+                                       std::vector<ClientView> clients,
+                                       const ClientPool* pool,
+                                       const ModelFactory& model_factory)
     : name_(std::move(name)),
       config_(config),
       train_data_(train_data),
       clients_(std::move(clients)),
+      client_pool_(pool),
       // The adversary draws its bad-actor choice from its own seed
       // lineage (like the channel), so enabling an attack never perturbs
       // the training randomness.
       adversary_(config.adversary, config.seed ^ 0xbadc11e575a1ULL,
-                 static_cast<int>(clients_.size())),
+                 pool != nullptr ? pool->num_clients()
+                                 : static_cast<int>(clients_.size())),
       model_factory_(model_factory),
       rng_(config.seed),
       // The channel draws from its own stream so that enabling faults
@@ -67,7 +93,30 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
       channel_(config.fault, config.seed ^ 0xfa171c4a11e1ULL, &comm_),
       network_model_(config.sim.network) {
   RFED_CHECK(train_data_ != nullptr);
-  RFED_CHECK(!clients_.empty());
+  if (pool_mode()) {
+    RFED_CHECK(clients_.empty());
+    // The O(N)-per-round pieces have no lazy counterpart: loss-adaptive
+    // selection scans every client's last loss, and the async policy
+    // scans for idle clients. Cross-device runs use uniform sampling and
+    // the sync/deadline policies.
+    RFED_CHECK(config_.client_selection == "uniform")
+        << "pool mode supports uniform client selection only";
+    RFED_CHECK(config_.sim.mode != SimMode::kAsync)
+        << "pool mode supports the sync and deadline round policies only";
+  } else {
+    RFED_CHECK(!clients_.empty());
+  }
+  if (config_.shard_fanout != 0) {
+    RFED_CHECK(IsPow2(config_.shard_fanout))
+        << "shard_fanout must be a power of two, got "
+        << config_.shard_fanout;
+  }
+  RFED_CHECK_GE(config_.stream_chunk, 0);
+  if (config_.stream_chunk > 0) {
+    RFED_CHECK_GT(config_.shard_fanout, 0)
+        << "stream_chunk needs shard_fanout > 0 (streaming reproduces the "
+           "canonical shard tree, not the legacy flat mean)";
+  }
   if (config_.sim.mode == SimMode::kDeadline) {
     RFED_CHECK_GT(config_.sim.deadline_ms, 0.0)
         << "deadline mode needs sim.deadline_ms > 0";
@@ -83,16 +132,19 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
   // traced run is never silently disabled by a second algorithm instance.
   if (config_.trace) obs::EnableTracing(true);
 
-  // FedAvg weights p_k = n_k / n.
-  int64_t total = 0;
-  for (const auto& c : clients_) {
-    RFED_CHECK(!c.train_indices.empty());
-    total += static_cast<int64_t>(c.train_indices.size());
-  }
-  weights_.reserve(clients_.size());
-  for (const auto& c : clients_) {
-    weights_.push_back(static_cast<double>(c.train_indices.size()) /
-                       static_cast<double>(total));
+  // FedAvg weights p_k = n_k / n. Pool mode computes them O(1) per client
+  // (equal-size views) and never materializes the dense table.
+  if (!pool_mode()) {
+    int64_t total = 0;
+    for (const auto& c : clients_) {
+      RFED_CHECK(!c.train_indices.empty());
+      total += static_cast<int64_t>(c.train_indices.size());
+    }
+    weights_.reserve(clients_.size());
+    for (const auto& c : clients_) {
+      weights_.push_back(static_cast<double>(c.train_indices.size()) /
+                         static_cast<double>(total));
+    }
   }
 
   Rng init_rng = rng_.Fork();
@@ -100,16 +152,25 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
   global_state_ = FlattenParameters(model_->Parameters());
   model_bytes_ = StateBytes(model_->Parameters());
 
-  batchers_.reserve(clients_.size());
-  for (const auto& c : clients_) {
-    batchers_.emplace_back(train_data_, c.train_indices, config_.batch_size,
-                           rng_.Fork());
+  // Legacy mode forks one batcher stream per client here, in client
+  // order — a sequential lineage the goldens pin, which is exactly why
+  // it cannot scale: stream k depends on k forks having happened. Pool
+  // mode derives batcher streams on materialization from the
+  // order-independent MixSeed lineage instead, and builds nothing yet.
+  if (!pool_mode()) {
+    batchers_.reserve(clients_.size());
+    for (const auto& c : clients_) {
+      batchers_.emplace_back(train_data_, c.train_indices, config_.batch_size,
+                             rng_.Fork());
+    }
   }
 
   compressor_ = MakeCompressor(config_.upload_compressor);
   compression_enabled_ = config_.upload_compressor != "none";
-  last_losses_.assign(clients_.size(),
-                      std::numeric_limits<double>::quiet_NaN());
+  if (!pool_mode()) {
+    last_losses_.assign(clients_.size(),
+                        std::numeric_limits<double>::quiet_NaN());
+  }
 
   RFED_CHECK(KnownAggregator(config_.robust.aggregator))
       << "unknown aggregator '" << config_.robust.aggregator
@@ -117,7 +178,7 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
   RFED_CHECK_GE(config_.robust.trim_fraction, 0.0);
   RFED_CHECK_LT(config_.robust.trim_fraction, 0.5);
   RFED_CHECK_GT(config_.robust.clip_multiplier, 0.0);
-  rejection_counts_.assign(clients_.size(), 0);
+  if (!pool_mode()) rejection_counts_.assign(clients_.size(), 0);
   // Eager registration keeps the CSV columns stable whether or not any
   // update is ever quarantined or clipped.
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
@@ -134,11 +195,93 @@ FederatedAlgorithm::FederatedAlgorithm(std::string name, const FlConfig& config,
   // randomness, and the draws are call-order independent.
   compute_model_ = std::make_unique<ComputeTimeModel>(
       config_.sim.compute, config_.seed ^ 0x5caff01d57a66ULL, num_clients());
-  client_busy_.assign(clients_.size(), 0);
+  // Async-only bookkeeping; pool mode forbids async and skips the O(N)
+  // table.
+  if (!pool_mode()) client_busy_.assign(clients_.size(), 0);
 
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
+
+  // Scale gauges exist only on pool/sharded runs, so legacy runs' CSV
+  // columns are byte-unchanged.
+  if (pool_mode() || config_.shard_fanout > 0) {
+    m_shard_count_ = registry.GetGauge("fl.shard_count");
+    m_agg_peak_bytes_ = registry.GetGauge("fl.agg_peak_bytes");
+    m_materialized_clients_ = registry.GetGauge("data.materialized_clients");
+    m_client_state_bytes_ = registry.GetGauge("data.client_state_bytes");
+    m_materialized_clients_->Set(
+        static_cast<double>(materialized_clients()));
+    m_client_state_bytes_->Set(0.0);
+  }
+}
+
+double FederatedAlgorithm::client_weight(int k) const {
+  return client_pool_ != nullptr ? client_pool_->ClientWeight(k)
+                                 : weights_[static_cast<size_t>(k)];
+}
+
+int64_t FederatedAlgorithm::rejection_count(int client) const {
+  if (client_pool_ == nullptr) {
+    return rejection_counts_[static_cast<size_t>(client)];
+  }
+  const auto it = sparse_rejections_.find(client);
+  return it == sparse_rejections_.end() ? 0 : it->second;
+}
+
+const ClientView& FederatedAlgorithm::client_view(int k) const {
+  if (client_pool_ == nullptr) return clients_[static_cast<size_t>(k)];
+  EnsureClientMaterialized(k);
+  return lazy_views_.at(k);
+}
+
+void FederatedAlgorithm::EnsureClientMaterialized(int k) const {
+  if (client_pool_ == nullptr) return;
+  if (lazy_batchers_.find(k) != lazy_batchers_.end()) return;
+  RFED_CHECK_GE(k, 0);
+  RFED_CHECK_LT(k, num_clients());
+  ClientView view;
+  view.train_indices = client_pool_->TrainIndices(k);
+  view.test_indices = client_pool_->TestIndices(k);
+  // The batcher stream is a pure function of (seed, k): materializing a
+  // client in round 40 yields the same stream as materializing it at
+  // startup would have (the lazy-vs-eager differential invariant).
+  Rng batcher_rng(
+      MixSeed(config_.seed, kPoolBatcherLineage, static_cast<uint64_t>(k)));
+  Batcher batcher(train_data_, view.train_indices, config_.batch_size,
+                  batcher_rng);
+  // The batcher copies the train indices (its shuffle mutates them), so
+  // the resident cost is train x2 + test indices plus fixed overhead.
+  lazy_state_bytes_ +=
+      static_cast<int64_t>(2 * view.train_indices.size() +
+                           view.test_indices.size()) *
+          static_cast<int64_t>(sizeof(int)) +
+      static_cast<int64_t>(sizeof(ClientView) + sizeof(Batcher));
+  lazy_views_.emplace(k, std::move(view));
+  lazy_batchers_.emplace(k, std::move(batcher));
+  if (m_materialized_clients_ != nullptr) {
+    m_materialized_clients_->Set(static_cast<double>(lazy_batchers_.size()));
+    m_client_state_bytes_->Set(static_cast<double>(lazy_state_bytes_));
+  }
+}
+
+Batcher& FederatedAlgorithm::BatcherFor(int k) {
+  if (client_pool_ == nullptr) return batchers_[static_cast<size_t>(k)];
+  EnsureClientMaterialized(k);
+  return lazy_batchers_.at(k);
+}
+
+void FederatedAlgorithm::RecordLoss(int client, double loss) {
+  if (client_pool_ == nullptr) {
+    last_losses_[static_cast<size_t>(client)] = loss;
+  } else {
+    sparse_losses_[client] = loss;
+  }
+}
+
+void FederatedAlgorithm::MaterializeAllClients() {
+  RFED_CHECK(pool_mode());
+  for (int k = 0; k < num_clients(); ++k) EnsureClientMaterialized(k);
 }
 
 FeatureModel* FederatedAlgorithm::GlobalModel() {
@@ -150,6 +293,11 @@ std::vector<int> FederatedAlgorithm::SampleClients() {
   const int n = num_clients();
   int k = static_cast<int>(std::lround(config_.sample_ratio * n));
   k = std::clamp(k, 1, n);
+  if (client_pool_ != nullptr) {
+    // O(cohort) Floyd sampling; the sorted cohort doubles as the
+    // canonical shard order.
+    return SparseUniformSelection(n, k, &rng_);
+  }
   if (config_.client_selection == "loss" && k < n) {
     return LossProportionalSelection(last_losses_, k, &rng_);
   }
@@ -175,7 +323,7 @@ Tensor FederatedAlgorithm::CompressUploadedState(const Tensor& state,
 }
 
 std::vector<int> FederatedAlgorithm::CappedIndices(int client) const {
-  const auto& all = clients_[static_cast<size_t>(client)].train_indices;
+  const auto& all = client_view(client).train_indices;
   const int64_t cap = config_.max_examples_per_pass;
   if (cap <= 0 || static_cast<int64_t>(all.size()) <= cap) return all;
   // Deterministic per-client subsample: stable stride over the index list.
@@ -196,7 +344,7 @@ std::pair<Tensor, double> FederatedAlgorithm::LocalTrain(
   auto params = model->Parameters();
   LoadParameters(init_state, params);
   auto optimizer = MakeOptimizer(config_.optimizer, params, config_.lr);
-  Batcher& batcher = batchers_[static_cast<size_t>(client)];
+  Batcher& batcher = BatcherFor(client);
 
   const int steps = LocalSteps(client);
   double loss_sum = 0.0;
@@ -255,19 +403,47 @@ void FederatedAlgorithm::Aggregate(int round, const std::vector<int>& selected,
     global_state_ = RobustCombine(selected, new_states, global_state_);
     return;
   }
-  // The FedAvg weighted mean below is the original accumulation loop,
-  // untouched: its float-op order is pinned by the golden suite.
   const bool scaled = !agg_scale_.empty();
   if (scaled) RFED_CHECK_EQ(agg_scale_.size(), selected.size());
+  if (config_.shard_fanout > 0) {
+    // Hierarchical mean: scaled leaves summed by the canonical pairwise
+    // shard tree, then one division by the total weight. Opt-in — the
+    // result is byte-identical across every power-of-two fanout and
+    // thread count, but not to the flat loop below (different float
+    // association), which is why fanout 0 stays the default.
+    std::vector<float> scales(selected.size());
+    double weight_sum = 0.0;
+    for (size_t i = 0; i < selected.size(); ++i) {
+      double w = client_weight(selected[i]);
+      if (scaled) w *= agg_scale_[i];
+      weight_sum += w;
+      scales[i] = static_cast<float>(w);
+    }
+    RFED_CHECK_GT(weight_sum, 0.0);
+    Tensor next = ShardTreeWeightedSum(new_states, scales,
+                                       config_.shard_fanout, pool_.get());
+    next.MulInPlace(static_cast<float>(1.0 / weight_sum));
+    if (m_shard_count_ != nullptr) {
+      m_shard_count_->Set(static_cast<double>(ShardCount(
+          static_cast<int64_t>(new_states.size()), config_.shard_fanout)));
+      m_agg_peak_bytes_->Set(static_cast<double>(new_states.size()) *
+                             static_cast<double>(global_state_.size()) *
+                             sizeof(float));
+    }
+    global_state_ = std::move(next);
+    return;
+  }
+  // The FedAvg weighted mean below is the original accumulation loop,
+  // untouched: its float-op order is pinned by the golden suite.
   double weight_sum = 0.0;
   for (size_t i = 0; i < selected.size(); ++i) {
-    const double w = weights_[static_cast<size_t>(selected[i])];
+    const double w = client_weight(selected[i]);
     weight_sum += scaled ? w * agg_scale_[i] : w;
   }
   RFED_CHECK_GT(weight_sum, 0.0);
   Tensor next(global_state_.shape());
   for (size_t i = 0; i < selected.size(); ++i) {
-    double w = weights_[static_cast<size_t>(selected[i])];
+    double w = client_weight(selected[i]);
     if (scaled) w *= agg_scale_[i];
     next.Axpy(static_cast<float>(w / weight_sum), new_states[i]);
   }
@@ -281,29 +457,42 @@ Tensor FederatedAlgorithm::RobustCombine(const std::vector<int>& selected,
   if (scaled) RFED_CHECK_EQ(agg_scale_.size(), selected.size());
   std::vector<double> combine_weights(selected.size());
   for (size_t i = 0; i < selected.size(); ++i) {
-    combine_weights[i] = weights_[static_cast<size_t>(selected[i])];
+    combine_weights[i] = client_weight(selected[i]);
     if (scaled) combine_weights[i] *= agg_scale_[i];
   }
   const RobustAggOptions& robust = config_.robust;
+  // Sharded runs cut the per-coordinate statistics into parallel blocks
+  // (fl/shard_agg.h) — byte-identical to the flat rules below for every
+  // fanout and thread count, since coordinates are independent.
+  const bool sharded = config_.shard_fanout > 0;
   if (robust.aggregator == "trimmed_mean") {
-    return CoordinateTrimmedMean(values, combine_weights,
-                                 robust.trim_fraction);
+    return sharded ? ShardedTrimmedMean(values, combine_weights,
+                                        robust.trim_fraction, pool_.get())
+                   : CoordinateTrimmedMean(values, combine_weights,
+                                           robust.trim_fraction);
   }
   if (robust.aggregator == "median") {
-    return CoordinateMedian(values, combine_weights);
+    return sharded ? ShardedMedian(values, combine_weights, pool_.get())
+                   : CoordinateMedian(values, combine_weights);
   }
   RFED_CHECK(robust.aggregator == "norm_clip")
       << "unknown aggregator '" << robust.aggregator << "'";
   NormClipReport report;
-  Tensor out = NormBoundedMean(reference, values, combine_weights,
-                               robust.clip_multiplier, &report);
+  Tensor out =
+      sharded ? ShardedNormBoundedMean(reference, values, combine_weights,
+                                       robust.clip_multiplier, &report,
+                                       pool_.get())
+              : NormBoundedMean(reference, values, combine_weights,
+                                robust.clip_multiplier, &report);
   m_clipped_->Add(report.clipped);
   for (double norm : report.norms) m_update_norm_->Observe(norm);
   return out;
 }
 
 void FederatedAlgorithm::RecordRejection(int client) {
-  const int64_t count = ++rejection_counts_[static_cast<size_t>(client)];
+  const int64_t count = client_pool_ == nullptr
+                            ? ++rejection_counts_[static_cast<size_t>(client)]
+                            : ++sparse_rejections_[client];
   // Lazily registered per-client gauge: the CSV column appears only once
   // a client has actually been rejected, so clean-run CSVs are unchanged.
   obs::MetricsRegistry::Get()
@@ -351,6 +540,9 @@ void FederatedAlgorithm::TrainCohort(int round, const std::vector<int>& cohort,
     obs::TraceSpan trace_span("broadcast");
     ClientWork& w = (*work)[static_cast<size_t>(i)];
     w.client = cohort[static_cast<size_t>(i)];
+    // Pool mode: pin this client's view/batcher now, on the main thread,
+    // so the phase-B workers below only ever read the caches.
+    EnsureClientMaterialized(w.client);
     w.trained = ChargeModelDownload();  // broadcast lost: client sits out
     w.down_ms = network_model_.DownMs(model_bytes_) +
                 channel_.last_latency_ms();
@@ -387,6 +579,16 @@ bool FederatedAlgorithm::UseParallelPath(size_t cohort_size) const {
          SupportsParallelTraining();
 }
 
+bool FederatedAlgorithm::StreamingEligible() const {
+  // Streaming replaces the Aggregate call with a running tree fold, so it
+  // is only sound for algorithms on the default FedAvg mean with no
+  // cohort-wide inputs (robust rules and start losses need every update
+  // in hand). The async policy has its own buffered accumulation.
+  return config_.stream_chunk > 0 && config_.robust.mean() &&
+         SupportsStreamingAggregation() && !RequiresStartLosses() &&
+         config_.sim.mode != SimMode::kAsync;
+}
+
 RoundResult FederatedAlgorithm::RunRound(int round) {
   comm_.BeginRound();
   channel_.BeginRound();
@@ -421,6 +623,14 @@ RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
 
   const bool deadline_mode = config_.sim.mode == SimMode::kDeadline;
   const bool want_start_losses = RequiresStartLosses();
+  // Streaming rounds fold every surviving update straight into an
+  // O(log n) tree accumulator and never materialize new_states; on a
+  // fault-free channel the result is bit-identical to the all-at-once
+  // sharded round (the channel consumes no RNG, compute draws are keyed
+  // per (client, round), and compression forks stay in cohort order).
+  const bool streaming = StreamingEligible();
+  StreamingTreeSum stream_acc;
+  double stream_weight = 0.0;
 
   // Dropout-tolerant round: a client whose model download is lost never
   // trains; a client whose upload is lost — or, in deadline mode, beats
@@ -445,10 +655,10 @@ RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
       max_completion = std::max(max_completion, w.down_ms);
       return;
     }
-    last_losses_[static_cast<size_t>(w.client)] = w.loss;
+    RecordLoss(w.client, w.loss);
     // The weighted mean training loss covers every client that trained,
     // whether or not its update made it back.
-    const double pw = weights_[static_cast<size_t>(w.client)];
+    const double pw = client_weight(w.client);
     trained_weight += pw;
     trained_loss += pw * w.loss;
     // An adversarial client reports a corrupted update in place of its
@@ -484,45 +694,79 @@ RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
     if (!ValidateUpdate(w.client, w.state, uploaded)) return;
     OnClientTrained(round, w.client, w.state);
     survivors.push_back(w.client);
-    new_states.push_back(std::move(uploaded));
+    if (streaming) {
+      // Fold now; the update is never buffered. Leaf scaling and the
+      // weight accumulation mirror the sharded Aggregate exactly.
+      const double wgt = client_weight(w.client);
+      stream_weight += wgt;
+      Tensor leaf = std::move(uploaded);
+      leaf.MulInPlace(static_cast<float>(wgt));
+      stream_acc.Push(std::move(leaf));
+    } else {
+      new_states.push_back(std::move(uploaded));
+    }
     if (want_start_losses) start_losses.push_back(w.start_loss);
   };
 
-  if (UseParallelPath(selected.size())) {
-    std::vector<ClientWork> work;
-    TrainCohort(round, selected, want_start_losses, &work);
-    for (ClientWork& w : work) finish(w);
-  } else {
-    // Sequential interleaved loop, matching the pre-sim simulator
-    // operation-for-operation (and RNG-draw-for-draw): SCAFFOLD's
-    // OnClientTrained updates server state that later clients' training
-    // in the same round observes.
-    for (int k : selected) {
-      ClientWork w;
-      w.client = k;
-      {
-        obs::TraceSpan trace_span("broadcast");
-        w.trained = ChargeModelDownload();  // broadcast lost: sits out
-        w.down_ms =
-            network_model_.DownMs(model_bytes_) + channel_.last_latency_ms();
-        w.compute_ms = compute_model_->SampleMs(k, round, LocalSteps(k));
-      }
-      if (w.trained) {
-        obs::TraceSpan trace_span("local_train");
-        if (want_start_losses) {
-          w.start_loss = EvaluateLocalLoss(k, global_state_);
+  // Streaming rounds walk the cohort in chunks of stream_chunk clients
+  // (train a chunk, fold it, move on); otherwise the whole cohort is one
+  // chunk and the flow below is the original round, byte for byte.
+  const size_t total = selected.size();
+  const size_t chunk_size =
+      streaming ? static_cast<size_t>(config_.stream_chunk) : total;
+  for (size_t begin = 0; begin < total; begin += chunk_size) {
+    const size_t end = std::min(begin + chunk_size, total);
+    const std::vector<int> cohort(selected.begin() + static_cast<int64_t>(begin),
+                                  selected.begin() + static_cast<int64_t>(end));
+    if (UseParallelPath(cohort.size())) {
+      std::vector<ClientWork> work;
+      TrainCohort(round, cohort, want_start_losses, &work);
+      for (ClientWork& w : work) finish(w);
+    } else {
+      // Sequential interleaved loop, matching the pre-sim simulator
+      // operation-for-operation (and RNG-draw-for-draw): SCAFFOLD's
+      // OnClientTrained updates server state that later clients' training
+      // in the same round observes.
+      for (int k : cohort) {
+        ClientWork w;
+        w.client = k;
+        {
+          obs::TraceSpan trace_span("broadcast");
+          w.trained = ChargeModelDownload();  // broadcast lost: sits out
+          w.down_ms =
+              network_model_.DownMs(model_bytes_) + channel_.last_latency_ms();
+          w.compute_ms = compute_model_->SampleMs(k, round, LocalSteps(k));
         }
-        auto [state, loss] = LocalTrain(round, k, global_state_);
-        w.state = std::move(state);
-        w.loss = loss;
+        if (w.trained) {
+          obs::TraceSpan trace_span("local_train");
+          if (want_start_losses) {
+            w.start_loss = EvaluateLocalLoss(k, global_state_);
+          }
+          auto [state, loss] = LocalTrain(round, k, global_state_);
+          w.state = std::move(state);
+          w.loss = loss;
+        }
+        finish(w);
       }
-      finish(w);
     }
   }
 
   if (!survivors.empty()) {
     obs::TraceSpan trace_span("aggregate");
-    Aggregate(round, survivors, new_states, start_losses);
+    if (streaming) {
+      RFED_CHECK_GT(stream_weight, 0.0);
+      Tensor next = stream_acc.Finish();
+      next.MulInPlace(static_cast<float>(1.0 / stream_weight));
+      if (m_shard_count_ != nullptr) {
+        m_shard_count_->Set(static_cast<double>(
+            ShardCount(static_cast<int64_t>(survivors.size()),
+                       config_.shard_fanout)));
+        m_agg_peak_bytes_->Set(static_cast<double>(stream_acc.peak_bytes()));
+      }
+      global_state_ = std::move(next);
+    } else {
+      Aggregate(round, survivors, new_states, start_losses);
+    }
     ++server_version_;
   }
   // If every update was lost the server keeps w_{t+1} = w_t.
@@ -600,7 +844,7 @@ RoundResult FederatedAlgorithm::RunRoundAsync(int round) {
   // arrival at now + download + compute + upload.
   for (ClientWork& w : work) {
     if (!w.trained) continue;
-    last_losses_[static_cast<size_t>(w.client)] = w.loss;
+    RecordLoss(w.client, w.loss);
     // Adversarial corruption at dispatch: global_state_ is the model
     // this client downloaded (the server has not aggregated yet).
     if (adversary_.CorruptsUpdates()) {
@@ -657,7 +901,7 @@ RoundResult FederatedAlgorithm::RunRoundAsync(int round) {
     staleness_sum += static_cast<double>(staleness);
     StalenessHistogram()->Observe(static_cast<double>(staleness));
     completions.push_back(flight.completion_ms);
-    const double pw = weights_[static_cast<size_t>(flight.client)];
+    const double pw = client_weight(flight.client);
     trained_weight += pw;
     trained_loss += pw * flight.loss;
     OnClientTrained(round, flight.client, flight.state);
@@ -700,15 +944,39 @@ void FederatedAlgorithm::SaveRunState(std::vector<uint8_t>* out) const {
       << "cannot checkpoint an async run with updates still in flight";
   CheckpointWriter w(out);
   w.WriteString(name_);
+  // Pool-mode checkpoints are sparse: only the clients materialized so
+  // far have any state worth saving (everything else is re-derivable
+  // from the pool seed). A magic word keeps the two formats from being
+  // confused, and the saved client count pins the pool geometry.
+  if (pool_mode()) {
+    w.WriteU32(kPoolStateMagic);
+    w.WriteI32(num_clients());
+  }
   w.WriteTensor(global_state_);
   w.WriteRng(rng_.SaveState());
-  w.WriteU32(static_cast<uint32_t>(batchers_.size()));
-  for (const Batcher& b : batchers_) {
-    const BatcherState s = b.SaveState();
-    w.WriteU32(static_cast<uint32_t>(s.indices.size()));
-    for (int index : s.indices) w.WriteI32(index);
-    w.WriteU64(s.cursor);
-    w.WriteRng(s.rng);
+  if (pool_mode()) {
+    std::vector<int> ids;
+    ids.reserve(lazy_batchers_.size());
+    for (const auto& [id, batcher] : lazy_batchers_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.WriteU32(static_cast<uint32_t>(ids.size()));
+    for (int id : ids) {
+      w.WriteI32(id);
+      const BatcherState s = lazy_batchers_.at(id).SaveState();
+      w.WriteU32(static_cast<uint32_t>(s.indices.size()));
+      for (int index : s.indices) w.WriteI32(index);
+      w.WriteU64(s.cursor);
+      w.WriteRng(s.rng);
+    }
+  } else {
+    w.WriteU32(static_cast<uint32_t>(batchers_.size()));
+    for (const Batcher& b : batchers_) {
+      const BatcherState s = b.SaveState();
+      w.WriteU32(static_cast<uint32_t>(s.indices.size()));
+      for (int index : s.indices) w.WriteI32(index);
+      w.WriteU64(s.cursor);
+      w.WriteRng(s.rng);
+    }
   }
   const ChannelState ch = channel_.SaveState();
   w.WriteRng(ch.rng);
@@ -723,12 +991,36 @@ void FederatedAlgorithm::SaveRunState(std::vector<uint8_t>* out) const {
   w.WriteI64(comm_.total_up_bytes());
   w.WriteI64(comm_.down_messages());
   w.WriteI64(comm_.up_messages());
-  w.WriteU32(static_cast<uint32_t>(last_losses_.size()));
-  for (double loss : last_losses_) w.WriteDouble(loss);
+  if (pool_mode()) {
+    std::vector<int> loss_ids;
+    loss_ids.reserve(sparse_losses_.size());
+    for (const auto& [id, loss] : sparse_losses_) loss_ids.push_back(id);
+    std::sort(loss_ids.begin(), loss_ids.end());
+    w.WriteU32(static_cast<uint32_t>(loss_ids.size()));
+    for (int id : loss_ids) {
+      w.WriteI32(id);
+      w.WriteDouble(sparse_losses_.at(id));
+    }
+  } else {
+    w.WriteU32(static_cast<uint32_t>(last_losses_.size()));
+    for (double loss : last_losses_) w.WriteDouble(loss);
+  }
   w.WriteDouble(clock_.now_ms());
   w.WriteI32(server_version_);
-  w.WriteU32(static_cast<uint32_t>(rejection_counts_.size()));
-  for (int64_t count : rejection_counts_) w.WriteI64(count);
+  if (pool_mode()) {
+    std::vector<int> rej_ids;
+    rej_ids.reserve(sparse_rejections_.size());
+    for (const auto& [id, count] : sparse_rejections_) rej_ids.push_back(id);
+    std::sort(rej_ids.begin(), rej_ids.end());
+    w.WriteU32(static_cast<uint32_t>(rej_ids.size()));
+    for (int id : rej_ids) {
+      w.WriteI32(id);
+      w.WriteI64(sparse_rejections_.at(id));
+    }
+  } else {
+    w.WriteU32(static_cast<uint32_t>(rejection_counts_.size()));
+    for (int64_t count : rejection_counts_) w.WriteI64(count);
+  }
   SaveExtraState(&w);
 }
 
@@ -738,22 +1030,60 @@ void FederatedAlgorithm::LoadRunState(const std::vector<uint8_t>& blob) {
   RFED_CHECK(saved_name == name_)
       << "checkpoint is for algorithm '" << saved_name << "', not '"
       << name_ << "'";
+  if (pool_mode()) {
+    RFED_CHECK_EQ(r.ReadU32(), kPoolStateMagic)
+        << "checkpoint was not written by a pool-mode run";
+    const int saved_clients = r.ReadI32();
+    RFED_CHECK_EQ(saved_clients, num_clients())
+        << "checkpoint is for a pool of " << saved_clients << " clients";
+    // Re-materialization below rebuilds exactly the saved sparse state.
+    lazy_views_.clear();
+    lazy_batchers_.clear();
+    lazy_state_bytes_ = 0;
+    sparse_losses_.clear();
+    sparse_rejections_.clear();
+  }
   Tensor state = r.ReadTensor();
   RFED_CHECK_EQ(state.size(), global_state_.size())
       << "checkpointed model has a different parameter count";
   global_state_ = std::move(state);
   rng_.LoadState(r.ReadRng());
-  const uint32_t num_batchers = r.ReadU32();
-  RFED_CHECK_EQ(num_batchers, batchers_.size())
-      << "checkpoint is for a different client count";
-  for (Batcher& b : batchers_) {
-    BatcherState s;
-    const uint32_t num_indices = r.ReadU32();
-    s.indices.reserve(num_indices);
-    for (uint32_t i = 0; i < num_indices; ++i) s.indices.push_back(r.ReadI32());
-    s.cursor = r.ReadU64();
-    s.rng = r.ReadRng();
-    b.LoadState(s);
+  if (pool_mode()) {
+    const uint32_t num_saved = r.ReadU32();
+    for (uint32_t i = 0; i < num_saved; ++i) {
+      const int id = r.ReadI32();
+      RFED_CHECK(id >= 0 && id < num_clients())
+          << "checkpoint names client id " << id << " outside the pool of "
+          << num_clients() << " clients";
+      BatcherState s;
+      const uint32_t num_indices = r.ReadU32();
+      s.indices.reserve(num_indices);
+      for (uint32_t j = 0; j < num_indices; ++j) {
+        s.indices.push_back(r.ReadI32());
+      }
+      s.cursor = r.ReadU64();
+      s.rng = r.ReadRng();
+      // Rebuild the view/batcher from the pool, then restore the saved
+      // cursor/rng; Batcher::LoadState aborts if the checkpoint's index
+      // multiset disagrees with this pool's (wrong seed or geometry).
+      EnsureClientMaterialized(id);
+      lazy_batchers_.at(id).LoadState(s);
+    }
+  } else {
+    const uint32_t num_batchers = r.ReadU32();
+    RFED_CHECK_EQ(num_batchers, batchers_.size())
+        << "checkpoint is for a different client count";
+    for (Batcher& b : batchers_) {
+      BatcherState s;
+      const uint32_t num_indices = r.ReadU32();
+      s.indices.reserve(num_indices);
+      for (uint32_t i = 0; i < num_indices; ++i) {
+        s.indices.push_back(r.ReadI32());
+      }
+      s.cursor = r.ReadU64();
+      s.rng = r.ReadRng();
+      b.LoadState(s);
+    }
   }
   ChannelState ch;
   ch.rng = r.ReadRng();
@@ -770,23 +1100,50 @@ void FederatedAlgorithm::LoadRunState(const std::vector<uint8_t>& blob) {
   const int64_t down_msgs = r.ReadI64();
   const int64_t up_msgs = r.ReadI64();
   comm_.Restore(down_bytes, up_bytes, down_msgs, up_msgs);
-  const uint32_t num_losses = r.ReadU32();
-  RFED_CHECK_EQ(num_losses, last_losses_.size())
-      << "checkpoint is for a different client count";
-  for (double& loss : last_losses_) loss = r.ReadDouble();
+  if (pool_mode()) {
+    const uint32_t num_losses = r.ReadU32();
+    for (uint32_t i = 0; i < num_losses; ++i) {
+      const int id = r.ReadI32();
+      RFED_CHECK(id >= 0 && id < num_clients())
+          << "checkpoint names client id " << id << " outside the pool of "
+          << num_clients() << " clients";
+      sparse_losses_[id] = r.ReadDouble();
+    }
+  } else {
+    const uint32_t num_losses = r.ReadU32();
+    RFED_CHECK_EQ(num_losses, last_losses_.size())
+        << "checkpoint is for a different client count";
+    for (double& loss : last_losses_) loss = r.ReadDouble();
+  }
   clock_.AdvanceTo(r.ReadDouble());
   server_version_ = r.ReadI32();
-  const uint32_t num_rejections = r.ReadU32();
-  RFED_CHECK_EQ(num_rejections, rejection_counts_.size())
-      << "checkpoint is for a different client count";
-  for (size_t k = 0; k < rejection_counts_.size(); ++k) {
-    rejection_counts_[k] = r.ReadI64();
-    // Re-publish nonzero reputations so the resumed run's CSV has the
-    // same gauge columns as the uninterrupted one.
-    if (rejection_counts_[k] > 0) {
-      obs::MetricsRegistry::Get()
-          .GetGauge("fl.rejections.c" + std::to_string(k))
-          ->Set(static_cast<double>(rejection_counts_[k]));
+  if (pool_mode()) {
+    const uint32_t num_rejections = r.ReadU32();
+    for (uint32_t i = 0; i < num_rejections; ++i) {
+      const int id = r.ReadI32();
+      RFED_CHECK(id >= 0 && id < num_clients())
+          << "checkpoint names client id " << id << " outside the pool of "
+          << num_clients() << " clients";
+      sparse_rejections_[id] = r.ReadI64();
+      if (sparse_rejections_[id] > 0) {
+        obs::MetricsRegistry::Get()
+            .GetGauge("fl.rejections.c" + std::to_string(id))
+            ->Set(static_cast<double>(sparse_rejections_[id]));
+      }
+    }
+  } else {
+    const uint32_t num_rejections = r.ReadU32();
+    RFED_CHECK_EQ(num_rejections, rejection_counts_.size())
+        << "checkpoint is for a different client count";
+    for (size_t k = 0; k < rejection_counts_.size(); ++k) {
+      rejection_counts_[k] = r.ReadI64();
+      // Re-publish nonzero reputations so the resumed run's CSV has the
+      // same gauge columns as the uninterrupted one.
+      if (rejection_counts_[k] > 0) {
+        obs::MetricsRegistry::Get()
+            .GetGauge("fl.rejections.c" + std::to_string(k))
+            ->Set(static_cast<double>(rejection_counts_[k]));
+      }
     }
   }
   LoadExtraState(&r);

@@ -9,12 +9,14 @@
 #include <vector>
 
 #include "data/batcher.h"
+#include "data/client_pool.h"
 #include "fl/adversary.h"
 #include "fl/channel.h"
 #include "fl/comm.h"
 #include "fl/compression.h"
 #include "fl/types.h"
 #include "nn/models.h"
+#include "obs/metrics.h"
 #include "sim/clock.h"
 #include "sim/compute_model.h"
 #include "sim/event_queue.h"
@@ -25,6 +27,13 @@ namespace rfed {
 
 class CheckpointWriter;
 class CheckpointReader;
+
+/// Seed lineage of pool-mode (lazy) per-client batcher streams: client
+/// k's batcher RNG is Rng(MixSeed(config.seed, kPoolBatcherLineage, k)),
+/// a pure function of the config seed — independent of when, or in which
+/// order, clients are materialized. Public so the differential tests can
+/// reconstruct the exact stream.
+inline constexpr uint64_t kPoolBatcherLineage = 0xba7c4e55eedull;
 
 /// Result of one communication round.
 struct RoundResult {
@@ -71,13 +80,39 @@ class FederatedAlgorithm {
                      const Dataset* train_data,
                      std::vector<ClientView> clients,
                      const ModelFactory& model_factory);
+
+  /// Cross-device (pool) mode: clients are seeded views into a shared
+  /// ClientPool, materialized lazily when first sampled — construction is
+  /// O(1) in the enrolled population and each round costs O(sampled).
+  /// Restrictions: uniform selection and the sync/deadline policies only
+  /// (loss-adaptive selection and the async idle scan are O(N) by
+  /// nature). The pool must outlive the algorithm.
+  FederatedAlgorithm(std::string name, const FlConfig& config,
+                     const ClientPool* pool,
+                     const ModelFactory& model_factory);
   virtual ~FederatedAlgorithm() = default;
 
   FederatedAlgorithm(const FederatedAlgorithm&) = delete;
   FederatedAlgorithm& operator=(const FederatedAlgorithm&) = delete;
 
   const std::string& name() const { return name_; }
-  int num_clients() const { return static_cast<int>(clients_.size()); }
+  int num_clients() const {
+    return client_pool_ != nullptr ? client_pool_->num_clients()
+                                   : static_cast<int>(clients_.size());
+  }
+  /// True when client state is lazily materialized from a ClientPool.
+  bool pool_mode() const { return client_pool_ != nullptr; }
+  /// Number of clients whose view/batcher state is currently resident
+  /// (pool mode; the legacy path keeps every client resident).
+  int materialized_clients() const {
+    return pool_mode() ? static_cast<int>(lazy_batchers_.size())
+                       : num_clients();
+  }
+  /// Pool mode: materializes every client's view and batcher up front,
+  /// turning this instance into the *eager* reference of the
+  /// lazy-vs-eager differential tests. O(N); never called by the
+  /// simulator itself.
+  void MaterializeAllClients();
   const FlConfig& config() const { return config_; }
   const Tensor& global_state() const { return global_state_; }
   CommStats& comm() { return comm_; }
@@ -92,10 +127,13 @@ class FederatedAlgorithm {
   /// The run's adversarial-client fault model (inactive by default).
   const Adversary& adversary() const { return adversary_; }
   /// Per-client count of updates/maps the server quarantined (the
-  /// rejection reputation; all zero on clean runs).
+  /// rejection reputation; all zero on clean runs). Legacy mode only —
+  /// pool mode stores the reputation sparsely (rejection_count below).
   const std::vector<int64_t>& rejection_counts() const {
     return rejection_counts_;
   }
+  /// Rejection reputation of one client; works in both modes.
+  int64_t rejection_count(int client) const;
 
   /// Serializes the run's complete mutable state — global model, every
   /// RNG stream position, batcher cursors, channel/ledger counters,
@@ -195,6 +233,14 @@ class FederatedAlgorithm {
   /// the sequential interleaved path, regardless of config.num_threads.
   virtual bool SupportsParallelTraining() const { return true; }
 
+  /// Whether the streaming/chunked aggregation path (stream_chunk > 0)
+  /// may replace this algorithm's Aggregate call. Only valid for
+  /// algorithms that use the base class's FedAvg weighted mean; any
+  /// subclass overriding Aggregate (q-FedAvg, FedAvgM, FedNova) must
+  /// return false, since streaming folds updates into a running tree sum
+  /// and never materializes the new_states vector their override needs.
+  virtual bool SupportsStreamingAggregation() const { return true; }
+
   // ---- Services for subclasses ----
 
   /// Runs E local steps from `init_state` on `client`; returns the new
@@ -225,11 +271,16 @@ class FederatedAlgorithm {
 
   std::vector<Variable*> Params() { return model_->Parameters(); }
   int64_t model_bytes() const { return model_bytes_; }
+  /// Dense p_k table; legacy mode only (pool mode computes weights O(1)
+  /// per client via client_weight, never materializing the table).
   const std::vector<double>& weights() const { return weights_; }
+  /// FedAvg weight p_k of one client; works in both modes.
+  double client_weight(int k) const;
   const Dataset* train_data() const { return train_data_; }
-  const ClientView& client_view(int k) const {
-    return clients_[static_cast<size_t>(k)];
-  }
+  /// Client k's index view. Pool mode materializes (and caches) it on
+  /// first use — main thread only; worker threads see views the round's
+  /// phase A already pinned.
+  const ClientView& client_view(int k) const;
   Rng* rng() { return &rng_; }
   FeatureModel* raw_model() { return model_.get(); }
   void SetGlobalState(Tensor state) { global_state_ = std::move(state); }
@@ -271,6 +322,13 @@ class FederatedAlgorithm {
   std::vector<int> CappedIndices(int client) const;
 
  private:
+  /// Shared constructor of both modes; exactly one of `clients` / `pool`
+  /// is populated.
+  FederatedAlgorithm(std::string name, const FlConfig& config,
+                     const Dataset* train_data,
+                     std::vector<ClientView> clients, const ClientPool* pool,
+                     const ModelFactory& model_factory);
+
   /// Per-client record of the round's dispatch + local-training phase.
   struct ClientWork {
     int client = -1;
@@ -318,6 +376,23 @@ class FederatedAlgorithm {
   /// registered) `fl.rejections.c<k>` gauge.
   void RecordRejection(int client);
 
+  /// Records `client`'s last local loss (dense table in legacy mode,
+  /// sparse map in pool mode).
+  void RecordLoss(int client, double loss);
+
+  /// Pool mode: materializes and caches client k's view + batcher from
+  /// the pool's keyed streams. Must run on the main thread; phase A of
+  /// each round pins the cohort so phase B workers only read. No-op in
+  /// legacy mode and for already-resident clients.
+  void EnsureClientMaterialized(int k) const;
+
+  /// Client k's batcher (legacy table or lazy pool-mode cache).
+  Batcher& BatcherFor(int k);
+
+  /// True when this barrier round should stream: chunked training with
+  /// the O(log n) tree accumulator in place of the buffered Aggregate.
+  bool StreamingEligible() const;
+
   /// The server-side validation screen: true when `state` and `uploaded`
   /// are both clean (or validation is off), false after quarantining the
   /// update (counter + reputation). Runs before OnClientTrained so a
@@ -330,6 +405,25 @@ class FederatedAlgorithm {
   const Dataset* train_data_;
   std::vector<ClientView> clients_;
   std::vector<double> weights_;  // p_k = n_k / n over all clients
+  // ---- Cross-device (pool) mode ----
+  // Lazily materialized per-client state, keyed by client id. The caches
+  // persist across rounds — a client re-sampled later must resume its own
+  // batcher stream exactly where it left off, as the legacy dense tables
+  // do — so residency grows with the union of sampled clients, not with
+  // the enrolled population. Mutable because materialization happens
+  // behind const accessors (client_view/CappedIndices).
+  const ClientPool* client_pool_ = nullptr;
+  mutable std::unordered_map<int, ClientView> lazy_views_;
+  mutable std::unordered_map<int, Batcher> lazy_batchers_;
+  mutable int64_t lazy_state_bytes_ = 0;  ///< resident view+batcher bytes
+  std::unordered_map<int, double> sparse_losses_;
+  std::unordered_map<int, int64_t> sparse_rejections_;
+  // Scale gauges, registered only in pool/sharded runs so legacy CSV
+  // columns are unchanged.
+  obs::Gauge* m_shard_count_ = nullptr;
+  obs::Gauge* m_agg_peak_bytes_ = nullptr;
+  obs::Gauge* m_materialized_clients_ = nullptr;
+  obs::Gauge* m_client_state_bytes_ = nullptr;
   /// The run's adversarial clients (fl/adversary.h); inert by default.
   Adversary adversary_;
   ModelFactory model_factory_;

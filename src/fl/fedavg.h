@@ -17,6 +17,13 @@ class FedAvg : public FederatedAlgorithm {
          std::vector<ClientView> clients, const ModelFactory& model_factory)
       : FederatedAlgorithm("FedAvg", config, train_data, std::move(clients),
                            model_factory) {}
+
+  /// Pool-mode (cross-device scale) constructor: client views are lazy
+  /// seeded slices of `pool`, materialized per sampled cohort. The pool
+  /// must outlive the algorithm.
+  FedAvg(const FlConfig& config, const ClientPool* pool,
+         const ModelFactory& model_factory)
+      : FederatedAlgorithm("FedAvg", config, pool, model_factory) {}
 };
 
 }  // namespace rfed

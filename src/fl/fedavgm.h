@@ -22,6 +22,9 @@ class FedAvgM : public FederatedAlgorithm {
   double server_momentum() const { return beta_; }
 
  protected:
+  /// The momentum step is not a weighted mean of the uploaded states, so
+  /// the streaming fold cannot reproduce it.
+  bool SupportsStreamingAggregation() const override { return false; }
   void Aggregate(int round, const std::vector<int>& selected,
                  const std::vector<Tensor>& new_states,
                  const std::vector<double>& start_losses) override;

@@ -26,6 +26,9 @@ class FedNova : public FederatedAlgorithm {
 
  protected:
   int LocalSteps(int client) const override;
+  /// Normalized averaging is not a weighted mean of the uploaded states,
+  /// so the streaming fold cannot reproduce it.
+  bool SupportsStreamingAggregation() const override { return false; }
   void Aggregate(int round, const std::vector<int>& selected,
                  const std::vector<Tensor>& new_states,
                  const std::vector<double>& start_losses) override;

@@ -23,6 +23,9 @@ class QFedAvg : public FederatedAlgorithm {
 
  protected:
   bool RequiresStartLosses() const override { return true; }
+  /// Aggregation is not a weighted mean of the uploaded states, so the
+  /// streaming fold cannot reproduce it.
+  bool SupportsStreamingAggregation() const override { return false; }
   void Aggregate(int round, const std::vector<int>& selected,
                  const std::vector<Tensor>& new_states,
                  const std::vector<double>& start_losses) override;

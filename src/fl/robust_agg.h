@@ -83,6 +83,46 @@ Tensor NormBoundedMean(const Tensor& reference,
                        const std::vector<double>& weights,
                        double clip_multiplier, NormClipReport* report);
 
+// ---- Range kernels ----
+// The per-coordinate loops of the rules above restricted to coordinates
+// [lo, hi) of `out`. Coordinates are computed independently, so running
+// disjoint ranges as parallel shard tasks (fl/shard_agg.h) is
+// byte-identical to the flat rules — which are themselves just the
+// [0, size) case of these kernels.
+
+/// Per-side trim count CoordinateTrimmedMean uses for m samples.
+size_t ResolveTrimCount(double trim_fraction, size_t m);
+
+/// Trimmed-mean kernel; `trim` samples fall off each end (already
+/// resolved via ResolveTrimCount by the caller).
+void TrimmedMeanRange(const std::vector<Tensor>& values,
+                      const std::vector<double>& weights, size_t trim,
+                      int64_t lo, int64_t hi, Tensor* out);
+
+/// Weighted-median kernel; `total_weight` is the sum of `weights`.
+void WeightedMedianRange(const std::vector<Tensor>& values,
+                         const std::vector<double>& weights,
+                         double total_weight, int64_t lo, int64_t hi,
+                         Tensor* out);
+
+/// Clipped-mean kernel of NormBoundedMean: out_i += scales[j] *
+/// deltas[j]_i accumulated in j order; `out` must already hold the
+/// reference model over [lo, hi).
+void ClippedMeanRange(const std::vector<Tensor>& deltas,
+                      const std::vector<float>& scales, int64_t lo,
+                      int64_t hi, Tensor* out);
+
+/// Phase 1 of NormBoundedMean: fills `deltas` with values - reference and
+/// returns the per-update clip scales (weights normalized and clipped to
+/// the median-norm bound), populating `report` if non-null. The flat rule
+/// is this followed by ClippedMeanRange over [0, size).
+std::vector<float> NormClipScales(const Tensor& reference,
+                                  const std::vector<Tensor>& values,
+                                  const std::vector<double>& weights,
+                                  double clip_multiplier,
+                                  std::vector<Tensor>* deltas,
+                                  NormClipReport* report);
+
 }  // namespace rfed
 
 #endif  // RFED_FL_ROBUST_AGG_H_

@@ -1,6 +1,8 @@
 #include "fl/selection.h"
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "util/check.h"
@@ -16,6 +18,29 @@ std::vector<int> UniformSelection(int num_clients, int cohort_size,
     return all;
   }
   return rng->SampleWithoutReplacement(num_clients, cohort_size);
+}
+
+std::vector<int> SparseUniformSelection(int num_clients, int cohort_size,
+                                        Rng* rng) {
+  RFED_CHECK_GE(num_clients, cohort_size);
+  std::vector<int> selected;
+  selected.reserve(static_cast<size_t>(cohort_size));
+  if (cohort_size == num_clients) {
+    for (int i = 0; i < num_clients; ++i) selected.push_back(i);
+    return selected;
+  }
+  // Floyd's sampling: for j in [n-k, n), draw t in [0, j]; take t unless
+  // already taken, else take j. Every k-subset is equally likely.
+  std::unordered_set<int> taken;
+  taken.reserve(static_cast<size_t>(cohort_size) * 2);
+  for (int j = num_clients - cohort_size; j < num_clients; ++j) {
+    const int t = rng->UniformInt(j + 1);
+    const int pick = taken.insert(t).second ? t : j;
+    if (pick == j) taken.insert(j);
+    selected.push_back(pick);
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
 }
 
 std::vector<int> LossProportionalSelection(

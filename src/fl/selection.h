@@ -28,6 +28,21 @@ std::vector<int> UniformSelection(int num_clients, int cohort_size, Rng* rng);
 std::vector<int> LossProportionalSelection(
     const std::vector<double>& last_losses, int cohort_size, Rng* rng);
 
+/// Uniform sample of cohort_size distinct clients in O(cohort_size) time
+/// and memory, independent of num_clients — the cross-device path, where
+/// materializing a length-N permutation per round (as UniformSelection
+/// does) would dominate the round at N = 10^6. Uses Robert Floyd's
+/// algorithm; the returned cohort is sorted ascending, which doubles as
+/// the canonical shard order for hierarchical aggregation
+/// (fl/shard_agg.h). Consumes exactly cohort_size UniformInt draws; the
+/// full-cohort case consumes none, mirroring UniformSelection.
+///
+/// Note: the sampled *set* is uniform but the draw sequence differs from
+/// UniformSelection, so this is only used in pool mode (lazy client
+/// state), never on the golden-pinned legacy path.
+std::vector<int> SparseUniformSelection(int num_clients, int cohort_size,
+                                        Rng* rng);
+
 }  // namespace rfed
 
 #endif  // RFED_FL_SELECTION_H_

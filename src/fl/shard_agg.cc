@@ -1,0 +1,223 @@
+#include "fl/shard_agg.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "util/check.h"
+
+namespace rfed {
+namespace {
+
+/// Largest power of two <= x (x >= 1).
+int64_t FloorPow2(int64_t x) {
+  int64_t p = 1;
+  while (p * 2 <= x) p *= 2;
+  return p;
+}
+
+/// Canonical split point of an n-leaf range: the largest power of two
+/// strictly below n.
+int64_t SplitPoint(int64_t n) { return FloorPow2(n - 1); }
+
+/// Canonical reduction of the scaled leaves values[lo, lo + n).
+Tensor ReduceLeaves(const std::vector<Tensor>& values,
+                    const std::vector<float>& scales, int64_t lo,
+                    int64_t n) {
+  if (n == 1) {
+    Tensor leaf = values[static_cast<size_t>(lo)];
+    leaf.MulInPlace(scales[static_cast<size_t>(lo)]);
+    return leaf;
+  }
+  const int64_t h = SplitPoint(n);
+  Tensor left = ReduceLeaves(values, scales, lo, h);
+  const Tensor right = ReduceLeaves(values, scales, lo + h, n - h);
+  left.AddInPlace(right);
+  return left;
+}
+
+/// Canonical reduction of the upper tree over precomputed shard partials.
+/// `shard` indexes partials, `leaf_n` is the number of original leaves
+/// under this range. Because fanout is a power of two, the canonical
+/// split of any range wider than one shard lands on a shard boundary
+/// (SplitPoint(leaf_n) >= fanout and both are powers of two), so this
+/// recursion reproduces the full-leaf tree exactly.
+Tensor ReduceShards(std::vector<Tensor>* partials, int fanout, int64_t shard,
+                    int64_t leaf_n) {
+  if (leaf_n <= fanout) {
+    return std::move((*partials)[static_cast<size_t>(shard)]);
+  }
+  const int64_t h = SplitPoint(leaf_n);
+  Tensor left = ReduceShards(partials, fanout, shard, h);
+  const Tensor right =
+      ReduceShards(partials, fanout, shard + h / fanout, leaf_n - h);
+  left.AddInPlace(right);
+  return left;
+}
+
+/// Cuts [0, size) into roughly even contiguous blocks, one per task.
+std::vector<std::pair<int64_t, int64_t>> CoordinateBlocks(int64_t size,
+                                                          ThreadPool* pool) {
+  const int tasks = pool == nullptr
+                        ? 1
+                        : static_cast<int>(std::min<int64_t>(
+                              size, static_cast<int64_t>(pool->num_threads()) * 4));
+  std::vector<std::pair<int64_t, int64_t>> blocks;
+  const int n = std::max(tasks, 1);
+  blocks.reserve(static_cast<size_t>(n));
+  for (int b = 0; b < n; ++b) {
+    const int64_t lo = size * b / n;
+    const int64_t hi = size * (b + 1) / n;
+    if (lo < hi) blocks.emplace_back(lo, hi);
+  }
+  return blocks;
+}
+
+void RunBlocks(const std::vector<std::pair<int64_t, int64_t>>& blocks,
+               ThreadPool* pool,
+               const std::function<void(int64_t, int64_t)>& fn) {
+  if (pool != nullptr && blocks.size() > 1) {
+    pool->ParallelFor(static_cast<int>(blocks.size()), [&](int b) {
+      fn(blocks[static_cast<size_t>(b)].first,
+         blocks[static_cast<size_t>(b)].second);
+    });
+  } else {
+    for (const auto& [lo, hi] : blocks) fn(lo, hi);
+  }
+}
+
+}  // namespace
+
+bool IsPow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+int ShardCount(int64_t m, int fanout) {
+  RFED_CHECK_GT(m, 0);
+  RFED_CHECK_GT(fanout, 0);
+  return static_cast<int>((m + fanout - 1) / fanout);
+}
+
+Tensor ShardTreeWeightedSum(const std::vector<Tensor>& values,
+                            const std::vector<float>& scales, int fanout,
+                            ThreadPool* pool) {
+  RFED_CHECK(!values.empty());
+  RFED_CHECK_EQ(values.size(), scales.size());
+  RFED_CHECK(IsPow2(fanout)) << "shard fanout must be a power of two, got "
+                             << fanout;
+  const int64_t m = static_cast<int64_t>(values.size());
+  const int shards = ShardCount(m, fanout);
+  std::vector<Tensor> partials(static_cast<size_t>(shards));
+  const auto shard_fn = [&](int s) {
+    const int64_t lo = static_cast<int64_t>(s) * fanout;
+    const int64_t n = std::min<int64_t>(fanout, m - lo);
+    partials[static_cast<size_t>(s)] = ReduceLeaves(values, scales, lo, n);
+  };
+  if (pool != nullptr && shards > 1) {
+    pool->ParallelFor(shards, shard_fn);
+  } else {
+    for (int s = 0; s < shards; ++s) shard_fn(s);
+  }
+  return ReduceShards(&partials, fanout, 0, m);
+}
+
+Tensor PairwiseTreeSum(const std::vector<const Tensor*>& leaves) {
+  RFED_CHECK(!leaves.empty());
+  // Same recursion as ReduceLeaves with unit scales, but over borrowed
+  // tensors so callers need not copy their inputs up front.
+  const std::function<Tensor(int64_t, int64_t)> reduce =
+      [&](int64_t lo, int64_t n) -> Tensor {
+    if (n == 1) return *leaves[static_cast<size_t>(lo)];
+    const int64_t h = SplitPoint(n);
+    Tensor left = reduce(lo, h);
+    const Tensor right = reduce(lo + h, n - h);
+    left.AddInPlace(right);
+    return left;
+  };
+  return reduce(0, static_cast<int64_t>(leaves.size()));
+}
+
+void StreamingTreeSum::Push(Tensor leaf) {
+  if (leaves_ == 0 && stack_.empty()) {
+    tensor_bytes_ = leaf.size() * static_cast<int64_t>(sizeof(float));
+  }
+  peak_bytes_ = std::max(
+      peak_bytes_,
+      static_cast<int64_t>(stack_.size() + 1) * tensor_bytes_);
+  Tensor sum = std::move(leaf);
+  int64_t width = 1;
+  // Binary-counter carry: two equal-width subtrees are adjacent in leaf
+  // order, so older + newer is exactly the canonical pairing.
+  while (!stack_.empty() && stack_.back().width == width) {
+    stack_.back().sum.AddInPlace(sum);
+    sum = std::move(stack_.back().sum);
+    width *= 2;
+    stack_.pop_back();
+  }
+  stack_.push_back(Node{std::move(sum), width});
+  ++leaves_;
+}
+
+Tensor StreamingTreeSum::Finish() {
+  RFED_CHECK(!stack_.empty());
+  // Right-associated fold of the remaining partials (widths descending
+  // from bottom to top of the stack) — the canonical tree of a non-power-
+  // of-two leaf count splits off its largest power of two on the left,
+  // which is exactly this fold.
+  Tensor acc = std::move(stack_.back().sum);
+  stack_.pop_back();
+  while (!stack_.empty()) {
+    stack_.back().sum.AddInPlace(acc);
+    acc = std::move(stack_.back().sum);
+    stack_.pop_back();
+  }
+  leaves_ = 0;
+  return acc;
+}
+
+Tensor ShardedTrimmedMean(const std::vector<Tensor>& values,
+                          const std::vector<double>& weights,
+                          double trim_fraction, ThreadPool* pool) {
+  RFED_CHECK(!values.empty());
+  RFED_CHECK_GE(trim_fraction, 0.0);
+  RFED_CHECK_LT(trim_fraction, 0.5);
+  const size_t trim = ResolveTrimCount(trim_fraction, values.size());
+  Tensor out(values[0].shape());
+  RunBlocks(CoordinateBlocks(out.size(), pool), pool,
+            [&](int64_t lo, int64_t hi) {
+              TrimmedMeanRange(values, weights, trim, lo, hi, &out);
+            });
+  return out;
+}
+
+Tensor ShardedMedian(const std::vector<Tensor>& values,
+                     const std::vector<double>& weights, ThreadPool* pool) {
+  RFED_CHECK(!values.empty());
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+  RFED_CHECK_GT(total_weight, 0.0);
+  Tensor out(values[0].shape());
+  RunBlocks(CoordinateBlocks(out.size(), pool), pool,
+            [&](int64_t lo, int64_t hi) {
+              WeightedMedianRange(values, weights, total_weight, lo, hi, &out);
+            });
+  return out;
+}
+
+Tensor ShardedNormBoundedMean(const Tensor& reference,
+                              const std::vector<Tensor>& values,
+                              const std::vector<double>& weights,
+                              double clip_multiplier, NormClipReport* report,
+                              ThreadPool* pool) {
+  // Phase 1 (per-update norms and clip scales) is sequential and shared
+  // with the flat rule; only the per-coordinate accumulation shards.
+  std::vector<Tensor> deltas;
+  const std::vector<float> scales = NormClipScales(
+      reference, values, weights, clip_multiplier, &deltas, report);
+  Tensor out = reference;
+  RunBlocks(CoordinateBlocks(out.size(), pool), pool,
+            [&](int64_t lo, int64_t hi) {
+              ClippedMeanRange(deltas, scales, lo, hi, &out);
+            });
+  return out;
+}
+
+}  // namespace rfed

@@ -18,6 +18,15 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t MixSeed(uint64_t seed, uint64_t lineage, uint64_t k) {
+  // Three chained splitmix64 steps; each input lands in a separate step so
+  // (seed, lineage, k) triples that differ in any component decorrelate.
+  uint64_t s = seed;
+  uint64_t z = SplitMix64(&s) ^ lineage;
+  z = SplitMix64(&z) ^ k;
+  return SplitMix64(&z);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t s = seed;
   for (auto& word : state_) word = SplitMix64(&s);

@@ -16,6 +16,15 @@ struct RngState {
   double cached_normal = 0.0;
 };
 
+/// Order-independent derivation of a child seed from (seed, lineage, k).
+/// Unlike Rng::Fork(), which advances the parent stream and therefore
+/// depends on how many forks happened before, MixSeed is a pure function:
+/// the k-th client of a lineage gets the same stream no matter which
+/// clients were materialized earlier. This is what lets cross-device runs
+/// construct per-client state lazily (data/client_pool.h, pool-mode
+/// batchers) without keeping 10^6 generators alive.
+uint64_t MixSeed(uint64_t seed, uint64_t lineage, uint64_t k);
+
 /// Deterministic pseudo-random number generator (xoshiro256** seeded via
 /// splitmix64). All stochastic components of the simulator (data synthesis,
 /// partitioning, client sampling, mini-batching, init, DP noise) draw from

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# docs_check.sh <repo_root> <experiment_cli_binary>
+# docs_check.sh <repo_root> <experiment_cli_binary> [build_dir]
 #
-# Two stale-documentation tripwires, run as `ctest -L docs`:
+# Three stale-documentation tripwires, run as `ctest -L docs`:
 #   1. Every relative markdown link in README.md and docs/*.md must
 #      resolve to an existing file or directory.
 #   2. Every `--flag` token mentioned in docs/REPRODUCING.md and
 #      docs/OBSERVABILITY.md must appear in `experiment_cli --help`
 #      (modulo a short whitelist of cmake/ctest flags the docs quote).
+#   3. Every `ctest -L <label>` invocation quoted in README.md or
+#      docs/*.md must name a label registered in the build's test
+#      registry (`ctest --print-labels`), so docs cannot advertise a
+#      label that silently matches zero tests.
 set -u
 
 root="${1:?usage: docs_check.sh <repo_root> <experiment_cli>}"
 cli="${2:?usage: docs_check.sh <repo_root> <experiment_cli>}"
+build="${3:-}"
 failures=0
 
 fail() {
@@ -56,6 +61,24 @@ for doc in "$root"/docs/REPRODUCING.md "$root"/docs/OBSERVABILITY.md; do
     fi
   done
 done
+
+# ---- 3. Stale ctest labels ----
+if [ -n "$build" ]; then
+  labels=$(ctest --test-dir "$build" --print-labels 2>/dev/null |
+           sed -n 's/^  *//p')
+  if [ -z "$labels" ]; then
+    fail "ctest --print-labels returned no labels for $build"
+  fi
+  for doc in "$root"/README.md "$root"/docs/*.md; do
+    [ -f "$doc" ] || continue
+    for label in $(grep -oE 'ctest [^`)]*-L +[A-Za-z0-9_-]+' "$doc" |
+                   sed -E 's/.*-L +//' | sort -u); do
+      if ! printf '%s\n' "$labels" | grep -qx "$label"; then
+        fail "$doc mentions 'ctest -L $label', not a registered test label"
+      fi
+    done
+  done
+fi
 
 if [ "$failures" -gt 0 ]; then
   echo "docs_check: FAILED ($failures problem(s))" >&2
