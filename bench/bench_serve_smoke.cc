@@ -1,0 +1,234 @@
+// Serve-transport benchmark: the full deployment path — RemoteExecutor,
+// framed TCP protocol, worker service loop — exercised in-process with
+// worker threads on localhost sockets, sweeping worker count and
+// pipelining. Reports ms/round and transport throughput; results land in
+// BENCH_serve.json.
+//
+// Usage:
+//   ./build/bench/bench_serve_smoke                  # full sweep
+//   ./build/bench/bench_serve_smoke --out path.json  # custom output
+//   ./build/bench/bench_serve_smoke --smoke          # <2 s gate: one
+//       lockstep and one pipelined loopback round trip must match the
+//       in-process run bit for bit (the `bench_serve_smoke` ctest
+//       target, label "serve")
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "fl/fedavg.h"
+#include "net/socket.h"
+#include "nn/models.h"
+#include "serve/remote_executor.h"
+#include "serve/worker_loop.h"
+#include "util/backoff.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace rfed {
+namespace {
+
+// All processes of a real deployment derive this from the scenario
+// flags; the in-process bench just needs both ends to agree.
+constexpr uint64_t kBenchFingerprint = 0x62656e6368u;  // "bench"
+
+struct BenchData {
+  SyntheticImageData data;
+  std::vector<ClientView> views;
+  ModelFactory factory;
+};
+
+BenchData MakeBenchData(int clients) {
+  Rng rng(3);
+  const ImageProfile profile = MnistLikeProfile();
+  SyntheticImageData data = GenerateImageData(profile, 64 * clients, 64, &rng);
+  ClientSplit split = SimilarityPartition(data.train, clients, 0.0, &rng);
+  ClientSplit test_split = SimilarityPartition(data.test, clients, 0.0, &rng);
+  std::vector<ClientView> views;
+  for (int k = 0; k < clients; ++k) {
+    views.push_back(ClientView{split.client_indices[k],
+                               test_split.client_indices[k]});
+  }
+  MlpConfig mc;
+  mc.in_channels = profile.channels;
+  mc.image_size = profile.image_size;
+  return BenchData{std::move(data), std::move(views), MakeMlpFactory(mc)};
+}
+
+FlConfig BenchConfig() {
+  FlConfig config;
+  config.local_steps = 2;
+  config.batch_size = 8;
+  config.lr = 0.05;
+  config.seed = 3;
+  config.sample_ratio = 1.0;
+  return config;
+}
+
+struct LoopbackResult {
+  Tensor final_state;
+  double total_ms = 0.0;
+  serve::ServeStats stats;
+};
+
+/// Runs `rounds` FedAvg rounds with local training delegated over real
+/// localhost sockets to `num_workers` in-process worker threads.
+LoopbackResult RunLoopback(const BenchData& b, int rounds,
+                           int num_workers, bool pipelined) {
+  const FlConfig config = BenchConfig();
+  FedAvg server(config, &b.data.train, b.views, b.factory);
+  std::vector<uint8_t> state_blob;
+  server.SaveRunState(&state_blob);
+
+  net::TcpListener listener("127.0.0.1", 0);
+  const int port = listener.bound_port();
+  std::vector<std::unique_ptr<FedAvg>> replicas;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < num_workers; ++w) {
+    replicas.push_back(std::make_unique<FedAvg>(config, &b.data.train,
+                                                b.views, b.factory));
+    FedAvg* replica = replicas.back().get();
+    threads.emplace_back([replica, port, w, num_workers] {
+      BackoffPolicy policy;
+      policy.initial_ms = 1.0;
+      policy.max_ms = 10.0;
+      net::TcpConnection conn =
+          net::TcpConnection::ConnectWithRetry("127.0.0.1", port, 100, policy);
+      serve::RunWorkerLoop(replica, &conn, w, num_workers, kBenchFingerprint);
+    });
+  }
+  serve::RemoteExecutor executor(pipelined);
+  executor.AcceptWorkers(&listener, num_workers, kBenchFingerprint,
+                         state_blob);
+  server.set_train_executor(&executor);
+
+  LoopbackResult result;
+  Stopwatch sw;
+  for (int round = 0; round < rounds; ++round) server.RunRound(round);
+  result.total_ms = sw.ElapsedMillis();
+  executor.Shutdown();
+  for (std::thread& t : threads) t.join();
+  result.final_state = server.global_state();
+  result.stats = executor.stats();
+  return result;
+}
+
+Tensor RunInProcess(const BenchData& b, int rounds) {
+  FedAvg algo(BenchConfig(), &b.data.train, b.views, b.factory);
+  for (int round = 0; round < rounds; ++round) algo.RunRound(round);
+  return algo.global_state();
+}
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  if (a.size() != b.size()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (a.at(i) != b.at(i)) return false;
+  }
+  return true;
+}
+
+int Smoke() {
+  // The gate the serve label runs in CI: a lockstep and a pipelined
+  // loopback deployment must both reproduce the in-process trajectory
+  // bit for bit, inside 2 seconds.
+  const int kClients = 4, kRounds = 2;
+  const BenchData b = MakeBenchData(kClients);
+  const Tensor oracle = RunInProcess(b, kRounds);
+  for (const bool pipelined : {false, true}) {
+    const LoopbackResult r =
+        RunLoopback(b, kRounds, /*num_workers=*/1, pipelined);
+    if (!BitIdentical(r.final_state, oracle)) {
+      std::fprintf(stderr, "smoke FAILED: %s loopback diverged from the "
+                           "in-process run\n",
+                   pipelined ? "pipelined" : "lockstep");
+      return 1;
+    }
+    if (r.stats.jobs_sent != r.stats.results_received) {
+      std::fprintf(stderr, "smoke FAILED: %lld jobs but %lld results\n",
+                   static_cast<long long>(r.stats.jobs_sent),
+                   static_cast<long long>(r.stats.results_received));
+      return 1;
+    }
+  }
+  std::printf("smoke OK: lockstep and pipelined loopback match the "
+              "in-process run bitwise\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::string out =
+      flags.GetString("out", smoke ? "" : "BENCH_serve.json");
+  if (smoke) return Smoke();
+
+  const int kClients = 8, kRounds = 3;
+  const BenchData b = MakeBenchData(kClients);
+  const Tensor oracle = RunInProcess(b, kRounds);
+  struct Row {
+    int workers;
+    bool pipelined;
+    LoopbackResult r;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  for (const int workers : {1, 2, 4}) {
+    for (const bool pipelined : {false, true}) {
+      Row row{workers, pipelined,
+              RunLoopback(b, kRounds, workers, pipelined), false};
+      row.identical = BitIdentical(row.r.final_state, oracle);
+      const double mb = static_cast<double>(row.r.stats.bytes_sent +
+                                            row.r.stats.bytes_received) /
+                        (1024.0 * 1024.0);
+      std::printf("workers=%d %-9s  %7.1f ms/round  %6.2f MB moved  "
+                  "%7.1f MB/s  %s\n",
+                  workers, pipelined ? "pipelined" : "lockstep",
+                  row.r.total_ms / kRounds, mb,
+                  mb / (row.r.total_ms / 1000.0),
+                  row.identical ? "trajectory OK" : "TRAJECTORY DIVERGED");
+      rows.push_back(std::move(row));
+    }
+  }
+  int failures = 0;
+  for (const Row& row : rows) failures += row.identical ? 0 : 1;
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
+    std::fprintf(f,
+                 "  \"note\": \"in-process loopback deployments over real "
+                 "localhost sockets; every row must match the in-process "
+                 "trajectory bit for bit\",\n");
+    std::fprintf(f, "  \"cases\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(f,
+                   "    {\"workers\": %d, \"pipelined\": %s, "
+                   "\"ms_per_round\": %.1f, \"bytes_sent\": %lld, "
+                   "\"bytes_received\": %lld, \"identical\": %s}%s\n",
+                   row.workers, row.pipelined ? "true" : "false",
+                   row.r.total_ms / kRounds,
+                   static_cast<long long>(row.r.stats.bytes_sent),
+                   static_cast<long long>(row.r.stats.bytes_received),
+                   row.identical ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rfed
+
+int main(int argc, char** argv) { return rfed::Main(argc, argv); }

@@ -40,14 +40,43 @@ void RFedAvg::OnRoundStart(int round, const std::vector<int>& selected) {
 Variable RFedAvg::ExtraLoss(int client, const ModelOutput& output,
                             const Batch& batch) {
   if (reg_.lambda == 0.0) return Variable();
-  if (!map_received_[static_cast<size_t>(client)]) return Variable();
+  // On a worker replica the context blob carries the delivery flag and
+  // peer maps the server-side store would have provided.
+  const bool received = ctx_active_
+                            ? ctx_received_
+                            : map_received_[static_cast<size_t>(client)] != 0;
+  if (!received) return Variable();
   obs::TraceSpan trace_span("mmd_penalty");
   const Variable& rep =
       reg_.regularize_logits ? output.logits : output.features;
   // r'_k: mean squared MMD against every other client's delayed map.
-  std::vector<Tensor> targets = store_.AllExcept(client);
+  std::vector<Tensor> targets =
+      ctx_active_ ? ctx_targets_ : store_.AllExcept(client);
   Variable r = PairwiseMmdRegularizer(rep, targets);
   return ag::Scale(r, static_cast<float>(reg_.lambda));
+}
+
+void RFedAvg::EncodeTrainContext(int round, int client,
+                                 CheckpointWriter* writer) const {
+  const bool received = map_received_[static_cast<size_t>(client)] != 0;
+  writer->WriteBool(received);
+  if (!received) return;
+  const std::vector<Tensor> targets = store_.AllExcept(client);
+  writer->WriteU32(static_cast<uint32_t>(targets.size()));
+  for (const Tensor& t : targets) writer->WriteTensor(t);
+}
+
+void RFedAvg::DecodeTrainContext(int round, int client,
+                                 CheckpointReader* reader) {
+  ctx_active_ = true;
+  ctx_received_ = reader->ReadBool();
+  ctx_targets_.clear();
+  if (!ctx_received_) return;
+  const uint32_t count = reader->ReadU32();
+  ctx_targets_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ctx_targets_.push_back(reader->ReadTensor());
+  }
 }
 
 void RFedAvg::OnClientTrained(int round, int client, const Tensor& new_state) {

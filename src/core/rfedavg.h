@@ -55,6 +55,14 @@ class RFedAvg : public FederatedAlgorithm {
   /// updates are round-scoped and always empty at a round boundary).
   void SaveExtraState(CheckpointWriter* writer) const override;
   void LoadExtraState(CheckpointReader* reader) override;
+  /// Remote jobs ship what ExtraLoss reads: whether the round's map
+  /// broadcast reached this client and, if it did, the N-1 peer maps
+  /// (the same delayed snapshot every in-process client of the round
+  /// sees — pending updates commit only at round end).
+  void EncodeTrainContext(int round, int client,
+                          CheckpointWriter* writer) const override;
+  void DecodeTrainContext(int round, int client,
+                          CheckpointReader* reader) override;
 
  private:
   RegularizerOptions reg_;
@@ -66,6 +74,11 @@ class RFedAvg : public FederatedAlgorithm {
   /// whose copy was lost trains without the regularizer this round.
   std::vector<char> map_received_;
   Rng noise_rng_;
+  /// Worker-replica state installed by DecodeTrainContext: once active,
+  /// ExtraLoss reads these instead of the (absent) server-side store.
+  bool ctx_active_ = false;
+  bool ctx_received_ = false;
+  std::vector<Tensor> ctx_targets_;
 };
 
 /// rFedAvg+ — Algorithm 2 of the paper. Two modifications: (1) maps are
@@ -101,6 +114,12 @@ class RFedAvgPlus : public FederatedAlgorithm {
   /// Checkpointing: the map store and the DP noise stream.
   void SaveExtraState(CheckpointWriter* writer) const override;
   void LoadExtraState(CheckpointReader* reader) override;
+  /// Remote jobs ship the delivery flag and the leave-one-out mean
+  /// δ̄^{-k} — the only store-derived inputs of ExtraLoss.
+  void EncodeTrainContext(int round, int client,
+                          CheckpointWriter* writer) const override;
+  void DecodeTrainContext(int round, int client,
+                          CheckpointReader* reader) override;
 
  private:
   RegularizerOptions reg_;
@@ -110,6 +129,11 @@ class RFedAvgPlus : public FederatedAlgorithm {
   /// membership control flow is identical to the old flag vector.
   std::unordered_set<int> map_received_;
   Rng noise_rng_;
+  /// Worker-replica state installed by DecodeTrainContext: once active,
+  /// ExtraLoss reads these instead of the (absent) server-side store.
+  bool ctx_active_ = false;
+  bool ctx_received_ = false;
+  Tensor ctx_loo_;
 };
 
 }  // namespace rfed

@@ -52,12 +52,32 @@ void RFedAvgPlus::OnRoundStart(int round, const std::vector<int>& selected) {
 Variable RFedAvgPlus::ExtraLoss(int client, const ModelOutput& output,
                                 const Batch& batch) {
   if (reg_.lambda == 0.0) return Variable();
-  if (map_received_.find(client) == map_received_.end()) return Variable();
+  // On a worker replica the context blob carries the delivery flag and
+  // leave-one-out mean the server-side store would have provided.
+  const bool received =
+      ctx_active_ ? ctx_received_
+                  : map_received_.find(client) != map_received_.end();
+  if (!received) return Variable();
   obs::TraceSpan trace_span("mmd_penalty");
   const Variable& rep =
       reg_.regularize_logits ? output.logits : output.features;
-  Variable r = AveragedMmdRegularizer(rep, store_.LeaveOneOutMean(client));
+  Variable r = AveragedMmdRegularizer(
+      rep, ctx_active_ ? ctx_loo_ : store_.LeaveOneOutMean(client));
   return ag::Scale(r, static_cast<float>(reg_.lambda));
+}
+
+void RFedAvgPlus::EncodeTrainContext(int round, int client,
+                                     CheckpointWriter* writer) const {
+  const bool received = map_received_.find(client) != map_received_.end();
+  writer->WriteBool(received);
+  if (received) writer->WriteTensor(store_.LeaveOneOutMean(client));
+}
+
+void RFedAvgPlus::DecodeTrainContext(int round, int client,
+                                     CheckpointReader* reader) {
+  ctx_active_ = true;
+  ctx_received_ = reader->ReadBool();
+  if (ctx_received_) ctx_loo_ = reader->ReadTensor();
 }
 
 void RFedAvgPlus::OnRoundEnd(int round, const std::vector<int>& selected) {

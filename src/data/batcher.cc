@@ -29,6 +29,15 @@ Batch Batcher::Next() {
   return dataset_->GetBatch(batch_indices);
 }
 
+void Batcher::Skip() {
+  if (cursor_ >= indices_.size()) {
+    cursor_ = 0;
+    rng_.Shuffle(&indices_);
+  }
+  cursor_ =
+      std::min(cursor_ + static_cast<size_t>(batch_size_), indices_.size());
+}
+
 BatcherState Batcher::SaveState() const {
   BatcherState state;
   state.indices = indices_;

@@ -30,6 +30,14 @@ class Batcher {
   /// Next mini-batch, reshuffling at epoch boundaries.
   Batch Next();
 
+  /// Advances the iteration state exactly as one Next() call would —
+  /// same cursor movement, same shuffle-RNG draws at epoch boundaries —
+  /// without materializing the batch. Used when local training is
+  /// delegated to a remote worker: the server keeps its replica of the
+  /// client's sampling stream in lockstep so checkpoints and resumed
+  /// runs stay byte-identical to in-process execution.
+  void Skip();
+
   /// Snapshot / restore of the iteration state (checkpointing). Load
   /// aborts if the state's index multiset does not match this batcher's
   /// client view (wrong client or wrong partition).

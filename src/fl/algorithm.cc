@@ -367,6 +367,52 @@ std::pair<Tensor, double> FederatedAlgorithm::LocalTrain(
   return {FlattenParameters(params), loss_sum / static_cast<double>(steps)};
 }
 
+std::vector<uint8_t> FederatedAlgorithm::EncodeTrainContextFor(
+    int round, int client) const {
+  std::vector<uint8_t> blob;
+  CheckpointWriter writer(&blob);
+  EncodeTrainContext(round, client, &writer);
+  return blob;
+}
+
+void FederatedAlgorithm::ApplyTrainContext(int round, int client,
+                                           const std::vector<uint8_t>& blob) {
+  CheckpointReader reader(blob);
+  DecodeTrainContext(round, client, &reader);
+  RFED_CHECK(reader.AtEnd()) << "trailing bytes in train context for client "
+                             << client;
+}
+
+std::pair<Tensor, double> FederatedAlgorithm::ExecuteLocalTraining(int round,
+                                                                   int client) {
+  RFED_CHECK_GE(client, 0);
+  RFED_CHECK_LT(client, num_clients());
+  return LocalTrain(round, client, global_state_);
+}
+
+void FederatedAlgorithm::SkipLocalBatches(int client) {
+  Batcher& batcher = BatcherFor(client);
+  const int steps = LocalSteps(client);
+  for (int step = 0; step < steps; ++step) batcher.Skip();
+}
+
+std::pair<Tensor, double> FederatedAlgorithm::DispatchTrain(
+    int round, int client, const Tensor& init_state, FeatureModel* model,
+    bool already_submitted) {
+  if (train_executor_ == nullptr) {
+    return LocalTrain(round, client, init_state, model);
+  }
+  if (!already_submitted) {
+    train_executor_->Submit(round, client, init_state,
+                            EncodeTrainContextFor(round, client));
+    // The worker's LocalTrain consumes batches from its replica of this
+    // client's stream; mirror the cursor/shuffle advancement here so the
+    // server's state (and its checkpoints) stay authoritative.
+    SkipLocalBatches(client);
+  }
+  return train_executor_->Collect(round, client);
+}
+
 double FederatedAlgorithm::EvaluateLocalLoss(int client, const Tensor& state,
                                              FeatureModel* model) {
   if (model == nullptr) model = model_.get();
@@ -531,6 +577,7 @@ void FederatedAlgorithm::TrainCohort(int round, const std::vector<int>& cohort,
                                      std::vector<ClientWork>* work) {
   const int n = static_cast<int>(cohort.size());
   work->assign(cohort.size(), ClientWork{});
+  const bool pipelined_remote = UseRemotePipelined(cohort.size());
   // Phase A — broadcasts + virtual-duration draws, sequentially in cohort
   // order: the fault channel's RNG stream must be consumed in a
   // deterministic order, and compute draws are cheap.
@@ -548,6 +595,14 @@ void FederatedAlgorithm::TrainCohort(int round, const std::vector<int>& cohort,
                 channel_.last_latency_ms();
     w.compute_ms =
         compute_model_->SampleMs(w.client, round, LocalSteps(w.client));
+    if (pipelined_remote && w.trained) {
+      // Round pipelining: ship the job as soon as its broadcast clears,
+      // so workers train while the server is still broadcasting to (and
+      // later collecting from) the rest of the cohort.
+      train_executor_->Submit(round, w.client, global_state_,
+                              EncodeTrainContextFor(round, w.client));
+      SkipLocalBatches(w.client);
+    }
   }
   // Phase B — local training. The parallel and sequential paths are
   // bit-identical: each client's randomness lives in its own batcher
@@ -560,7 +615,8 @@ void FederatedAlgorithm::TrainCohort(int round, const std::vector<int>& cohort,
     if (want_start_losses) {
       w.start_loss = EvaluateLocalLoss(w.client, global_state_, model);
     }
-    auto [state, loss] = LocalTrain(round, w.client, global_state_, model);
+    auto [state, loss] = DispatchTrain(round, w.client, global_state_, model,
+                                       pipelined_remote);
     w.state = std::move(state);
     w.loss = loss;
   };
@@ -575,8 +631,18 @@ void FederatedAlgorithm::TrainCohort(int round, const std::vector<int>& cohort,
 }
 
 bool FederatedAlgorithm::UseParallelPath(size_t cohort_size) const {
-  return pool_ != nullptr && pool_->num_threads() > 1 && cohort_size > 1 &&
+  // Remote execution collects on the main thread (TrainExecutor is not
+  // thread-safe); pipelined executors get their concurrency from the
+  // workers instead.
+  return train_executor_ == nullptr && pool_ != nullptr &&
+         pool_->num_threads() > 1 && cohort_size > 1 &&
          SupportsParallelTraining();
+}
+
+bool FederatedAlgorithm::UseRemotePipelined(size_t cohort_size) const {
+  return train_executor_ != nullptr && train_executor_->pipelined() &&
+         cohort_size > 1 && SupportsParallelTraining() &&
+         !config_.fault.enabled();
 }
 
 bool FederatedAlgorithm::StreamingEligible() const {
@@ -718,7 +784,7 @@ RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
     const size_t end = std::min(begin + chunk_size, total);
     const std::vector<int> cohort(selected.begin() + static_cast<int64_t>(begin),
                                   selected.begin() + static_cast<int64_t>(end));
-    if (UseParallelPath(cohort.size())) {
+    if (UseParallelPath(cohort.size()) || UseRemotePipelined(cohort.size())) {
       std::vector<ClientWork> work;
       TrainCohort(round, cohort, want_start_losses, &work);
       for (ClientWork& w : work) finish(w);
@@ -742,7 +808,8 @@ RoundResult FederatedAlgorithm::RunRoundBarrier(int round) {
           if (want_start_losses) {
             w.start_loss = EvaluateLocalLoss(k, global_state_);
           }
-          auto [state, loss] = LocalTrain(round, k, global_state_);
+          auto [state, loss] = DispatchTrain(round, k, global_state_, nullptr,
+                                             /*already_submitted=*/false);
           w.state = std::move(state);
           w.loss = loss;
         }
@@ -991,6 +1058,7 @@ void FederatedAlgorithm::SaveRunState(std::vector<uint8_t>* out) const {
   w.WriteI64(comm_.total_up_bytes());
   w.WriteI64(comm_.down_messages());
   w.WriteI64(comm_.up_messages());
+  w.WriteI64(comm_.wire_overhead_bytes());
   if (pool_mode()) {
     std::vector<int> loss_ids;
     loss_ids.reserve(sparse_losses_.size());
@@ -1099,7 +1167,8 @@ void FederatedAlgorithm::LoadRunState(const std::vector<uint8_t>& blob) {
   const int64_t up_bytes = r.ReadI64();
   const int64_t down_msgs = r.ReadI64();
   const int64_t up_msgs = r.ReadI64();
-  comm_.Restore(down_bytes, up_bytes, down_msgs, up_msgs);
+  const int64_t wire_overhead = r.ReadI64();
+  comm_.Restore(down_bytes, up_bytes, down_msgs, up_msgs, wire_overhead);
   if (pool_mode()) {
     const uint32_t num_losses = r.ReadU32();
     for (uint32_t i = 0; i < num_losses; ++i) {

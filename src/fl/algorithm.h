@@ -35,6 +35,28 @@ class CheckpointReader;
 /// reconstruct the exact stream.
 inline constexpr uint64_t kPoolBatcherLineage = 0xba7c4e55eedull;
 
+/// Seam between the round loop and wherever local training actually
+/// runs. Without an executor the loop calls LocalTrain in process; the
+/// serve layer (src/serve/) installs a RemoteExecutor that ships each
+/// job to an rfed_worker process over TCP. Submit hands over (round,
+/// client, broadcast init state, algorithm context blob); Collect
+/// returns that client's trained flat state and mean local loss. The
+/// round loop submits and collects in cohort order, so an
+/// implementation may treat each destination's jobs as a FIFO. When
+/// pipelined() is true the loop submits a whole cohort before
+/// collecting anything (workers train concurrently, broadcast of later
+/// jobs overlaps the upload tail of earlier ones); otherwise Submit and
+/// Collect strictly alternate, matching the sequential in-process path
+/// operation-for-operation.
+class TrainExecutor {
+ public:
+  virtual ~TrainExecutor() = default;
+  virtual void Submit(int round, int client, const Tensor& init_state,
+                      const std::vector<uint8_t>& context) = 0;
+  virtual std::pair<Tensor, double> Collect(int round, int client) = 0;
+  virtual bool pipelined() const { return false; }
+};
+
 /// Result of one communication round.
 struct RoundResult {
   double train_loss = 0.0;   ///< weighted mean local training loss
@@ -153,6 +175,39 @@ class FederatedAlgorithm {
   /// The scratch model with the *global* state loaded (for evaluation).
   FeatureModel* GlobalModel();
 
+  // ---- Remote execution (src/serve) ----
+
+  /// Installs the executor local training is delegated to (nullptr
+  /// restores in-process training). The server stays authoritative for
+  /// every piece of run state — selection, channel draws, hooks,
+  /// aggregation all still run here, and each delegated client's batcher
+  /// stream is advanced in lockstep via Batcher::Skip — so trajectories
+  /// and checkpoints are byte-identical to in-process execution. The
+  /// executor must outlive the rounds it serves.
+  void set_train_executor(TrainExecutor* executor) {
+    train_executor_ = executor;
+  }
+  TrainExecutor* train_executor() const { return train_executor_; }
+
+  /// Worker-side mirror of one delegated job, used by the rfed_worker
+  /// replica (never by the serving loop itself): install the broadcast
+  /// model, apply the job's context blob, run the local steps.
+  void InstallGlobalState(Tensor state) { SetGlobalState(std::move(state)); }
+
+  /// The EncodeTrainContext hook's output for one job, framed for
+  /// ApplyTrainContext on the worker replica.
+  std::vector<uint8_t> EncodeTrainContextFor(int round, int client) const;
+
+  /// Decodes a context blob written by EncodeTrainContextFor into this
+  /// replica's DecodeTrainContext hook. Aborts on trailing bytes.
+  void ApplyTrainContext(int round, int client,
+                         const std::vector<uint8_t>& blob);
+
+  /// Runs the client's local steps from the installed global state (the
+  /// worker half of a JOB); advances this replica's batcher stream with
+  /// real Next() draws, exactly as the server's Skip() replica does.
+  std::pair<Tensor, double> ExecuteLocalTraining(int round, int client);
+
   /// Executes one communication round, advancing the global model. In
   /// async mode one call == one server update (sim.async_buffer arrivals).
   virtual RoundResult RunRound(int round);
@@ -225,6 +280,18 @@ class FederatedAlgorithm {
   /// Load must read exactly what Save wrote (the blob is length-checked).
   virtual void SaveExtraState(CheckpointWriter* writer) const {}
   virtual void LoadExtraState(CheckpointReader* reader) {}
+
+  /// Serializes the server-side state a remote worker replica needs —
+  /// beyond the broadcast init state itself — before it can run
+  /// LocalTrain for `client` this round: SCAFFOLD's control variates,
+  /// rFedAvg's peer δ maps. The base writes nothing (FedAvg-family
+  /// training depends only on the init state). Decode must read exactly
+  /// what Encode wrote for the same (round, client); ApplyTrainContext
+  /// length-checks the blob.
+  virtual void EncodeTrainContext(int round, int client,
+                                  CheckpointWriter* writer) const {}
+  virtual void DecodeTrainContext(int round, int client,
+                                  CheckpointReader* reader) {}
 
   /// Whether a round's clients may train concurrently. Algorithms whose
   /// OnClientTrained feeds freshly updated server state back into the
@@ -364,6 +431,28 @@ class FederatedAlgorithm {
   /// True when this round should use the phased parallel path.
   bool UseParallelPath(size_t cohort_size) const;
 
+  /// True when a pipelined executor should drive this cohort through the
+  /// phased path (submit everything in phase A, collect in phase B).
+  /// Gated to order-independent algorithms on a fault-free channel: the
+  /// phased path consumes channel RNG in a different order than the
+  /// sequential one, so under faults the loop falls back to strict
+  /// submit/collect lockstep, which matches the sequential trajectory
+  /// draw-for-draw.
+  bool UseRemotePipelined(size_t cohort_size) const;
+
+  /// Runs one client's local training wherever it belongs: LocalTrain in
+  /// process, or Submit+Collect through the installed executor (with the
+  /// server's batcher replica advanced via SkipLocalBatches). Pipelined
+  /// cohorts pass already_submitted = true, having submitted in phase A.
+  std::pair<Tensor, double> DispatchTrain(int round, int client,
+                                          const Tensor& init_state,
+                                          FeatureModel* model,
+                                          bool already_submitted);
+
+  /// Advances `client`'s batcher stream by LocalSteps(client) skipped
+  /// batches — the state mutation LocalTrain would have caused here.
+  void SkipLocalBatches(int client);
+
   /// Lazily builds per-task scratch models for the parallel path.
   void EnsureScratchModels(size_t n);
 
@@ -463,6 +552,9 @@ class FederatedAlgorithm {
   // ---- Parallel local training ----
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<FeatureModel>> scratch_models_;
+
+  // ---- Remote execution ----
+  TrainExecutor* train_executor_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace rfed

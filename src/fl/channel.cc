@@ -48,6 +48,7 @@ FaultChannel::FaultChannel(const FaultOptions& options, uint64_t seed,
   m_timed_out_ = reg.GetCounter("channel.timed_out");
   m_down_bytes_ = reg.GetCounter("comm.down_bytes");
   m_up_bytes_ = reg.GetCounter("comm.up_bytes");
+  m_wire_overhead_ = reg.GetCounter("comm.wire_overhead_bytes");
   RFED_CHECK_GE(options_.drop_prob, 0.0);
   RFED_CHECK_LE(options_.drop_prob, 1.0);
   RFED_CHECK_GE(options_.corrupt_prob, 0.0);
@@ -69,6 +70,15 @@ void FaultChannel::Charge(ChannelDirection direction, int64_t bytes,
     m_up_bytes_->Add(bytes);
   }
   KindBytesCounter(direction, kind)->Add(bytes);
+}
+
+void FaultChannel::ChargeFramed(ChannelDirection direction, int64_t wire_bytes,
+                                const char* kind) {
+  const int64_t overhead = FlMessage::kWireOverheadBytes;
+  RFED_CHECK_GE(wire_bytes, overhead);
+  Charge(direction, wire_bytes - overhead, kind);
+  ledger_->AddWireOverhead(overhead);
+  m_wire_overhead_->Add(overhead);
 }
 
 FaultChannel::Attempt FaultChannel::AttemptOnce(double* latency_ms) {
@@ -156,7 +166,7 @@ std::optional<FlMessage> FaultChannel::Transmit(const FlMessage& message,
   const int64_t bytes = static_cast<int64_t>(wire.size());
   last_latency_ms_ = 0.0;
   if (!options_.enabled()) {
-    Charge(direction, bytes, kind);
+    ChargeFramed(direction, bytes, kind);
     ++stats_.delivered;
     ++stats_.round_delivered;
     m_delivered_->Increment();
@@ -178,7 +188,7 @@ std::optional<FlMessage> FaultChannel::Transmit(const FlMessage& message,
         break;
       }
     }
-    Charge(direction, bytes, kind);
+    ChargeFramed(direction, bytes, kind);  // every attempt occupies the wire
     if (options_.drop_prob > 0.0 && rng_.Uniform() < options_.drop_prob) {
       continue;  // lost in flight; resend after backoff
     }
@@ -209,7 +219,7 @@ std::optional<FlMessage> FaultChannel::Transmit(const FlMessage& message,
     }
     if (options_.duplicate_prob > 0.0 &&
         rng_.Uniform() < options_.duplicate_prob) {
-      Charge(direction, bytes, kind);
+      ChargeFramed(direction, bytes, kind);  // the redundant copy also costs
       ++stats_.duplicated;
       m_duplicated_->Increment();
     }

@@ -161,6 +161,14 @@ class FaultChannel {
 
   void Charge(ChannelDirection direction, int64_t bytes, const char* kind);
 
+  /// Charges one wire attempt of an encoded FlMessage: the payload bytes
+  /// go through Charge(), the fixed framing cost (header + checksum) is
+  /// booked as wire overhead on the ledger and the
+  /// `comm.wire_overhead_bytes` counter instead of being folded into the
+  /// payload totals.
+  void ChargeFramed(ChannelDirection direction, int64_t wire_bytes,
+                    const char* kind);
+
   FaultOptions options_;
   CommStats* ledger_;
   Rng rng_;
@@ -177,6 +185,7 @@ class FaultChannel {
   obs::Counter* m_timed_out_;
   obs::Counter* m_down_bytes_;
   obs::Counter* m_up_bytes_;
+  obs::Counter* m_wire_overhead_;
 };
 
 }  // namespace rfed

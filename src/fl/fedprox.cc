@@ -22,4 +22,9 @@ void FedProx::PostBackward(int client,
   AddProximalToGradients(round_start_state_, mu_, params);
 }
 
+void FedProx::DecodeTrainContext(int round, int client,
+                                 CheckpointReader* reader) {
+  round_start_state_ = global_state();
+}
+
 }  // namespace rfed

@@ -22,6 +22,11 @@ class FedProx : public FederatedAlgorithm {
   void OnRoundStart(int round, const std::vector<int>& selected) override;
   void PostBackward(int client,
                     const std::vector<Variable*>& params) override;
+  /// Remote jobs carry no extra payload: the proximal anchor w_t IS the
+  /// broadcast init state, so the worker replica re-derives it from the
+  /// installed global state.
+  void DecodeTrainContext(int round, int client,
+                          CheckpointReader* reader) override;
 
  private:
   double mu_;

@@ -9,10 +9,10 @@
 namespace rfed {
 namespace {
 
-// Fixed-size prefix: kind, round, sender, payload count (int32 each)
-// plus the payload byte length (int64).
-constexpr size_t kHeaderBytes = 4 * sizeof(int32_t) + sizeof(int64_t);
-constexpr size_t kChecksumBytes = sizeof(uint32_t);
+// Local size_t aliases of the public framing constants.
+constexpr size_t kHeaderBytes = static_cast<size_t>(FlMessage::kHeaderBytes);
+constexpr size_t kChecksumBytes =
+    static_cast<size_t>(FlMessage::kChecksumBytes);
 
 template <typename T>
 void AppendRaw(const T& value, std::vector<uint8_t>* out) {

@@ -35,6 +35,17 @@ struct FlMessage {
   int32_t sender = -1;             ///< client id, -1 for the server
   std::vector<Tensor> payload;
 
+  /// Fixed framing cost of the encoding: the header (kind, round,
+  /// sender, payload count : int32 each, plus payload byte length :
+  /// int64) and the trailing FNV-1a checksum. Exposed so transport
+  /// layers can account framing overhead separately from payload bytes
+  /// (CommStats::AddWireOverhead).
+  static constexpr int64_t kHeaderBytes =
+      static_cast<int64_t>(4 * sizeof(int32_t) + sizeof(int64_t));
+  static constexpr int64_t kChecksumBytes =
+      static_cast<int64_t>(sizeof(uint32_t));
+  static constexpr int64_t kWireOverheadBytes = kHeaderBytes + kChecksumBytes;
+
   /// Serialized size in bytes.
   int64_t EncodedBytes() const;
 

@@ -62,6 +62,22 @@ void Scaffold::OnClientTrained(int round, int client,
   ck = std::move(ck_new);
 }
 
+void Scaffold::EncodeTrainContext(int round, int client,
+                                  CheckpointWriter* writer) const {
+  writer->WriteTensor(global_control_);
+  writer->WriteTensor(client_controls_[static_cast<size_t>(client)]);
+}
+
+void Scaffold::DecodeTrainContext(int round, int client,
+                                  CheckpointReader* reader) {
+  Tensor c = reader->ReadTensor();
+  RFED_CHECK_EQ(c.size(), global_control_.size());
+  global_control_ = std::move(c);
+  Tensor ck = reader->ReadTensor();
+  RFED_CHECK_EQ(ck.size(), global_control_.size());
+  client_controls_[static_cast<size_t>(client)] = std::move(ck);
+}
+
 void Scaffold::SaveExtraState(CheckpointWriter* writer) const {
   writer->WriteTensor(global_control_);
   writer->WriteU32(static_cast<uint32_t>(client_controls_.size()));

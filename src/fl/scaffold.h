@@ -31,6 +31,13 @@ class Scaffold : public FederatedAlgorithm {
   /// beyond the base class (round_start_state_ is round-scoped).
   void SaveExtraState(CheckpointWriter* writer) const override;
   void LoadExtraState(CheckpointReader* reader) override;
+  /// Remote jobs ship the controls PostBackward reads: the *current* c
+  /// (which OnClientTrained refreshes between same-round clients — the
+  /// reason SCAFFOLD is order-dependent) and the client's c_k.
+  void EncodeTrainContext(int round, int client,
+                          CheckpointWriter* writer) const override;
+  void DecodeTrainContext(int round, int client,
+                          CheckpointReader* reader) override;
 
  private:
   Tensor round_start_state_;

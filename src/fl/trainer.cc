@@ -131,14 +131,27 @@ RunHistory FederatedTrainer::Run(int rounds, const RunCheckpoint* resume) {
                      << " acc=" << metrics.test_accuracy;
     }
     history.rounds.push_back(metrics);
-    if (options_.checkpoint_every > 0 && !options_.checkpoint_path.empty() &&
-        (round + 1) % options_.checkpoint_every == 0) {
+    const bool stop_now =
+        options_.stop_requested != nullptr &&
+        options_.stop_requested->load(std::memory_order_relaxed);
+    const bool cadence_hit = options_.checkpoint_every > 0 &&
+                             (round + 1) % options_.checkpoint_every == 0;
+    // A stop request flushes a checkpoint even off-cadence, so a resumed
+    // run continues from exactly the round boundary the signal landed on.
+    if (!options_.checkpoint_path.empty() && (cadence_hit || stop_now)) {
       obs::TraceSpan trace_span("checkpoint");
       RunCheckpoint ck;
       ck.next_round = round + 1;
       ck.history = history;
       algorithm_->SaveRunState(&ck.algorithm_state);
       ck.Save(options_.checkpoint_path);
+    }
+    if (stop_now) {
+      if (options_.verbose) {
+        RFED_LOG(Info) << algorithm_->name() << " stop requested after round "
+                       << round;
+      }
+      break;
     }
   }
   return history;

@@ -1,6 +1,7 @@
 #ifndef RFED_FL_TRAINER_H_
 #define RFED_FL_TRAINER_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,11 @@ struct TrainerOptions {
   /// the uninterrupted run bit-for-bit.
   int checkpoint_every = 0;
   std::string checkpoint_path;
+  /// Graceful shutdown (rfed_server's SIGTERM path): when non-null and set,
+  /// the trainer finishes the round in flight, writes a final checkpoint to
+  /// `checkpoint_path` (if configured), and returns the history so far.
+  /// Resuming that checkpoint reproduces the uninterrupted run bit-for-bit.
+  const std::atomic<bool>* stop_requested = nullptr;
 };
 
 /// Drives a federated algorithm for C rounds against a held-out test set

@@ -1,0 +1,179 @@
+#include "net/socket.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+
+namespace rfed {
+namespace net {
+
+namespace {
+
+/// Resolves host:port to a socket address list (TCP/IPv4-or-v6). The
+/// caller owns the returned list and must freeaddrinfo() it.
+addrinfo* Resolve(const std::string& host, int port, bool passive) {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  addrinfo* result = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int rc = getaddrinfo(host.c_str(), port_text.c_str(), &hints, &result);
+  return rc == 0 ? result : nullptr;
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { Close(); }
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpConnection TcpConnection::Connect(const std::string& host, int port) {
+  addrinfo* addrs = Resolve(host, port, /*passive=*/false);
+  if (addrs == nullptr) return TcpConnection();
+  int fd = -1;
+  for (addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(addrs);
+  if (fd >= 0) {
+    // The protocol is small frames in lockstep; coalescing only adds
+    // latency to every round.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return TcpConnection(fd);
+}
+
+TcpConnection TcpConnection::ConnectWithRetry(const std::string& host,
+                                              int port, int max_attempts,
+                                              const BackoffPolicy& policy) {
+  RFED_CHECK_GE(max_attempts, 1);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    TcpConnection conn = Connect(host, port);
+    if (conn.valid()) return conn;
+    if (attempt + 1 < max_attempts) {
+      const double delay_ms = BackoffDelayMs(policy, attempt, nullptr);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(delay_ms)));
+    }
+  }
+  return TcpConnection();
+}
+
+bool TcpConnection::SendAll(const void* data, size_t length) {
+  if (fd_ < 0) return false;
+  const uint8_t* cursor = static_cast<const uint8_t*>(data);
+  size_t remaining = length;
+  while (remaining > 0) {
+    const ssize_t sent = ::send(fd_, cursor, remaining, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    cursor += sent;
+    remaining -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+int64_t TcpConnection::RecvSome(void* buffer, size_t capacity) {
+  if (fd_ < 0) return -1;
+  while (true) {
+    const ssize_t got = ::recv(fd_, buffer, capacity, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return static_cast<int64_t>(got);
+  }
+}
+
+void TcpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(const std::string& host, int port) {
+  addrinfo* addrs = Resolve(host, port, /*passive=*/true);
+  RFED_CHECK(addrs != nullptr)
+      << "cannot resolve listen address " << host << ":" << port;
+  for (addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd_ < 0) continue;
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd_, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd_);
+    fd_ = -1;
+  }
+  freeaddrinfo(addrs);
+  RFED_CHECK(fd_ >= 0) << "cannot bind " << host << ":" << port << ": "
+                       << std::strerror(errno);
+  RFED_CHECK(::listen(fd_, SOMAXCONN) == 0)
+      << "listen on " << host << ":" << port << " failed: "
+      << std::strerror(errno);
+  sockaddr_storage bound;
+  socklen_t bound_len = sizeof(bound);
+  RFED_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound),
+                           &bound_len) == 0);
+  if (bound.ss_family == AF_INET) {
+    bound_port_ =
+        ntohs(reinterpret_cast<const sockaddr_in*>(&bound)->sin_port);
+  } else {
+    bound_port_ =
+        ntohs(reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port);
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpConnection TcpListener::Accept() {
+  if (fd_ < 0) return TcpConnection();
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0 && errno == EINTR) continue;
+    if (client >= 0) {
+      int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return TcpConnection(client);
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace net
+}  // namespace rfed

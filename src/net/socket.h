@@ -1,0 +1,85 @@
+#ifndef RFED_NET_SOCKET_H_
+#define RFED_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/backoff.h"
+
+namespace rfed {
+namespace net {
+
+/// Move-only owner of a connected TCP stream socket. All operations are
+/// blocking; partial writes are retried internally (SendAll) so callers
+/// reason in whole buffers. Failures return false / -1 rather than
+/// aborting — connection loss is an expected deployment event that the
+/// serve layer turns into a clean shutdown, not a crashed process.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Connects to host:port (numeric IP or resolvable name). Returns an
+  /// invalid connection on any failure.
+  static TcpConnection Connect(const std::string& host, int port);
+
+  /// Connect with deterministic exponential backoff between attempts
+  /// (util/backoff.h, jitter-free so no Rng is consulted). Gives the
+  /// worker a grace window to start before the server is listening —
+  /// and vice versa. Returns an invalid connection after max_attempts
+  /// consecutive failures.
+  static TcpConnection ConnectWithRetry(const std::string& host, int port,
+                                        int max_attempts,
+                                        const BackoffPolicy& policy);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes the whole buffer (looping over short writes, MSG_NOSIGNAL so
+  /// a dead peer yields an error instead of SIGPIPE). False on any error.
+  bool SendAll(const void* data, size_t length);
+
+  /// Reads up to `capacity` bytes. Returns the count read, 0 on orderly
+  /// EOF, -1 on error.
+  int64_t RecvSome(void* buffer, size_t capacity);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket. Construction aborts on bind failure (a server
+/// that cannot claim its endpoint is a configuration error); port 0 asks
+/// the kernel for a free port, readable via bound_port() — the test
+/// harness depends on this to run many servers concurrently.
+class TcpListener {
+ public:
+  TcpListener(const std::string& host, int port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  int bound_port() const { return bound_port_; }
+
+  /// Blocks until a client connects; invalid connection on error.
+  TcpConnection Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int bound_port_ = 0;
+};
+
+}  // namespace net
+}  // namespace rfed
+
+#endif  // RFED_NET_SOCKET_H_

@@ -1,0 +1,75 @@
+#ifndef RFED_SERVE_PROTOCOL_H_
+#define RFED_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/message.h"
+
+namespace rfed {
+namespace serve {
+
+/// Payload bodies of the serve protocol's frames (net/frame.h carries
+/// them). Encoding rides the CheckpointWriter/Reader codec — the same
+/// bounds-checked fixed-width encoding run checkpoints use — and model
+/// tensors travel as embedded FlMessage envelopes, so the bytes a worker
+/// receives are exactly the bytes the simulator's ledger charges for the
+/// corresponding transfer (plus FlMessage framing, accounted separately
+/// as comm.wire_overhead_bytes).
+
+/// Worker -> server, once per connection: who am I, how many peers do I
+/// expect, and a fingerprint of the scenario I was launched with. The
+/// server aborts the handshake on any mismatch — a worker building a
+/// different model would silently corrupt the run.
+struct HelloMessage {
+  int32_t worker_id = 0;
+  int32_t num_workers = 0;
+  uint64_t fingerprint = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static HelloMessage Decode(const std::vector<uint8_t>& payload);
+};
+
+/// Server -> worker, completing the handshake: whether rounds are
+/// pipelined and the algorithm state blob (SaveRunState) the worker
+/// replica restores before serving jobs — this is how resumed runs and
+/// fresh runs alike put every replica at the server's exact RNG/batcher
+/// positions.
+struct HelloAckMessage {
+  bool pipelined = false;
+  std::vector<uint8_t> state;
+
+  std::vector<uint8_t> Encode() const;
+  static HelloAckMessage Decode(const std::vector<uint8_t>& payload);
+};
+
+/// Server -> worker: train `client` for `round`. `context` is the
+/// algorithm's EncodeTrainContextFor blob (SCAFFOLD controls, rFedAvg
+/// maps); `download` is a kModelDownload FlMessage carrying the broadcast
+/// init state.
+struct JobMessage {
+  int32_t round = 0;
+  int32_t client = 0;
+  std::vector<uint8_t> context;
+  FlMessage download;
+
+  std::vector<uint8_t> Encode() const;
+  static JobMessage Decode(const std::vector<uint8_t>& payload);
+};
+
+/// Worker -> server: the trained flat state (kModelUpload FlMessage) and
+/// the mean local loss for one completed job.
+struct ResultMessage {
+  int32_t round = 0;
+  int32_t client = 0;
+  double loss = 0.0;
+  FlMessage upload;
+
+  std::vector<uint8_t> Encode() const;
+  static ResultMessage Decode(const std::vector<uint8_t>& payload);
+};
+
+}  // namespace serve
+}  // namespace rfed
+
+#endif  // RFED_SERVE_PROTOCOL_H_

@@ -1,0 +1,150 @@
+#include "serve/remote_executor.h"
+
+#include <utility>
+
+#include "serve/protocol.h"
+#include "util/check.h"
+
+namespace rfed {
+namespace serve {
+
+RemoteExecutor::~RemoteExecutor() { Shutdown(); }
+
+void RemoteExecutor::AcceptWorkers(net::TcpListener* listener,
+                                   int num_workers, uint64_t fingerprint,
+                                   const std::vector<uint8_t>& state_blob) {
+  RFED_CHECK_GE(num_workers, 1);
+  RFED_CHECK(workers_.empty()) << "AcceptWorkers called twice";
+  workers_.resize(static_cast<size_t>(num_workers));
+  const HelloAckMessage ack{pipelined_, state_blob};
+  const std::vector<uint8_t> ack_payload = ack.Encode();
+  for (int accepted = 0; accepted < num_workers; ++accepted) {
+    net::TcpConnection conn = listener->Accept();
+    RFED_CHECK(conn.valid()) << "accept failed";
+    net::FrameAssembler assembler;
+    net::Frame frame;
+    RFED_CHECK(net::RecvFrame(&conn, &assembler, &frame))
+        << "worker disconnected before HELLO";
+    RFED_CHECK(frame.type == net::FrameType::kHello)
+        << "expected HELLO, got frame type "
+        << static_cast<uint32_t>(frame.type);
+    const HelloMessage hello = HelloMessage::Decode(frame.payload);
+    RFED_CHECK(hello.worker_id >= 0 && hello.worker_id < num_workers)
+        << "worker id " << hello.worker_id << " outside [0, " << num_workers
+        << ")";
+    RFED_CHECK_EQ(hello.num_workers, num_workers)
+        << "worker " << hello.worker_id
+        << " was launched for a different worker count";
+    RFED_CHECK_EQ(hello.fingerprint, fingerprint)
+        << "worker " << hello.worker_id
+        << " was launched with a different scenario";
+    auto& slot = workers_[static_cast<size_t>(hello.worker_id)];
+    RFED_CHECK(slot == nullptr)
+        << "worker id " << hello.worker_id << " connected twice";
+    slot = std::make_unique<Worker>();
+    slot->conn = std::move(conn);
+    slot->assembler = std::move(assembler);
+    RFED_CHECK(net::SendFrame(&slot->conn, net::FrameType::kHelloAck,
+                              ack_payload))
+        << "HELLO_ACK send to worker " << hello.worker_id << " failed";
+    stats_.bytes_sent += static_cast<int64_t>(
+        ack_payload.size() + net::kFrameHeaderBytes + net::kFrameChecksumBytes);
+  }
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->sender = std::thread([this, w] { SenderLoop(w); });
+  }
+}
+
+void RemoteExecutor::SenderLoop(Worker* worker) {
+  while (true) {
+    std::vector<uint8_t> payload;
+    bool is_shutdown = false;
+    {
+      std::unique_lock<std::mutex> lock(worker->mu);
+      worker->cv.wait(lock, [worker] {
+        return !worker->outbox.empty() || worker->closing;
+      });
+      if (worker->outbox.empty()) {
+        is_shutdown = true;
+      } else {
+        payload = std::move(worker->outbox.front());
+        worker->outbox.pop_front();
+      }
+    }
+    if (is_shutdown) {
+      // Best-effort: the worker may already be gone.
+      net::SendFrame(&worker->conn, net::FrameType::kShutdown, {});
+      return;
+    }
+    RFED_CHECK(net::SendFrame(&worker->conn, net::FrameType::kJob, payload))
+        << "JOB send failed: worker connection lost";
+  }
+}
+
+void RemoteExecutor::Submit(int round, int client, const Tensor& init_state,
+                            const std::vector<uint8_t>& context) {
+  RFED_CHECK(!workers_.empty()) << "Submit before AcceptWorkers";
+  JobMessage job;
+  job.round = round;
+  job.client = client;
+  job.context = context;
+  job.download.kind = FlMessage::Kind::kModelDownload;
+  job.download.round = round;
+  job.download.sender = -1;
+  job.download.payload.push_back(init_state);
+  std::vector<uint8_t> payload = job.Encode();
+  stats_.jobs_sent += 1;
+  stats_.bytes_sent += static_cast<int64_t>(
+      payload.size() + net::kFrameHeaderBytes + net::kFrameChecksumBytes);
+  Worker* worker =
+      workers_[static_cast<size_t>(client) % workers_.size()].get();
+  {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    worker->outbox.push_back(std::move(payload));
+  }
+  worker->cv.notify_one();
+}
+
+std::pair<Tensor, double> RemoteExecutor::Collect(int round, int client) {
+  Worker* worker =
+      workers_[static_cast<size_t>(client) % workers_.size()].get();
+  net::Frame frame;
+  RFED_CHECK(net::RecvFrame(&worker->conn, &worker->assembler, &frame))
+      << "worker connection lost while waiting for client " << client
+      << " round " << round;
+  RFED_CHECK(frame.type == net::FrameType::kResult)
+      << "expected RESULT, got frame type "
+      << static_cast<uint32_t>(frame.type);
+  stats_.results_received += 1;
+  stats_.bytes_received += static_cast<int64_t>(
+      frame.payload.size() + net::kFrameHeaderBytes +
+      net::kFrameChecksumBytes);
+  ResultMessage result = ResultMessage::Decode(frame.payload);
+  // Per-worker FIFO: the round loop collects in submit order, so the
+  // next result on this connection must be ours.
+  RFED_CHECK_EQ(result.round, round);
+  RFED_CHECK_EQ(result.client, client);
+  RFED_CHECK(result.upload.kind == FlMessage::Kind::kModelUpload);
+  RFED_CHECK_EQ(result.upload.payload.size(), 1u);
+  return {std::move(result.upload.payload[0]), result.loss};
+}
+
+void RemoteExecutor::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (auto& worker : workers_) {
+    if (worker == nullptr) continue;
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      worker->closing = true;
+    }
+    worker->cv.notify_one();
+  }
+  for (auto& worker : workers_) {
+    if (worker != nullptr && worker->sender.joinable()) worker->sender.join();
+  }
+}
+
+}  // namespace serve
+}  // namespace rfed

@@ -1,0 +1,89 @@
+#ifndef RFED_SERVE_REMOTE_EXECUTOR_H_
+#define RFED_SERVE_REMOTE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fl/algorithm.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace rfed {
+namespace serve {
+
+/// Real-transport byte counters, kept strictly apart from the simulated
+/// CommStats ledger / metrics registry: the sim's accounting is part of
+/// the byte-identical trajectory contract (CSV columns included), while
+/// these numbers depend on how many workers the deployment happens to
+/// use.
+struct ServeStats {
+  int64_t jobs_sent = 0;
+  int64_t results_received = 0;
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+};
+
+/// TrainExecutor shipping each local-training job to an rfed_worker
+/// process over TCP. Clients are statically assigned (client id modulo
+/// the worker count), so a client's jobs always land on the same worker
+/// — its batcher-stream replica there advances in lockstep with the
+/// server's Skip() replica. Each worker connection gets a dedicated
+/// sender thread draining an outbox, which is what makes pipelining
+/// real: a whole cohort's jobs are queued at once and the broadcast of
+/// later jobs overlaps the upload tail of earlier ones, while Collect
+/// blocks on the results in cohort order on the caller's thread.
+class RemoteExecutor : public TrainExecutor {
+ public:
+  explicit RemoteExecutor(bool pipelined) : pipelined_(pipelined) {}
+  ~RemoteExecutor() override;
+
+  /// Accepts `num_workers` connections, validates each HELLO (worker id
+  /// in range and unclaimed, worker count and scenario fingerprint equal
+  /// to ours — a mismatched worker would corrupt the run silently), and
+  /// completes each handshake with HELLO_ACK carrying `state_blob` (the
+  /// algorithm's SaveRunState image every replica restores). Aborts on
+  /// any handshake violation.
+  void AcceptWorkers(net::TcpListener* listener, int num_workers,
+                     uint64_t fingerprint,
+                     const std::vector<uint8_t>& state_blob);
+
+  void Submit(int round, int client, const Tensor& init_state,
+              const std::vector<uint8_t>& context) override;
+  std::pair<Tensor, double> Collect(int round, int client) override;
+  bool pipelined() const override { return pipelined_; }
+
+  /// Sends SHUTDOWN to every worker and joins the sender threads. Called
+  /// automatically by the destructor; idempotent.
+  void Shutdown();
+
+  const ServeStats& stats() const { return stats_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Worker {
+    net::TcpConnection conn;
+    net::FrameAssembler assembler;  ///< receive side (Collect, main thread)
+    std::thread sender;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<uint8_t>> outbox;  ///< encoded JOB payloads
+    bool closing = false;
+  };
+
+  void SenderLoop(Worker* worker);
+
+  bool pipelined_ = false;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  ServeStats stats_;
+  bool shut_down_ = false;
+};
+
+}  // namespace serve
+}  // namespace rfed
+
+#endif  // RFED_SERVE_REMOTE_EXECUTOR_H_

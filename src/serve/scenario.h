@@ -1,0 +1,61 @@
+#ifndef RFED_SERVE_SCENARIO_H_
+#define RFED_SERVE_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/algorithm.h"
+#include "util/flags.h"
+
+namespace rfed {
+namespace serve {
+
+/// A fully constructed experiment: data, partition, model factory and
+/// algorithm, built from command-line flags with exactly the flag
+/// vocabulary, defaults, and construction order of experiment_cli — the
+/// data/partition RNG consumes draws in the identical sequence, so the
+/// same flags produce bit-identical scenarios in the server, in every
+/// worker, and in the in-process oracle the differential tests replay.
+struct Scenario {
+  std::string dataset;
+  std::string method;
+  FlConfig fl;
+  std::unique_ptr<Dataset> train;
+  std::unique_ptr<Dataset> test;
+  std::vector<ClientView> views;
+  ModelFactory factory;
+  std::unique_ptr<FederatedAlgorithm> algorithm;
+
+  int rounds = 0;
+  int eval_every = 1;
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  std::string resume_from;
+  std::string csv_out;
+
+  /// FNV-1a over the canonical "key=value" rendering of every flag that
+  /// shapes the data, model, or trajectory. Workers send it in HELLO;
+  /// the server refuses a handshake whose fingerprint differs from its
+  /// own — two processes disagreeing on any such flag would diverge
+  /// silently mid-run otherwise.
+  uint64_t fingerprint = 0;
+};
+
+/// Builds the scenario from parsed flags. Aborts (RFED_CHECK) on an
+/// unknown dataset/method/mode value.
+Scenario BuildScenario(const FlagParser& flags);
+
+/// The scenario flag names accepted by BuildScenario, for kKnownFlags
+/// unions in the serve binaries.
+const std::vector<std::string>& ScenarioFlagNames();
+
+/// Help text describing the scenario flags (appended to each serve
+/// binary's usage; docs_check greps these --flag tokens).
+const char* ScenarioUsage();
+
+}  // namespace serve
+}  // namespace rfed
+
+#endif  // RFED_SERVE_SCENARIO_H_

@@ -1,0 +1,70 @@
+#include "serve/worker_loop.h"
+
+#include <utility>
+
+#include "net/frame.h"
+#include "serve/protocol.h"
+#include "util/check.h"
+
+namespace rfed {
+namespace serve {
+
+bool RunWorkerLoop(FederatedAlgorithm* algorithm, net::TcpConnection* conn,
+                   int worker_id, int num_workers, uint64_t fingerprint) {
+  RFED_CHECK(algorithm != nullptr);
+  RFED_CHECK(conn->valid());
+  HelloMessage hello;
+  hello.worker_id = worker_id;
+  hello.num_workers = num_workers;
+  hello.fingerprint = fingerprint;
+  if (!net::SendFrame(conn, net::FrameType::kHello, hello.Encode())) {
+    return false;
+  }
+  net::FrameAssembler assembler;
+  net::Frame frame;
+  if (!net::RecvFrame(conn, &assembler, &frame)) return false;
+  RFED_CHECK(frame.type == net::FrameType::kHelloAck)
+      << "expected HELLO_ACK, got frame type "
+      << static_cast<uint32_t>(frame.type);
+  const HelloAckMessage ack = HelloAckMessage::Decode(frame.payload);
+  // Adopt the server's exact run state: every RNG stream position and
+  // batcher cursor, whether the server is fresh or resuming a
+  // checkpoint. From here this replica's streams for the clients it
+  // hosts advance in lockstep with the server's Skip() replicas.
+  algorithm->LoadRunState(ack.state);
+  while (true) {
+    if (!net::RecvFrame(conn, &assembler, &frame)) {
+      // EOF without SHUTDOWN: the server died (or was killed mid-round).
+      // Not an error for the worker — it simply has no more work.
+      return false;
+    }
+    if (frame.type == net::FrameType::kShutdown) return true;
+    RFED_CHECK(frame.type == net::FrameType::kJob)
+        << "expected JOB, got frame type "
+        << static_cast<uint32_t>(frame.type);
+    JobMessage job = JobMessage::Decode(frame.payload);
+    RFED_CHECK_EQ(
+        static_cast<size_t>(job.client) % static_cast<size_t>(num_workers),
+        static_cast<size_t>(worker_id))
+        << "client " << job.client << " routed to the wrong worker";
+    RFED_CHECK_EQ(job.download.payload.size(), 1u);
+    algorithm->InstallGlobalState(std::move(job.download.payload[0]));
+    algorithm->ApplyTrainContext(job.round, job.client, job.context);
+    auto [state, loss] =
+        algorithm->ExecuteLocalTraining(job.round, job.client);
+    ResultMessage result;
+    result.round = job.round;
+    result.client = job.client;
+    result.loss = loss;
+    result.upload.kind = FlMessage::Kind::kModelUpload;
+    result.upload.round = job.round;
+    result.upload.sender = job.client;
+    result.upload.payload.push_back(std::move(state));
+    if (!net::SendFrame(conn, net::FrameType::kResult, result.Encode())) {
+      return false;
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace rfed

@@ -1,0 +1,26 @@
+#ifndef RFED_SERVE_WORKER_LOOP_H_
+#define RFED_SERVE_WORKER_LOOP_H_
+
+#include <cstdint>
+
+#include "fl/algorithm.h"
+#include "net/socket.h"
+
+namespace rfed {
+namespace serve {
+
+/// The rfed_worker service loop: handshakes on `conn` (HELLO carrying
+/// worker_id / num_workers / fingerprint, HELLO_ACK restoring the
+/// server's run state into `algorithm`), then serves JOB frames — install
+/// the broadcast model, apply the context blob, run the local steps,
+/// reply RESULT — until SHUTDOWN or EOF. Returns true on a clean
+/// shutdown, false if the connection died mid-protocol. Also the
+/// in-process loopback harness of the serve tests: it runs unchanged on
+/// a std::thread against a socketpair-like localhost connection.
+bool RunWorkerLoop(FederatedAlgorithm* algorithm, net::TcpConnection* conn,
+                   int worker_id, int num_workers, uint64_t fingerprint);
+
+}  // namespace serve
+}  // namespace rfed
+
+#endif  // RFED_SERVE_WORKER_LOOP_H_

@@ -6,6 +6,23 @@
 
 namespace rfed {
 
+bool ParseHostPort(const std::string& text, HostPort* out) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  const std::string host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  if (port_text.empty() || port_text.size() > 5) return false;
+  int port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') return false;
+    port = port * 10 + (c - '0');
+  }
+  if (port > 65535) return false;
+  out->host = host;
+  out->port = port;
+  return true;
+}
+
 FlagParser::FlagParser(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -47,6 +64,25 @@ bool FlagParser::GetBool(const std::string& key, bool default_value) const {
   auto it = values_.find(key);
   if (it == values_.end()) return default_value;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+HostPort FlagParser::GetHostPort(const std::string& key,
+                                 const std::string& default_value) const {
+  const std::string text = GetString(key, default_value);
+  HostPort hp;
+  RFED_CHECK(ParseHostPort(text, &hp))
+      << "--" << key << " expects host:port with port in [0, 65535], got '"
+      << text << "'";
+  return hp;
+}
+
+int FlagParser::GetIntInRange(const std::string& key, int default_value,
+                              int min_value, int max_value) const {
+  const int value = GetInt(key, default_value);
+  RFED_CHECK(value >= min_value && value <= max_value)
+      << "--" << key << " must be in [" << min_value << ", " << max_value
+      << "], got " << value;
+  return value;
 }
 
 std::vector<std::string> FlagParser::Keys() const {

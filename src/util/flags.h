@@ -7,6 +7,19 @@
 
 namespace rfed {
 
+/// A parsed "host:port" endpoint (the value of --listen / --connect).
+struct HostPort {
+  std::string host;
+  int port = 0;
+};
+
+/// Parses "host:port" into *out. Accepts a non-empty host (no validation
+/// beyond non-emptiness — names resolve at connect time) and an all-digit
+/// port in [0, 65535]; port 0 means "kernel-assigned" for listeners.
+/// Returns false — leaving *out untouched — on a missing colon, empty
+/// host, empty/non-numeric port, or a port out of range.
+bool ParseHostPort(const std::string& text, HostPort* out);
+
 /// Minimal --key=value / --key value command-line parser for the example
 /// binaries and the experiment CLI. Unknown keys are kept and can be
 /// listed, so callers can reject typos explicitly.
@@ -21,6 +34,16 @@ class FlagParser {
   int GetInt(const std::string& key, int default_value) const;
   double GetDouble(const std::string& key, double default_value) const;
   bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Validated accessors for the serve binaries. Both abort (RFED_CHECK)
+  /// with the offending value in the message — a malformed endpoint or an
+  /// out-of-range count is a deployment configuration error, not
+  /// something to limp past.
+  HostPort GetHostPort(const std::string& key,
+                       const std::string& default_value) const;
+  /// GetInt that aborts unless the value lies in [min_value, max_value].
+  int GetIntInRange(const std::string& key, int default_value, int min_value,
+                    int max_value) const;
 
   /// All parsed keys (for validation / usage messages).
   std::vector<std::string> Keys() const;

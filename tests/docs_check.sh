@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # docs_check.sh <repo_root> <experiment_cli_binary> [build_dir]
+#               [rfed_server_binary] [rfed_worker_binary]
 #
-# Three stale-documentation tripwires, run as `ctest -L docs`:
+# Four stale-documentation tripwires, run as `ctest -L docs`:
 #   1. Every relative markdown link in README.md and docs/*.md must
 #      resolve to an existing file or directory.
 #   2. Every `--flag` token mentioned in docs/REPRODUCING.md and
@@ -11,11 +12,16 @@
 #      docs/*.md must name a label registered in the build's test
 #      registry (`ctest --print-labels`), so docs cannot advertise a
 #      label that silently matches zero tests.
+#   4. When the serve binaries are passed, every `--flag` token in
+#      docs/DEPLOYMENT.md must appear in `rfed_server --help` or
+#      `rfed_worker --help`.
 set -u
 
 root="${1:?usage: docs_check.sh <repo_root> <experiment_cli>}"
 cli="${2:?usage: docs_check.sh <repo_root> <experiment_cli>}"
 build="${3:-}"
+server_bin="${4:-}"
+worker_bin="${5:-}"
 failures=0
 
 fail() {
@@ -50,7 +56,7 @@ rm -f /tmp/docs_check_links.$$
 # ---- 2. Stale flag names ----
 help_out=$("$cli" --help 2>&1) || fail "experiment_cli --help exited nonzero"
 # Flags the docs legitimately mention that belong to other tools.
-whitelist="--help --build --output-on-failure --label-regex --test-dir"
+whitelist="--help --build --output-on-failure --label-regex --test-dir --smoke"
 
 for doc in "$root"/docs/REPRODUCING.md "$root"/docs/OBSERVABILITY.md; do
   [ -f "$doc" ] || { fail "missing $doc"; continue; }
@@ -78,6 +84,25 @@ if [ -n "$build" ]; then
       fi
     done
   done
+fi
+
+# ---- 4. Stale deployment flags ----
+if [ -n "$server_bin" ] && [ -n "$worker_bin" ]; then
+  serve_help=$("$server_bin" --help 2>&1) ||
+    fail "rfed_server --help exited nonzero"
+  serve_help="$serve_help
+$("$worker_bin" --help 2>&1)" || fail "rfed_worker --help exited nonzero"
+  doc="$root/docs/DEPLOYMENT.md"
+  if [ ! -f "$doc" ]; then
+    fail "missing $doc"
+  else
+    for flag in $(grep -oE '\-\-[a-z][a-z0-9_-]*' "$doc" | sort -u); do
+      case " $whitelist " in *" $flag "*) continue ;; esac
+      if ! printf '%s\n' "$serve_help" | grep -q -- "$flag"; then
+        fail "$doc mentions $flag, absent from rfed_server/rfed_worker --help"
+      fi
+    done
+  fi
 fi
 
 if [ "$failures" -gt 0 ]; then

@@ -1,0 +1,466 @@
+// Differential tests of the multi-process deployment (docs/DEPLOYMENT.md):
+// rfed_server + rfed_worker processes over localhost TCP must reproduce
+// the in-process simulator byte for byte. The sim-oracle contract: the
+// final model tensors are byte-identical and every per-round CSV column
+// matches exactly, except the process-local compute-effort columns
+// (round_seconds, peak_scratch_bytes, kernel.*) whose values depend on
+// which process happened to run the flops.
+//
+// The oracle replays each scenario with a plain FederatedTrainer in a
+// fork()ed child of this harness (a fresh process keeps the process-global
+// metrics registry clean, so the oracle CSV carries exactly the columns a
+// standalone run would).
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fl/checkpoint.h"
+#include "fl/trainer.h"
+#include "net/socket.h"
+#include "serve/remote_executor.h"
+#include "serve/scenario.h"
+#include "serve/worker_loop.h"
+#include "util/backoff.h"
+#include "util/flags.h"
+
+#ifndef RFED_SERVER_BIN
+#define RFED_SERVER_BIN "rfed_server"
+#endif
+#ifndef RFED_WORKER_BIN
+#define RFED_WORKER_BIN "rfed_worker"
+#endif
+
+namespace rfed {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "serve_test_" + name;
+}
+
+/// The tiny scenario every differential case runs: small enough that a
+/// full server+workers+oracle matrix stays in single-digit seconds, big
+/// enough that every client trains and the model moves each round.
+std::vector<std::string> TinyScenarioFlags(const std::string& method,
+                                           int rounds) {
+  return {"--dataset",        "mnist",  "--model",         "mlp",
+          "--method",         method,   "--clients",       "4",
+          "--rounds",         std::to_string(rounds),
+          "--train_examples", "96",     "--test_examples", "48",
+          "--batch",          "8",      "--local_steps",   "2",
+          "--sample_ratio",   "1.0",    "--eval_every",    "1",
+          "--seed",           "3"};
+}
+
+serve::Scenario BuildFromArgs(const std::vector<std::string>& args) {
+  std::vector<const char*> argv = {"serve_test"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  return serve::BuildScenario(flags);
+}
+
+// ---- subprocess plumbing ----
+
+pid_t Spawn(const std::string& binary, const std::vector<std::string>& args,
+            const std::string& log_path) {
+  pid_t pid = fork();
+  if (pid != 0) return pid;
+  int fd = open(log_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd >= 0) {
+    dup2(fd, 1);
+    dup2(fd, 2);
+    close(fd);
+  }
+  std::vector<std::string> full = {binary};
+  full.insert(full.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  argv.reserve(full.size() + 1);
+  for (std::string& a : full) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  execv(binary.c_str(), argv.data());
+  _exit(127);
+}
+
+/// Waits for `pid` with a deadline; SIGKILLs on timeout. Returns the
+/// exit code, 128+signal for a signalled exit, or -1 on timeout.
+int WaitForExit(pid_t pid, int timeout_ms = 60000) {
+  for (int waited = 0; waited < timeout_ms; waited += 10) {
+    int status = 0;
+    if (waitpid(pid, &status, WNOHANG) == pid) {
+      if (WIFEXITED(status)) return WEXITSTATUS(status);
+      if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+      return -1;
+    }
+    usleep(10 * 1000);
+  }
+  kill(pid, SIGKILL);
+  waitpid(pid, nullptr, 0);
+  return -1;
+}
+
+std::string ReadFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Polls `port_file` (written by rfed_server under --listen port 0)
+/// until it holds the bound port.
+int AwaitPortFile(const std::string& port_file, int timeout_ms = 20000) {
+  for (int waited = 0; waited < timeout_ms; waited += 20) {
+    const std::string text = ReadFileText(port_file);
+    if (!text.empty() && text.find('\n') != std::string::npos) {
+      return std::stoi(text);
+    }
+    usleep(20 * 1000);
+  }
+  return -1;
+}
+
+bool AwaitLogContains(const std::string& log_path, const std::string& needle,
+                      int timeout_ms = 20000) {
+  for (int waited = 0; waited < timeout_ms; waited += 10) {
+    if (ReadFileText(log_path).find(needle) != std::string::npos) return true;
+    usleep(10 * 1000);
+  }
+  return false;
+}
+
+// ---- the sim oracle ----
+
+/// Replays the scenario with the plain in-process trainer in a forked
+/// child (fresh metrics registry), mirroring rfed_server's trainer
+/// options, and writes the oracle CSV + final model.
+void RunOracle(const std::vector<std::string>& args,
+               const std::string& csv_path, const std::string& model_path) {
+  pid_t pid = fork();
+  if (pid == 0) {
+    serve::Scenario scenario = BuildFromArgs(args);
+    TrainerOptions options;
+    options.eval_every = scenario.eval_every;
+    options.eval_max_examples = 400;
+    FederatedTrainer trainer(scenario.algorithm.get(), scenario.test.get(),
+                             options);
+    RunHistory history = trainer.Run(scenario.rounds);
+    SaveHistoryCsv(history, csv_path);
+    SaveTensorToFile(scenario.algorithm->global_state(), model_path);
+    _exit(0);
+  }
+  ASSERT_EQ(WaitForExit(pid), 0) << "oracle run failed";
+}
+
+// ---- masked CSV comparison (the sim-oracle contract) ----
+
+bool MaskedColumn(const std::string& name) {
+  return name == "round_seconds" || name == "peak_scratch_bytes" ||
+         name.rfind("kernel.", 0) == 0;
+}
+
+std::vector<std::vector<std::string>> ParseCsv(const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ls(line);
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    if (!line.empty() && line.back() == ',') cells.push_back("");
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+/// Asserts the two runs agree on every trajectory-bearing cell: the
+/// non-masked column names must match in order, and each of their cells
+/// must be byte-identical. Masked columns are process-local effort
+/// accounting and may differ in value or (for kernel.*) presence.
+void ExpectCsvEquivalent(const std::string& got_path,
+                         const std::string& want_path) {
+  const auto got = ParseCsv(got_path);
+  const auto want = ParseCsv(want_path);
+  ASSERT_GE(got.size(), 2u) << got_path << " is empty";
+  ASSERT_EQ(got.size(), want.size()) << "row count mismatch";
+  std::vector<size_t> got_cols, want_cols;
+  for (size_t c = 0; c < got[0].size(); ++c) {
+    if (!MaskedColumn(got[0][c])) got_cols.push_back(c);
+  }
+  for (size_t c = 0; c < want[0].size(); ++c) {
+    if (!MaskedColumn(want[0][c])) want_cols.push_back(c);
+  }
+  ASSERT_EQ(got_cols.size(), want_cols.size())
+      << "column sets differ: " << got_path << " vs " << want_path;
+  for (size_t k = 0; k < got_cols.size(); ++k) {
+    ASSERT_EQ(got[0][got_cols[k]], want[0][want_cols[k]])
+        << "column name mismatch at index " << k;
+  }
+  for (size_t r = 1; r < got.size(); ++r) {
+    ASSERT_EQ(got[r].size(), got[0].size()) << "ragged row " << r;
+    ASSERT_EQ(want[r].size(), want[0].size()) << "ragged row " << r;
+    for (size_t k = 0; k < got_cols.size(); ++k) {
+      EXPECT_EQ(got[r][got_cols[k]], want[r][want_cols[k]])
+          << "row " << r << " column " << got[0][got_cols[k]];
+    }
+  }
+}
+
+void ExpectFilesIdentical(const std::string& got, const std::string& want) {
+  const std::string a = ReadFileText(got);
+  const std::string b = ReadFileText(want);
+  ASSERT_FALSE(a.empty()) << got << " is empty";
+  EXPECT_TRUE(a == b) << got << " differs from " << want << " ("
+                      << a.size() << " vs " << b.size() << " bytes)";
+}
+
+// ---- the deployment harness ----
+
+struct DeploymentResult {
+  std::string csv;
+  std::string model;
+};
+
+/// Launches rfed_server (+--listen port 0) and `num_workers` rfed_worker
+/// processes over localhost, waits for a clean exit everywhere, and
+/// returns the run's CSV + final-model paths.
+DeploymentResult RunDeployment(const std::string& tag,
+                               const std::vector<std::string>& scenario,
+                               int num_workers, bool pipeline,
+                               std::vector<std::string> extra_server_args =
+                                   {}) {
+  DeploymentResult out;
+  out.csv = TempPath(tag + "_server.csv");
+  out.model = TempPath(tag + "_server.model");
+  const std::string port_file = TempPath(tag + ".port");
+  std::remove(port_file.c_str());
+  std::vector<std::string> server_args = scenario;
+  server_args.insert(server_args.end(),
+                     {"--listen", "127.0.0.1:0", "--port_file", port_file,
+                      "--workers", std::to_string(num_workers), "--pipeline",
+                      pipeline ? "true" : "false", "--csv_out", out.csv,
+                      "--model_out", out.model});
+  server_args.insert(server_args.end(), extra_server_args.begin(),
+                     extra_server_args.end());
+  const pid_t server =
+      Spawn(RFED_SERVER_BIN, server_args, TempPath(tag + "_server.log"));
+  const int port = AwaitPortFile(port_file);
+  EXPECT_GT(port, 0) << "server never published its port";
+  std::vector<pid_t> workers;
+  for (int w = 0; w < num_workers; ++w) {
+    std::vector<std::string> worker_args = scenario;
+    worker_args.insert(worker_args.end(),
+                       {"--connect", "127.0.0.1:" + std::to_string(port),
+                        "--worker_id", std::to_string(w), "--workers",
+                        std::to_string(num_workers)});
+    workers.push_back(Spawn(RFED_WORKER_BIN, worker_args,
+                            TempPath(tag + "_worker" + std::to_string(w) +
+                                     ".log")));
+  }
+  EXPECT_EQ(WaitForExit(server), 0) << "server exited uncleanly; log:\n"
+                                    << ReadFileText(TempPath(tag +
+                                                             "_server.log"));
+  for (int w = 0; w < num_workers; ++w) {
+    EXPECT_EQ(WaitForExit(workers[static_cast<size_t>(w)]), 0)
+        << "worker " << w << " exited uncleanly; log:\n"
+        << ReadFileText(TempPath(tag + "_worker" + std::to_string(w) +
+                                 ".log"));
+  }
+  return out;
+}
+
+// The acceptance matrix: stateless (FedAvg), stateful with control
+// variates (Scaffold), and the paper's flagship (rFedAvg+), each run
+// lockstep and pipelined, always against two workers. One oracle per
+// method — pipelining must not change the trajectory.
+TEST(ServeDifferential, MatrixMatchesOracle) {
+  const struct {
+    const char* method;
+    const char* tag;
+  } kMethods[] = {
+      {"FedAvg", "fedavg"}, {"Scaffold", "scaffold"}, {"rFedAvg+", "rfedavgp"}};
+  for (const auto& m : kMethods) {
+    const std::vector<std::string> scenario = TinyScenarioFlags(m.method, 3);
+    const std::string oracle_csv = TempPath(std::string(m.tag) + "_oracle.csv");
+    const std::string oracle_model =
+        TempPath(std::string(m.tag) + "_oracle.model");
+    RunOracle(scenario, oracle_csv, oracle_model);
+    for (const bool pipeline : {false, true}) {
+      SCOPED_TRACE(std::string(m.method) +
+                   (pipeline ? " pipelined" : " lockstep"));
+      const std::string tag =
+          std::string(m.tag) + (pipeline ? "_pipe" : "_lock");
+      const DeploymentResult run =
+          RunDeployment(tag, scenario, /*num_workers=*/2, pipeline);
+      ExpectCsvEquivalent(run.csv, oracle_csv);
+      ExpectFilesIdentical(run.model, oracle_model);
+    }
+  }
+}
+
+// SIGTERM mid-run flushes an off-cadence checkpoint; a fresh deployment
+// resuming from it reproduces the uninterrupted oracle byte for byte.
+TEST(ServeDifferential, SigtermCheckpointThenResumeMatchesOracle) {
+  const int kRounds = 6;
+  const std::vector<std::string> scenario =
+      TinyScenarioFlags("rFedAvg+", kRounds);
+  const std::string oracle_csv = TempPath("sigterm_oracle.csv");
+  const std::string oracle_model = TempPath("sigterm_oracle.model");
+  RunOracle(scenario, oracle_csv, oracle_model);
+
+  const std::string ck = TempPath("sigterm.ck");
+  std::remove(ck.c_str());
+
+  // Phase 1: deploy, let it pass round 1, SIGTERM the server. It must
+  // finish the round in flight, write the checkpoint, release the
+  // workers, and exit 0.
+  {
+    const std::string port_file = TempPath("sigterm1.port");
+    const std::string server_log = TempPath("sigterm1_server.log");
+    std::remove(port_file.c_str());
+    std::vector<std::string> server_args = scenario;
+    server_args.insert(server_args.end(),
+                       {"--listen", "127.0.0.1:0", "--port_file", port_file,
+                        "--workers", "2", "--checkpoint_path", ck});
+    const pid_t server = Spawn(RFED_SERVER_BIN, server_args, server_log);
+    const int port = AwaitPortFile(port_file);
+    ASSERT_GT(port, 0);
+    std::vector<pid_t> workers;
+    for (int w = 0; w < 2; ++w) {
+      std::vector<std::string> worker_args = scenario;
+      worker_args.insert(worker_args.end(),
+                         {"--connect", "127.0.0.1:" + std::to_string(port),
+                          "--worker_id", std::to_string(w), "--workers",
+                          "2"});
+      workers.push_back(Spawn(RFED_WORKER_BIN, worker_args,
+                              TempPath("sigterm1_worker" +
+                                       std::to_string(w) + ".log")));
+    }
+    ASSERT_TRUE(AwaitLogContains(server_log, " round 1 "))
+        << "server never reached round 1; log:\n" << ReadFileText(server_log);
+    kill(server, SIGTERM);
+    EXPECT_EQ(WaitForExit(server), 0)
+        << "server log:\n" << ReadFileText(server_log);
+    for (pid_t w : workers) EXPECT_EQ(WaitForExit(w), 0);
+    ASSERT_FALSE(ReadFileText(ck).empty())
+        << "no checkpoint written on SIGTERM";
+    const RunCheckpoint saved = RunCheckpoint::Load(ck);
+    EXPECT_GT(saved.next_round, 0);
+    EXPECT_LT(saved.next_round, kRounds)
+        << "server finished before the signal landed — nothing resumed";
+  }
+
+  // Phase 2: a brand-new deployment resumes from the checkpoint; its
+  // full history (checkpointed prefix + resumed rounds) and final model
+  // must match the uninterrupted oracle.
+  const DeploymentResult resumed =
+      RunDeployment("sigterm2", scenario, /*num_workers=*/2,
+                    /*pipeline=*/false, {"--resume_from", ck});
+  ExpectCsvEquivalent(resumed.csv, oracle_csv);
+  ExpectFilesIdentical(resumed.model, oracle_model);
+}
+
+// In-process loopback: RemoteExecutor on the server side, RunWorkerLoop
+// on a std::thread, real localhost sockets in between — the whole serve
+// path under this binary's sanitizers, no fork/exec. Ordering note: the
+// oracle trains first so the process-global metrics registry holds the
+// identical column set when each run's CSV is written.
+TEST(ServeLoopback, InProcessWorkerThreadMatchesOracle) {
+  const std::vector<std::string> flags = TinyScenarioFlags("Scaffold", 3);
+  TrainerOptions options;
+  options.eval_every = 1;
+  options.eval_max_examples = 400;
+
+  serve::Scenario oracle = BuildFromArgs(flags);
+  FederatedTrainer oracle_trainer(oracle.algorithm.get(), oracle.test.get(),
+                                  options);
+  RunHistory oracle_history = oracle_trainer.Run(oracle.rounds);
+
+  serve::Scenario server_side = BuildFromArgs(flags);
+  serve::Scenario worker_side = BuildFromArgs(flags);
+  std::vector<uint8_t> state_blob;
+  server_side.algorithm->SaveRunState(&state_blob);
+
+  net::TcpListener listener("127.0.0.1", 0);
+  const int port = listener.bound_port();
+  std::thread worker([&] {
+    BackoffPolicy policy;
+    policy.initial_ms = 1.0;
+    policy.max_ms = 10.0;
+    net::TcpConnection conn =
+        net::TcpConnection::ConnectWithRetry("127.0.0.1", port, 100, policy);
+    if (!conn.valid()) {
+      ADD_FAILURE() << "worker thread could not connect";
+      return;
+    }
+    EXPECT_TRUE(serve::RunWorkerLoop(worker_side.algorithm.get(), &conn,
+                                     /*worker_id=*/0, /*num_workers=*/1,
+                                     worker_side.fingerprint));
+  });
+  serve::RemoteExecutor executor(/*pipelined=*/true);
+  executor.AcceptWorkers(&listener, /*num_workers=*/1,
+                         server_side.fingerprint, state_blob);
+  server_side.algorithm->set_train_executor(&executor);
+  FederatedTrainer serve_trainer(server_side.algorithm.get(),
+                                 server_side.test.get(), options);
+  RunHistory serve_history = serve_trainer.Run(server_side.rounds);
+  executor.Shutdown();
+  worker.join();
+
+  EXPECT_GT(executor.stats().jobs_sent, 0);
+  EXPECT_EQ(executor.stats().jobs_sent, executor.stats().results_received);
+
+  const std::string oracle_csv = TempPath("loopback_oracle.csv");
+  const std::string serve_csv = TempPath("loopback_serve.csv");
+  SaveHistoryCsv(oracle_history, oracle_csv);
+  SaveHistoryCsv(serve_history, serve_csv);
+  ExpectCsvEquivalent(serve_csv, oracle_csv);
+
+  const std::string oracle_model = TempPath("loopback_oracle.model");
+  const std::string serve_model = TempPath("loopback_serve.model");
+  SaveTensorToFile(oracle.algorithm->global_state(), oracle_model);
+  SaveTensorToFile(server_side.algorithm->global_state(), serve_model);
+  ExpectFilesIdentical(serve_model, oracle_model);
+}
+
+// A worker whose scenario flags differ (here: a different seed) must be
+// rejected at the handshake — the fingerprints disagree, and letting it
+// in would corrupt the run silently.
+TEST(ServeHandshakeDeathTest, FingerprintMismatchAborts) {
+  serve::Scenario ours = BuildFromArgs(TinyScenarioFlags("FedAvg", 2));
+  serve::Scenario theirs = BuildFromArgs(
+      [] {
+        auto f = TinyScenarioFlags("FedAvg", 2);
+        f.back() = "4";  // --seed 4
+        return f;
+      }());
+  ASSERT_NE(ours.fingerprint, theirs.fingerprint);
+  EXPECT_DEATH(
+      {
+        std::vector<uint8_t> blob;
+        ours.algorithm->SaveRunState(&blob);
+        net::TcpListener listener("127.0.0.1", 0);
+        const int port = listener.bound_port();
+        std::thread worker([&] {
+          net::TcpConnection conn =
+              net::TcpConnection::Connect("127.0.0.1", port);
+          serve::RunWorkerLoop(theirs.algorithm.get(), &conn, 0, 1,
+                               theirs.fingerprint);
+        });
+        serve::RemoteExecutor executor(false);
+        executor.AcceptWorkers(&listener, 1, ours.fingerprint, blob);
+        worker.join();
+      },
+      "different scenario");
+}
+
+}  // namespace
+}  // namespace rfed

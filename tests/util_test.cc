@@ -3,12 +3,15 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <initializer_list>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "util/csv_writer.h"
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -222,6 +225,55 @@ TEST(StopwatchTest, ElapsedIsMonotone) {
   const double second = watch.ElapsedSeconds();
   EXPECT_GE(second, first);
   EXPECT_GE(first, 0.0);
+}
+
+FlagParser MakeFlags(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"util_test"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagParserTest, ValidatedAccessorsAcceptGoodValues) {
+  const FlagParser flags =
+      MakeFlags({"--listen", "0.0.0.0:7710", "--workers", "4"});
+  const HostPort listen = flags.GetHostPort("listen", "127.0.0.1:0");
+  EXPECT_EQ(listen.host, "0.0.0.0");
+  EXPECT_EQ(listen.port, 7710);
+  EXPECT_EQ(flags.GetIntInRange("workers", 1, 1, 1024), 4);
+  // Defaults apply when the flag is absent, and are validated too.
+  const HostPort fallback = flags.GetHostPort("connect", "localhost:9");
+  EXPECT_EQ(fallback.host, "localhost");
+  EXPECT_EQ(fallback.port, 9);
+  EXPECT_EQ(flags.GetIntInRange("worker_id", 0, 0, 3), 0);
+}
+
+TEST(FlagParserDeathTest, GetHostPortAbortsOnMalformedEndpoint) {
+  // A malformed endpoint is a deployment configuration error: the
+  // accessor aborts with the offending value rather than limping past.
+  EXPECT_DEATH(MakeFlags({"--listen", "7710"}).GetHostPort("listen",
+                                                           "127.0.0.1:0"),
+               "host:port");
+  EXPECT_DEATH(MakeFlags({"--listen", ":7710"}).GetHostPort("listen",
+                                                            "127.0.0.1:0"),
+               "host:port");
+  EXPECT_DEATH(MakeFlags({"--connect", "host:99999"})
+                   .GetHostPort("connect", "127.0.0.1:0"),
+               "host:port");
+  EXPECT_DEATH(MakeFlags({"--connect", "host:12ab"})
+                   .GetHostPort("connect", "127.0.0.1:0"),
+               "host:port");
+}
+
+TEST(FlagParserDeathTest, GetIntInRangeAbortsOutsideRange) {
+  EXPECT_DEATH(MakeFlags({"--workers", "0"}).GetIntInRange("workers", 1, 1,
+                                                           1024),
+               "must be in");
+  EXPECT_DEATH(MakeFlags({"--workers", "1025"}).GetIntInRange("workers", 1, 1,
+                                                              1024),
+               "must be in");
+  EXPECT_DEATH(MakeFlags({"--worker_id", "4"}).GetIntInRange("worker_id", 0,
+                                                             0, 3),
+               "must be in");
 }
 
 }  // namespace
