@@ -1,10 +1,20 @@
-// Kernel-layer benchmark sweep: times the blocked/threaded kernels
+// Kernel-layer benchmark sweep: times the SIMD blocked/threaded kernels
 // (tensor/kernels.h) against the retained naive references (rfed::ref)
 // on the GEMM and convolution shapes the paper's models actually hit,
 // and writes the table as BENCH_kernels.json (GFLOP/s plus
 // speedup-vs-seed per shape and thread count; see docs/KERNELS.md for
 // how to read it). Every case first asserts the optimized kernel is
-// bit-identical to its reference before any timing.
+// bit-identical to its reference before any timing. Each case is also
+// timed once with the per-shape autotuner live (single thread, enough
+// warmup calls that every shape commits its winning tile before the
+// measured windows), and the committed tile is recorded.
+//
+// Caveat for absolute speedups: the reference baseline is the *fused*
+// canonical reference (std::fmaf per step), which compiles to a libm
+// call in this TU — it is several times slower than the pre-fusion
+// naive loops, so "speedup_vs_seed" overstates the win over historical
+// baselines. Compare absolute "gflops" across BENCH_kernels.json
+// revisions instead; EXPERIMENTS.md tracks those numbers.
 //
 // Usage:
 //   ./build/bench/bench_micro_kernels                  # full sweep
@@ -19,8 +29,10 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "tensor/autotune.h"
 #include "tensor/kernels.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
@@ -246,6 +258,13 @@ struct Result {
   double ref_ms = 0.0;
   double ref_gflops = 0.0;
   std::vector<Timing> opt;
+  // Single-thread timing with the autotuner's committed pick live, plus
+  // that pick when the case maps to one tuned (op, shape) key. Conv
+  // cases tune their inner per-image GEMMs, whose keys are not the
+  // case's own shape, so they record the timing but no tile.
+  Timing tuned{};
+  bool tuned_tile_known = false;
+  TileConfig tuned_tile;
 };
 
 void SetThreads(int threads) {
@@ -262,7 +281,15 @@ void WriteJson(const std::string& path, const std::vector<Result>& results,
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"bench\": \"kernels\",\n");
-  std::fprintf(f, "  \"baseline\": \"rfed::ref (seed naive kernels)\",\n");
+  std::fprintf(f, "  \"baseline\": \"rfed::ref (canonical fused references)\",\n");
+  std::fprintf(f,
+               "  \"baseline_note\": \"the fused ref (std::fmaf per step) is "
+               "several times slower than the pre-fusion naive loops, so "
+               "speedup_vs_seed overstates historical wins; compare absolute "
+               "gflops across revisions\",\n");
+  std::fprintf(f, "  \"isa\": \"%s\",\n", KernelIsaName(ActiveKernelIsa()));
+  std::fprintf(f, "  \"host_hw_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"min_ms_per_timing\": %.0f,\n", min_ms);
   std::fprintf(f, "  \"cases\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
@@ -303,7 +330,19 @@ void WriteJson(const std::string& path, const std::vector<Result>& results,
                    ot.threads, ot.ms, ot.gflops, ot.speedup,
                    t + 1 < r.opt.size() ? "," : "");
     }
-    std::fprintf(f, "      ]\n    }%s\n", i + 1 < results.size() ? "," : "");
+    std::fprintf(f, "      ],\n");
+    std::fprintf(f,
+                 "      \"autotuned\": {\"threads\": 1, \"ms\": %.4f, "
+                 "\"gflops\": %.3f, \"speedup_vs_seed\": %.3f, \"tile\": ",
+                 r.tuned.ms, r.tuned.gflops, r.tuned.speedup);
+    if (r.tuned_tile_known) {
+      std::fprintf(f, "{\"block_m\": %d, \"block_k\": %d, \"block_n\": %d}}\n",
+                   r.tuned_tile.block_m, r.tuned_tile.block_k,
+                   r.tuned_tile.block_n);
+    } else {
+      std::fprintf(f, "null}\n");
+    }
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -345,11 +384,51 @@ int Main(int argc, char** argv) {
       t.speedup = r.ref_ms / t.ms;
       r.opt.push_back(t);
     }
+    // Autotuned single-thread timing: fresh tuner, one sample per
+    // candidate, and enough warmup calls that every (op, shape) this
+    // case touches commits before the measured windows (pure GEMM cases
+    // touch one key; conv cases commit during their first call, which
+    // runs a whole batch of identically-shaped inner GEMMs).
+    {
+      SetThreads(1);
+      AutotuneConfig tune;
+      tune.enabled = true;
+      tune.samples_per_candidate = 1;
+      SetAutotuneConfig(tune);
+      ResetAutotuneForTest();
+      const size_t warmups =
+          2 + AutotuneCandidates(AutotuneOp::kGemmAdd).size() +
+          AutotuneCandidates(AutotuneOp::kGemmTransB).size();
+      for (size_t i = 0; i < warmups; ++i) wb.Run(c, true);
+      r.tuned.threads = 1;
+      r.tuned.ms = TimeMs([&] { wb.Run(c, true); }, min_ms);
+      r.tuned.gflops = flops / (r.tuned.ms * 1e6);
+      r.tuned.speedup = r.ref_ms / r.tuned.ms;
+      // Read the committed pick back for the single-key GEMM cases.
+      const char* isa = KernelIsaName(ActiveKernelIsa());
+      AutotuneTrial trial = 1;
+      if (c.kind == Kind::kGemmAdd) {
+        r.tuned_tile =
+            AutotunePick(AutotuneOp::kGemmAdd, isa, c.m, c.k, c.n, &trial);
+      } else if (c.kind == Kind::kGemmTransA) {
+        // TransA transposes then runs GemmAdd on (k, m, n).
+        r.tuned_tile =
+            AutotunePick(AutotuneOp::kGemmAdd, isa, c.k, c.m, c.n, &trial);
+      } else if (c.kind == Kind::kGemmTransB) {
+        r.tuned_tile =
+            AutotunePick(AutotuneOp::kGemmTransB, isa, c.m, c.n, c.k, &trial);
+      }
+      r.tuned_tile_known =
+          c.kind != Kind::kConvFwd && c.kind != Kind::kConvBwd && trial == 0;
+      SetAutotuneConfig(AutotuneConfig{});
+      ResetAutotuneForTest();
+    }
     std::printf("%-18s %-18s ref %8.3f ms (%6.2f GF/s)", c.name,
                 KindName(c.kind), r.ref_ms, r.ref_gflops);
     for (const Timing& t : r.opt) {
       std::printf("  t%d %8.3f ms (%5.2fx)", t.threads, t.ms, t.speedup);
     }
+    std::printf("  tuned %8.3f ms (%6.2f GF/s)", r.tuned.ms, r.tuned.gflops);
     std::printf("%s\n", c.acceptance ? "  [acceptance]" : "");
     results.push_back(std::move(r));
   }

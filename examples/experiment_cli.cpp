@@ -107,6 +107,10 @@ Checkpoint / resume (bit-identical crash recovery):
 Parallelism (bit-identical at any setting):
   --num_threads parallel local training (1 = sequential)
   --kernel_threads intra-op GEMM/conv threads (1 = serial kernels)
+  --kernel_autotune benchmark tile candidates per GEMM shape and keep
+      the winner (false; all candidates bit-identical, docs/PERFORMANCE.md)
+  --kernel_autotune_cache PATH persist winning tiles across runs
+      (requires --kernel_autotune; corrupt/stale caches abort)
 
 Scale (hierarchical aggregation; docs/ARCHITECTURE.md):
   --shard_fanout updates per shard task of the canonical aggregation
@@ -137,7 +141,8 @@ constexpr const char* kKnownFlags[] = {
     "adversary", "adversary_frac", "adversary_scale", "adversary_sigma",
     "aggregator", "trim_fraction", "clip_multiplier", "validate",
     "checkpoint_every", "checkpoint_path", "resume_from",
-    "num_threads", "kernel_threads", "shard_fanout", "stream_chunk",
+    "num_threads", "kernel_threads", "kernel_autotune",
+    "kernel_autotune_cache", "shard_fanout", "stream_chunk",
     "trace", "trace_out", "csv_out", "help"};
 
 std::unique_ptr<FederatedAlgorithm> Build(
@@ -258,6 +263,8 @@ int main(int argc, char** argv) {
   }
   fl.num_threads = flags.GetInt("num_threads", 1);
   fl.kernel_threads = flags.GetInt("kernel_threads", 1);
+  fl.kernel_autotune = flags.GetBool("kernel_autotune", false);
+  fl.kernel_autotune_cache = flags.GetString("kernel_autotune_cache", "");
   fl.shard_fanout = flags.GetInt("shard_fanout", 0);
   fl.stream_chunk = flags.GetInt("stream_chunk", 0);
   const std::string trace_out = flags.GetString("trace_out", "");

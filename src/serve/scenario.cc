@@ -79,6 +79,7 @@ verifies a fingerprint over them):
   --trim_fraction (0.2)     --clip_multiplier (3)     --validate (true)
   --checkpoint_every (0)    --checkpoint_path PATH    --resume_from PATH
   --num_threads (1)         --kernel_threads (1)
+  --kernel_autotune (false) --kernel_autotune_cache PATH
   --shard_fanout (0)        --stream_chunk (0)
   --csv_out PATH write the per-round history as CSV
 )";
@@ -94,7 +95,8 @@ const char* const kScenarioFlags[] = {
     "adversary", "adversary_frac", "adversary_scale", "adversary_sigma",
     "aggregator", "trim_fraction", "clip_multiplier", "validate",
     "checkpoint_every", "checkpoint_path", "resume_from",
-    "num_threads", "kernel_threads", "shard_fanout", "stream_chunk",
+    "num_threads", "kernel_threads", "kernel_autotune",
+    "kernel_autotune_cache", "shard_fanout", "stream_chunk",
     "csv_out"};
 
 }  // namespace
@@ -168,6 +170,8 @@ Scenario BuildScenario(const FlagParser& flags) {
       << "unknown --aggregator " << fl.robust.aggregator;
   fl.num_threads = flags.GetInt("num_threads", 1);
   fl.kernel_threads = flags.GetInt("kernel_threads", 1);
+  fl.kernel_autotune = flags.GetBool("kernel_autotune", false);
+  fl.kernel_autotune_cache = flags.GetString("kernel_autotune_cache", "");
   fl.shard_fanout = flags.GetInt("shard_fanout", 0);
   fl.stream_chunk = flags.GetInt("stream_chunk", 0);
 

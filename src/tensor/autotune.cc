@@ -1,0 +1,285 @@
+#include "tensor/autotune.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace rfed {
+namespace {
+
+constexpr char kCacheHeader[] = "rfed-autotune v1";
+
+// (op, isa, rows, contraction, cols) — the tuning key. isa is the
+// BlockedKernels table name, so generic and avx2 measurements never
+// contaminate each other.
+using Key = std::tuple<int, std::string, int64_t, int64_t, int64_t>;
+
+struct Entry {
+  bool committed = false;
+  TileConfig winner;
+  // Per-candidate min observed time and sample count.
+  std::vector<double> best_ms;
+  std::vector<int> samples;
+  // Rotation cursor: total picks issued while exploring.
+  uint64_t issued = 0;
+};
+
+struct PendingTrial {
+  Key key;
+  size_t candidate = 0;
+};
+
+struct TunerState {
+  std::mutex mu;
+  AutotuneConfig config;
+  std::map<Key, Entry> entries;
+  std::unordered_map<uint64_t, PendingTrial> pending;
+  uint64_t next_trial = 1;
+  bool cache_loaded = false;
+  // Full image of the cache file (committed picks of every ISA/op,
+  // including ones this process never runs) so a rewrite never drops
+  // another machine's lines.
+  std::map<Key, TileConfig> file_image;
+};
+
+TunerState& State() {
+  static TunerState* s = new TunerState();
+  return *s;
+}
+
+std::atomic<bool> g_enabled{false};
+
+obs::Counter* TrialCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("kernel.autotune.trials");
+  return c;
+}
+
+obs::Counter* CacheHitCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("kernel.autotune.cache_hits");
+  return c;
+}
+
+int OpFromName(const std::string& name) {
+  if (name == AutotuneOpName(AutotuneOp::kGemmAdd)) {
+    return static_cast<int>(AutotuneOp::kGemmAdd);
+  }
+  if (name == AutotuneOpName(AutotuneOp::kGemmTransB)) {
+    return static_cast<int>(AutotuneOp::kGemmTransB);
+  }
+  return -1;
+}
+
+/// Parses config.cache_file into state.file_image. Aborts on any
+/// malformed content: a cache that fails to parse is either corrupt or
+/// written by an incompatible version, and silently ignoring it would
+/// hide real breakage behind a quiet re-tune.
+void LoadCacheLocked(TunerState& state) {
+  state.cache_loaded = true;
+  const std::string& path = state.config.cache_file;
+  if (path.empty()) return;
+  std::ifstream in(path);
+  if (!in.is_open()) return;  // Not created yet: first run.
+  std::string header;
+  std::getline(in, header);
+  RFED_CHECK(header == kCacheHeader)
+      << "autotune cache " << path << ": bad header '" << header
+      << "' (expected '" << kCacheHeader << "'); delete the file to re-tune";
+  std::string line;
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string op_name, isa;
+    int64_t rows = 0, contraction = 0, cols = 0;
+    TileConfig tile;
+    std::string extra;
+    const bool parsed =
+        static_cast<bool>(fields >> op_name >> isa >> rows >> contraction >>
+                          cols >> tile.block_m >> tile.block_k >>
+                          tile.block_n) &&
+        !(fields >> extra);
+    RFED_CHECK(parsed) << "autotune cache " << path << ":" << lineno
+                       << ": unparseable line '" << line
+                       << "'; delete the file to re-tune";
+    const int op = OpFromName(op_name);
+    RFED_CHECK(op >= 0) << "autotune cache " << path << ":" << lineno
+                        << ": unknown op '" << op_name
+                        << "'; delete the file to re-tune";
+    RFED_CHECK(rows > 0 && contraction > 0 && cols > 0 && tile.block_m > 0 &&
+               tile.block_k > 0 && tile.block_n > 0)
+        << "autotune cache " << path << ":" << lineno
+        << ": non-positive field in '" << line
+        << "'; delete the file to re-tune";
+    state.file_image[Key{op, isa, rows, contraction, cols}] = tile;
+  }
+}
+
+/// Rewrites the cache file from state.file_image (best effort: an
+/// unwritable path degrades to in-process caching). Writes to a temp
+/// file then renames so readers never see a torn cache.
+void SaveCacheLocked(TunerState& state) {
+  const std::string& path = state.config.cache_file;
+  if (path.empty()) return;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) return;
+    out << kCacheHeader << "\n";
+    for (const auto& [key, tile] : state.file_image) {
+      out << AutotuneOpName(static_cast<AutotuneOp>(std::get<0>(key))) << " "
+          << std::get<1>(key) << " " << std::get<2>(key) << " "
+          << std::get<3>(key) << " " << std::get<4>(key) << " " << tile.block_m
+          << " " << tile.block_k << " " << tile.block_n << "\n";
+    }
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace
+
+const char* AutotuneOpName(AutotuneOp op) {
+  switch (op) {
+    case AutotuneOp::kGemmAdd:
+      return "gemm_add";
+    case AutotuneOp::kGemmTransB:
+      return "gemm_transb";
+  }
+  return "unknown";
+}
+
+const std::vector<TileConfig>& AutotuneCandidates(AutotuneOp op) {
+  // Candidate 0 is always the static KernelOptions default, so a tuned
+  // run can never do worse than untuned on its winning shapes. The rest
+  // bracket the L2/L3 trade-off: wider N panels amortize A-tile reloads
+  // on skinny-m GEMMs (the conv forwards), deeper K blocks help the
+  // square-ish autograd shapes. For GemmTransB only block_m (the row
+  // chunk of the parallel partition) matters, so its set is small.
+  static const std::vector<TileConfig> kGemmAddCandidates = {
+      {64, 256, 1024}, {64, 128, 2048}, {32, 256, 4096},
+      {96, 384, 512},  {64, 75, 8192},
+  };
+  static const std::vector<TileConfig> kGemmTransBCandidates = {
+      {64, 256, 1024}, {16, 256, 1024}, {256, 256, 1024}};
+  return op == AutotuneOp::kGemmAdd ? kGemmAddCandidates
+                                    : kGemmTransBCandidates;
+}
+
+void SetAutotuneConfig(const AutotuneConfig& config) {
+  TunerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  AutotuneConfig fixed = config;
+  fixed.samples_per_candidate = std::max(1, fixed.samples_per_candidate);
+  const bool cache_changed = fixed.cache_file != state.config.cache_file;
+  state.config = fixed;
+  if (cache_changed) {
+    state.cache_loaded = false;
+    state.file_image.clear();
+  }
+  g_enabled.store(fixed.enabled, std::memory_order_relaxed);
+}
+
+const AutotuneConfig& GetAutotuneConfig() {
+  // Callers treat the config as set-once-before-training (autotune.h),
+  // so reading without the lock here matches the KernelOptions contract.
+  return State().config;
+}
+
+bool AutotuneEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+TileConfig AutotunePick(AutotuneOp op, const char* isa, int64_t rows,
+                        int64_t contraction, int64_t cols,
+                        AutotuneTrial* trial) {
+  *trial = 0;
+  const std::vector<TileConfig>& candidates = AutotuneCandidates(op);
+  TunerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.cache_loaded) LoadCacheLocked(state);
+  const Key key{static_cast<int>(op), isa, rows, contraction, cols};
+  Entry& entry = state.entries[key];
+  if (!entry.committed && entry.best_ms.empty()) {
+    // New shape: adopt a file-cached winner if one exists.
+    auto it = state.file_image.find(key);
+    if (it != state.file_image.end()) {
+      entry.committed = true;
+      entry.winner = it->second;
+    } else {
+      entry.best_ms.assign(candidates.size(),
+                           std::numeric_limits<double>::infinity());
+      entry.samples.assign(candidates.size(), 0);
+    }
+  }
+  if (entry.committed) {
+    CacheHitCounter()->Increment();
+    return entry.winner;
+  }
+  const size_t candidate =
+      static_cast<size_t>(entry.issued++ % candidates.size());
+  const uint64_t token = state.next_trial++;
+  state.pending[token] = PendingTrial{key, candidate};
+  *trial = token;
+  return candidates[candidate];
+}
+
+void AutotuneReport(AutotuneTrial trial, double elapsed_ms) {
+  if (trial == 0) return;
+  TunerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto pending_it = state.pending.find(trial);
+  RFED_CHECK(pending_it != state.pending.end())
+      << "AutotuneReport: unknown trial token " << trial;
+  const PendingTrial pending = pending_it->second;
+  state.pending.erase(pending_it);
+  TrialCounter()->Increment();
+  Entry& entry = state.entries[pending.key];
+  if (entry.committed) return;  // A concurrent trial already committed.
+  entry.best_ms[pending.candidate] =
+      std::min(entry.best_ms[pending.candidate], elapsed_ms);
+  entry.samples[pending.candidate] += 1;
+  const int needed = state.config.samples_per_candidate;
+  for (int s : entry.samples) {
+    if (s < needed) return;
+  }
+  // Every candidate measured: commit argmin of the per-candidate mins
+  // (min, not mean — interference only ever adds time, so the fastest
+  // observation is the cleanest estimate of a candidate's cost).
+  size_t best = 0;
+  for (size_t i = 1; i < entry.best_ms.size(); ++i) {
+    if (entry.best_ms[i] < entry.best_ms[best]) best = i;
+  }
+  entry.committed = true;
+  entry.winner = AutotuneCandidates(
+      static_cast<AutotuneOp>(std::get<0>(pending.key)))[best];
+  entry.best_ms.clear();
+  entry.samples.clear();
+  state.file_image[pending.key] = entry.winner;
+  SaveCacheLocked(state);
+}
+
+void ResetAutotuneForTest() {
+  TunerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.entries.clear();
+  state.pending.clear();
+  state.file_image.clear();
+  state.cache_loaded = false;
+}
+
+}  // namespace rfed

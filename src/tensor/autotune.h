@@ -1,0 +1,89 @@
+#ifndef RFED_TENSOR_AUTOTUNE_H_
+#define RFED_TENSOR_AUTOTUNE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/kernels.h"
+
+namespace rfed {
+
+// Per-shape tile autotuner for the blocked GEMMs (docs/KERNELS.md,
+// "Autotuner"). Every candidate TileConfig produces bit-identical
+// results — blocking only reorders which output elements are in flight,
+// never the summation within one (kernels.h) — so the tuner is free to
+// measure real kernel invocations during training and switch tiles
+// between calls without ever perturbing the run's bytes. What it
+// optimizes is wall time only.
+//
+// Protocol (the marian AutoTunerRecorder idiom): the first calls for a
+// new (op, shape) rotate through the fixed candidate set; the caller
+// times each such call and reports the measurement back. Once every
+// candidate has `samples_per_candidate` timings the shape commits to
+// the candidate with the best (minimum) observed time and all later
+// calls get that winner for free. Committed picks can persist across
+// processes through an optional file cache keyed by (op, isa, shape).
+//
+// Counters (always on, docs/OBSERVABILITY.md):
+//   kernel.autotune.trials      timed exploration calls
+//   kernel.autotune.cache_hits  calls answered by a committed pick
+
+/// Which blocked kernel a tuning key refers to.
+enum class AutotuneOp { kGemmAdd, kGemmTransB };
+/// Stable name ("gemm_add", "gemm_transb") — the cache-file op key.
+const char* AutotuneOpName(AutotuneOp op);
+
+struct AutotuneConfig {
+  /// Master switch; off = AutotunePick is never consulted and the
+  /// static KernelOptions blocks apply (the reproducible default).
+  bool enabled = false;
+  /// Optional persistent cache path. Loaded on first pick, rewritten on
+  /// every commit. "" = in-process cache only. A file whose header or
+  /// lines do not parse aborts (a stale cache silently mis-tuning every
+  /// run is worse than a crash).
+  std::string cache_file;
+  /// Timed samples each candidate needs before the shape commits.
+  int samples_per_candidate = 2;
+};
+
+/// Replaces the process-wide tuner configuration. Not thread-safe
+/// against in-flight kernels — set before training, like KernelOptions.
+void SetAutotuneConfig(const AutotuneConfig& config);
+const AutotuneConfig& GetAutotuneConfig();
+/// Fast path for kernel call sites (single relaxed atomic load).
+bool AutotuneEnabled();
+
+/// The fixed, ordered candidate set for `op`. Index order is the
+/// exploration rotation order; the default KernelOptions blocking is
+/// always candidate 0.
+const std::vector<TileConfig>& AutotuneCandidates(AutotuneOp op);
+
+/// Token for one pending timing measurement; 0 means "no timing
+/// requested" (the shape is already committed).
+using AutotuneTrial = uint64_t;
+
+/// Returns the tile to run one (op, shape) call with on ISA table
+/// `isa`. The shape triple is (rows, contraction, cols) of the op —
+/// (m, k, n) for GemmAdd, (m, n, k) for GemmTransBAssign. If the shape
+/// is committed (in-process or from the file cache) the winner is
+/// returned, *trial = 0, and kernel.autotune.cache_hits increments.
+/// Otherwise the next exploration candidate is returned and *trial is a
+/// token the caller MUST pass to AutotuneReport with the call's
+/// measured wall time.
+TileConfig AutotunePick(AutotuneOp op, const char* isa, int64_t rows,
+                        int64_t contraction, int64_t cols,
+                        AutotuneTrial* trial);
+
+/// Reports the wall time of a trial call (increments
+/// kernel.autotune.trials) and commits the shape once every candidate
+/// has enough samples.
+void AutotuneReport(AutotuneTrial trial, double elapsed_ms);
+
+/// Drops all in-process tuner state (committed picks, partial samples,
+/// the loaded file image) so the next pick starts fresh. Tests only.
+void ResetAutotuneForTest();
+
+}  // namespace rfed
+
+#endif  // RFED_TENSOR_AUTOTUNE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -9,38 +10,19 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/autotune.h"
+#include "tensor/kernels_dispatch.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace rfed {
 namespace {
 
-// Register tile of the GEMM micro-kernel: kMR rows of A by kNR columns
-// of B accumulated in registers. 4x8 floats = 8 SSE vectors of
-// accumulators, small enough that GCC keeps the whole tile in xmm
-// registers at the baseline x86-64 ISA.
-constexpr int64_t kMR = 4;
-constexpr int64_t kNR = 8;
-// Register tile of the TransB (row-dot) kernel: kTR independent
-// double-precision accumulator chains per pass over a row of A.
-constexpr int64_t kTR = 4;
-
-// Scratch slot convention (one arena per thread; nested kernel calls
-// must use disjoint slots):
-//   0  packed B panels of GemmAdd
-//   1  packed A tile of GemmAdd
-//   2  transposed A of GemmTransAAdd
-//   3  im2col columns of the conv drivers
-//   4  column gradients (dcols) of the conv backward
-//   5  per-image dw/db partials of the conv backward (caller thread)
-//   6  interleaved B panels of GemmTransBAssign
-constexpr int kSlotPackB = 0;
-constexpr int kSlotPackA = 1;
-constexpr int kSlotTransA = 2;
-constexpr int kSlotIm2Col = 3;
-constexpr int kSlotDCols = 4;
-constexpr int kSlotConvPartial = 5;
-constexpr int kSlotPackTB = 6;
+using internal::kSlotConvPartial;
+using internal::kSlotDCols;
+using internal::kSlotIm2Col;
+using internal::kSlotTransA;
 
 KernelOptions g_options;
 
@@ -72,6 +54,56 @@ void SetKernelOptions(const KernelOptions& options) {
 }
 
 void SetKernelThreads(int threads) { g_options.threads = threads; }
+
+bool KernelAvx2Available() {
+  static const bool available = [] {
+    if (internal::Avx2KernelsOrNull() == nullptr) return false;
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") != 0;
+#else
+    return false;
+#endif
+  }();
+  return available;
+}
+
+KernelIsa ActiveKernelIsa() {
+  switch (g_options.isa) {
+    case KernelIsa::kGeneric:
+      return KernelIsa::kGeneric;
+    case KernelIsa::kAvx2:
+      RFED_CHECK(KernelAvx2Available())
+          << "KernelOptions.isa forces AVX2 but this build/CPU lacks it";
+      return KernelIsa::kAvx2;
+    case KernelIsa::kAuto:
+      break;
+  }
+  return KernelAvx2Available() ? KernelIsa::kAvx2 : KernelIsa::kGeneric;
+}
+
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kAuto:
+      return "auto";
+    case KernelIsa::kGeneric:
+      return "generic";
+    case KernelIsa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The blocked-kernel table the next call dispatches to.
+const internal::BlockedKernels& ActiveTable() {
+  if (ActiveKernelIsa() == KernelIsa::kAvx2) {
+    return *internal::Avx2KernelsOrNull();
+  }
+  return internal::GenericKernels();
+}
+
+}  // namespace
 
 ScratchArena& ScratchArena::ThreadLocal() {
   thread_local ScratchArena arena;
@@ -133,7 +165,7 @@ void internal::ParallelForImpl(int64_t chunks, const void* ctx,
   for (int64_t i = 0; i < chunks; ++i) trampoline(ctx, i);
 }
 
-// ---- Naive seed references ----
+// ---- Canonical-order references ----
 
 namespace ref {
 
@@ -146,7 +178,9 @@ void GemmAdd(const float* a, const float* b, int64_t m, int64_t k, int64_t n,
       const float av = arow[p];
       if (av == 0.0f) continue;
       const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] = std::fmaf(av, brow[j], crow[j]);
+      }
     }
   }
 }
@@ -160,7 +194,9 @@ void GemmTransAAdd(const float* a, const float* b, int64_t m, int64_t k,
       const float av = arow[p];
       if (av == 0.0f) continue;
       float* crow = c + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] = std::fmaf(av, brow[j], crow[j]);
+      }
     }
   }
 }
@@ -258,86 +294,9 @@ void Col2Im(const float* cols, int64_t cin, int64_t h, int64_t w,
   }
 }
 
-// ---- Blocked GEMM ----
+// ---- Blocked GEMM drivers (dispatch + autotune) ----
 
 namespace {
-
-/// Packs the full-kNR panels of a kc x nc block of B (row stride ldb)
-/// into panel-major layout: panel j0/kNR holds kc rows of kNR
-/// consecutive floats. Columns beyond the last full panel stay unpacked.
-void PackB(const float* b, int64_t ldb, int64_t kc, int64_t full, float* bp) {
-  for (int64_t j0 = 0; j0 < full; j0 += kNR) {
-    float* panel = bp + j0 * kc;
-    for (int64_t p = 0; p < kc; ++p) {
-      std::memcpy(panel + p * kNR, b + p * ldb + j0,
-                  sizeof(float) * static_cast<size_t>(kNR));
-    }
-  }
-}
-
-/// Packs a kMR x kc tile of A (row stride lda) p-major: ap[p*kMR + i].
-void PackA(const float* a, int64_t lda, int64_t kc, float* ap) {
-  for (int64_t p = 0; p < kc; ++p) {
-    for (int64_t i = 0; i < kMR; ++i) ap[p * kMR + i] = a[i * lda + p];
-  }
-}
-
-/// C tile [kMR, kNR] += Ap[kc, kMR] * Bpanel[kc, kNR], accumulating each
-/// element in ascending p order — the reference summation order.
-void MicroKernel(const float* ap, const float* bp, int64_t kc, float* c,
-                 int64_t ldc) {
-  float acc[kMR][kNR];
-  for (int64_t i = 0; i < kMR; ++i) {
-    for (int64_t j = 0; j < kNR; ++j) acc[i][j] = c[i * ldc + j];
-  }
-  for (int64_t p = 0; p < kc; ++p) {
-    const float* av = ap + p * kMR;
-    const float* bv = bp + p * kNR;
-    for (int64_t i = 0; i < kMR; ++i) {
-      const float a = av[i];
-      for (int64_t j = 0; j < kNR; ++j) acc[i][j] += a * bv[j];
-    }
-  }
-  for (int64_t i = 0; i < kMR; ++i) {
-    for (int64_t j = 0; j < kNR; ++j) c[i * ldc + j] = acc[i][j];
-  }
-}
-
-/// One mc x nc block of C += (mc x kc of A) * (kc x nc of B). `bp` holds
-/// the packed full panels, `b` the unpacked block origin for the
-/// remainder columns.
-void GemmBlock(const float* a, int64_t lda, const float* b, int64_t ldb,
-               const float* bp, int64_t mc, int64_t kc, int64_t nc,
-               int64_t full, float* c, int64_t ldc) {
-  float* ap = ScratchArena::ThreadLocal().Buffer(
-      kSlotPackA, static_cast<size_t>(kMR * kc));
-  int64_t ir = 0;
-  for (; ir + kMR <= mc; ir += kMR) {
-    PackA(a + ir * lda, lda, kc, ap);
-    for (int64_t j0 = 0; j0 < full; j0 += kNR) {
-      MicroKernel(ap, bp + j0 * kc, kc, c + ir * ldc + j0, ldc);
-    }
-    // Remainder columns of the packed rows: scalar, ascending p.
-    for (int64_t i = 0; i < kMR; ++i) {
-      float* crow = c + (ir + i) * ldc;
-      for (int64_t p = 0; p < kc; ++p) {
-        const float av = ap[p * kMR + i];
-        const float* brow = b + p * ldb;
-        for (int64_t j = full; j < nc; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }
-  // Remainder rows (< kMR): straight scalar loops, ascending p.
-  for (; ir < mc; ++ir) {
-    const float* arow = a + ir * lda;
-    float* crow = c + ir * ldc;
-    for (int64_t p = 0; p < kc; ++p) {
-      const float av = arow[p];
-      const float* brow = b + p * ldb;
-      for (int64_t j = 0; j < nc; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
 
 // Uninstrumented kernel bodies. The public entry points below wrap
 // these with a trace span + FLOP counter; the conv drivers and
@@ -353,33 +312,20 @@ void GemmAddImpl(const float* a, const float* b, int64_t m, int64_t k,
     ref::GemmAdd(a, b, m, k, n, c);
     return;
   }
-  const int64_t mc_block = opt.block_m;
-  const int64_t kc_block = opt.block_k;
-  const int64_t nc_block = std::max<int64_t>(kNR, opt.block_n / kNR * kNR);
+  const internal::BlockedKernels& table = ActiveTable();
   const bool parallel = flops >= opt.parallel_min_flops;
-  for (int64_t jc = 0; jc < n; jc += nc_block) {
-    const int64_t nc = std::min(nc_block, n - jc);
-    const int64_t full = nc / kNR * kNR;
-    for (int64_t pc = 0; pc < k; pc += kc_block) {
-      const int64_t kc = std::min(kc_block, k - pc);
-      float* bp = ScratchArena::ThreadLocal().Buffer(
-          kSlotPackB, static_cast<size_t>(kc * full));
-      const float* bblock = b + pc * n + jc;
-      PackB(bblock, n, kc, full, bp);
-      const int64_t chunks = (m + mc_block - 1) / mc_block;
-      auto run_chunk = [&](int64_t ci) {
-        const int64_t i0 = ci * mc_block;
-        const int64_t mc = std::min(mc_block, m - i0);
-        GemmBlock(a + i0 * k + pc, k, bblock, n, bp, mc, kc, nc, full,
-                  c + i0 * n + jc, n);
-      };
-      if (parallel) {
-        KernelParallelFor(chunks, run_chunk);
-      } else {
-        for (int64_t ci = 0; ci < chunks; ++ci) run_chunk(ci);
-      }
+  TileConfig tile{opt.block_m, opt.block_k, opt.block_n};
+  if (AutotuneEnabled()) {
+    AutotuneTrial trial = 0;
+    tile = AutotunePick(AutotuneOp::kGemmAdd, table.name, m, k, n, &trial);
+    if (trial != 0) {
+      Stopwatch watch;
+      table.gemm_add(a, b, m, k, n, c, tile, parallel);
+      AutotuneReport(trial, watch.ElapsedMillis());
+      return;
     }
   }
+  table.gemm_add(a, b, m, k, n, c, tile, parallel);
 }
 
 void GemmTransAAddImpl(const float* a, const float* b, int64_t m, int64_t k,
@@ -412,61 +358,24 @@ void GemmTransBAssignImpl(const float* a, const float* b, int64_t m, int64_t n,
                           int64_t k, float* c) {
   if (m <= 0 || k <= 0) return;
   const KernelOptions& opt = g_options;
-  if (n <= 0 || k < kTR || 2 * m * n * k < opt.blocked_min_flops) {
+  if (n <= 0 || 2 * m * n * k < opt.blocked_min_flops) {
     ref::GemmTransBAssign(a, b, m, n, k, c);
     return;
   }
-  // Interleave kTR consecutive rows of B so one pass over a row of A
-  // feeds kTR independent double accumulator chains (breaking the
-  // reference's single latency-bound chain); each chain still adds in
-  // ascending j order, so every dot is bit-identical to the reference.
-  const int64_t ktile = k / kTR * kTR;
-  float* bp = ScratchArena::ThreadLocal().Buffer(
-      kSlotPackTB, static_cast<size_t>(ktile * n));
-  for (int64_t p0 = 0; p0 < ktile; p0 += kTR) {
-    float* panel = bp + p0 * n;
-    for (int64_t j = 0; j < n; ++j) {
-      for (int64_t t = 0; t < kTR; ++t) {
-        panel[j * kTR + t] = b[(p0 + t) * n + j];
-      }
-    }
-  }
+  const internal::BlockedKernels& table = ActiveTable();
   const bool parallel = 2 * m * n * k >= opt.parallel_min_flops;
-  const int64_t row_chunk = std::max<int64_t>(1, opt.block_m);
-  const int64_t chunks = (m + row_chunk - 1) / row_chunk;
-  auto run_chunk = [&](int64_t ci) {
-    const int64_t i0 = ci * row_chunk;
-    const int64_t i1 = std::min(m, i0 + row_chunk);
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = a + i * n;
-      float* crow = c + i * k;
-      for (int64_t p0 = 0; p0 < ktile; p0 += kTR) {
-        const float* panel = bp + p0 * n;
-        double acc[kTR] = {0.0, 0.0, 0.0, 0.0};
-        for (int64_t j = 0; j < n; ++j) {
-          const double av = arow[j];
-          const float* bv = panel + j * kTR;
-          for (int64_t t = 0; t < kTR; ++t) acc[t] += av * bv[t];
-        }
-        for (int64_t t = 0; t < kTR; ++t) {
-          crow[p0 + t] = static_cast<float>(acc[t]);
-        }
-      }
-      for (int64_t p = ktile; p < k; ++p) {
-        const float* brow = b + p * n;
-        double acc = 0.0;
-        for (int64_t j = 0; j < n; ++j) {
-          acc += static_cast<double>(arow[j]) * brow[j];
-        }
-        crow[p] = static_cast<float>(acc);
-      }
+  TileConfig tile{opt.block_m, opt.block_k, opt.block_n};
+  if (AutotuneEnabled()) {
+    AutotuneTrial trial = 0;
+    tile = AutotunePick(AutotuneOp::kGemmTransB, table.name, m, n, k, &trial);
+    if (trial != 0) {
+      Stopwatch watch;
+      table.gemm_transb(a, b, m, n, k, c, tile, parallel);
+      AutotuneReport(trial, watch.ElapsedMillis());
+      return;
     }
-  };
-  if (parallel) {
-    KernelParallelFor(chunks, run_chunk);
-  } else {
-    for (int64_t ci = 0; ci < chunks; ++ci) run_chunk(ci);
   }
+  table.gemm_transb(a, b, m, n, k, c, tile, parallel);
 }
 
 // FLOP counters are looked up once; the adds (and the spans) only run
@@ -620,7 +529,7 @@ void Conv2dBackwardKernel(const float* grad_out, const float* x,
   }
 }
 
-// ---- Naive seed conv references ----
+// ---- Serial conv references ----
 
 namespace ref {
 
@@ -690,7 +599,9 @@ void Conv2dBackwardKernel(const float* grad_out, const float* x,
           const float wv = wrow[p];
           if (wv == 0.0f) continue;
           float* drow = dcols.data() + p * out_area;
-          for (int64_t a = 0; a < out_area; ++a) drow[a] += wv * grow[a];
+          for (int64_t a = 0; a < out_area; ++a) {
+            drow[a] = std::fmaf(wv, grow[a], drow[a]);
+          }
         }
       }
       Col2Im(dcols.data(), s.in_channels, s.height, s.width, ispec,

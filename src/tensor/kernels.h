@@ -11,46 +11,74 @@ namespace rfed {
 // This layer owns the hot inner loops of the simulator: the three GEMM
 // variants every Linear/LSTM/Conv2d forward and backward bottoms out in,
 // plus the im2col/col2im unfolding of the convolution path. The kernels
-// are cache-blocked, register-tiled and packed, and can optionally run
-// row-partitioned across a thread pool — while staying **bit-identical**
-// to the retained naive reference implementations (rfed::ref below) for
-// every block size and thread count. The rule that makes this possible:
+// are cache-blocked, packed, and vectorized with explicit SIMD register
+// tiles (AVX2+FMA where the CPU has it, a portable soft-fma fallback
+// everywhere else, dispatched at runtime), and can optionally run
+// n-partitioned across a thread pool — while staying **bit-identical**
+// to the retained reference implementations (rfed::ref below) for every
+// ISA, block size, tile candidate and thread count. The rule that makes
+// this possible:
 //
 //   Each output element is reduced by exactly one thread, in exactly the
-//   reference summation order (ascending over the contraction index, one
-//   float/double rounding per step). Blocking only reorders *which*
-//   elements are in flight, never the additions within one element; the
-//   parallel partition splits disjoint output regions, never a reduction.
+//   canonical summation order: ascending over the contraction index with
+//   ONE fused multiply-add rounding per step (float fma for the
+//   accumulate GEMMs, a double-precision chain for GemmTransBAssign).
+//   Blocking and vectorization only reorder *which* elements are in
+//   flight, never the operations within one element; the parallel
+//   partition splits disjoint output regions, never a reduction.
+//
+// Fused rounding is what lets the AVX2 path run at FMA throughput; the
+// references implement the same contract with std::fmaf (correctly
+// rounded on every platform, hardware FMA or not), so goldens are
+// byte-stable across ISAs. The build compiles with -ffp-contract=off so
+// no *implicit* contraction can ever diverge from this explicit scheme.
 //
 // Batched reductions that the references accumulate serially (Conv2d's
 // dw/db across the batch) are decomposed into fixed per-item partials
 // combined in ascending item order, which is the same float addition
 // sequence the reference performs. See docs/KERNELS.md for the full
-// scheme and the cache layout of the packed panels.
+// scheme, the per-ISA microkernel shapes and the cache layout of the
+// packed panels.
 //
 // Caveat (documented, tested): the references skip multiplications by an
 // exact 0.0f operand; the blocked kernels do not. Under IEEE-754
-// round-to-nearest adding the resulting ±0.0 product never changes a
-// finite accumulator, so results are still bit-identical for finite
-// inputs — but non-finite inputs (Inf/NaN weights) may produce NaN where
-// the reference skipped the element.
+// round-to-nearest fma(±0, b, acc) never changes a finite accumulator,
+// so results are still bit-identical for finite inputs — but non-finite
+// inputs (Inf/NaN weights) may produce NaN where the reference skipped
+// the element.
+
+/// Instruction-set selection for the blocked kernels. kAuto picks the
+/// best path the CPU supports at runtime; the explicit values force a
+/// path (tests pin kGeneric to prove cross-ISA bit-identity). Forcing
+/// kAvx2 on a CPU without AVX2+FMA aborts.
+enum class KernelIsa { kAuto, kGeneric, kAvx2 };
+
+/// One blocking configuration of a blocked GEMM: MC rows of A, KC of
+/// the contraction dimension (always processed in ascending order —
+/// required for bit-identity), NC columns of B per packed panel. NC is
+/// also the n-partition grain of the threaded path. For
+/// GemmTransBAssign only block_m (the row chunk) is meaningful.
+struct TileConfig {
+  int block_m = 64;
+  int block_k = 256;
+  int block_n = 1024;
+};
 
 /// Global knobs of the kernel layer. All fields may be changed at run
 /// time (tests shrink the blocks to force edge paths); reads are cheap.
 /// Not thread-safe against concurrent mutation — set once before
 /// training, as FlConfig/experiment_cli do.
 struct KernelOptions {
-  /// Worker threads for row-partitioned kernels. <= 1 runs everything on
-  /// the calling thread (the default: all existing call sites are
+  /// Worker threads for the n-partitioned kernels. <= 1 runs everything
+  /// on the calling thread (the default: all existing call sites are
   /// unaffected). The partition is deterministic, so any value produces
   /// bit-identical results.
   int threads = 1;
-  /// Cache block sizes: MC rows of A, KC of the contraction dimension
-  /// (processed in ascending order — required for bit-identity), NC
-  /// columns of B per packed panel.
+  /// Static cache blocking, used whenever the autotuner (autotune.h) is
+  /// disabled or has no opinion for a shape.
   int block_m = 64;
-  int block_k = 128;
-  int block_n = 192;
+  int block_k = 256;
+  int block_n = 1024;
   /// Minimum 2*m*k*n FLOP count before a GEMM fans out to the pool;
   /// below it threading overhead dominates.
   int64_t parallel_min_flops = 1 << 21;
@@ -58,6 +86,8 @@ struct KernelOptions {
   /// products run the naive reference directly (identical bits, no
   /// packing overhead). Tests set 0 to force the blocked path.
   int64_t blocked_min_flops = 8192;
+  /// SIMD dispatch override; kAuto = best supported.
+  KernelIsa isa = KernelIsa::kAuto;
 };
 
 /// The process-wide options instance the kernels read.
@@ -67,12 +97,21 @@ void SetKernelOptions(const KernelOptions& options);
 /// Sets only the thread count (the FlConfig/--kernel_threads knob).
 void SetKernelThreads(int threads);
 
+/// The ISA the next kernel call will run on, after applying the
+/// KernelOptions override to what the CPU supports.
+KernelIsa ActiveKernelIsa();
+/// Short stable name ("avx2", "generic") — used as the autotuner cache
+/// key component and in bench output.
+const char* KernelIsaName(KernelIsa isa);
+/// Whether this build+CPU can run the AVX2+FMA path.
+bool KernelAvx2Available();
+
 /// Grow-only per-thread scratch buffers the kernels pack panels and
 /// im2col columns into, so steady-state training allocates nothing per
-/// call. Each caller owns a slot id (see kernels.cc for the convention);
-/// a slot's pointer is valid until the same thread requests the same
-/// slot again. A process-wide high-water mark of allocated scratch is
-/// kept for the RunHistory accounting.
+/// call. Each caller owns a slot id (see kernels_dispatch.h for the
+/// convention); a slot's pointer is valid until the same thread requests
+/// the same slot again. A process-wide high-water mark of allocated
+/// scratch is kept for the RunHistory accounting.
 class ScratchArena {
  public:
   /// The calling thread's arena.
@@ -182,26 +221,35 @@ void Conv2dBackwardKernel(const float* grad_out, const float* x,
                           const float* w, const ConvKernelShape& s, float* dx,
                           float* dw, float* db);
 
-// ---- Naive seed references ----
-// The exact scalar kernels the repository shipped with, retained as the
-// bit-level ground truth for tests/kernel_test.cc and the speedup
-// baseline for bench_micro_kernels. Single-threaded, no blocking.
+// ---- Canonical-order references ----
+// The scalar ground-truth kernels: portable, single-threaded, no
+// blocking, one std::fma(f) per reduction step — the canonical
+// summation order every optimized path must reproduce bit for bit
+// (tests/kernel_test.cc) and the speedup baseline for
+// bench_micro_kernels. These descend from the seed's naive loops; the
+// only numeric change since the seed is the fused rounding, made when
+// the SIMD microkernels landed (goldens regenerated once, see
+// docs/KERNELS.md).
 namespace ref {
 
-/// C[m,n] += A[m,k] * B[k,n], ikj order, skipping zero A elements.
+/// C[m,n] += A[m,k] * B[k,n], ikj order, fused steps, skipping zero A
+/// elements.
 void GemmAdd(const float* a, const float* b, int64_t m, int64_t k, int64_t n,
              float* c);
-/// C[k,n] += A[m,k]^T * B[m,n], i-outer order, skipping zero A elements.
+/// C[k,n] += A[m,k]^T * B[m,n], i-outer order, fused steps, skipping
+/// zero A elements.
 void GemmTransAAdd(const float* a, const float* b, int64_t m, int64_t k,
                    int64_t n, float* c);
-/// C[m,k] = A[m,n] * B[k,n]^T via double-precision row dots.
+/// C[m,k] = A[m,n] * B[k,n]^T via double-precision row dots. (For float
+/// inputs the double product is exact, so mul+add and fma chains are
+/// the same bits — this kernel is unchanged from the seed.)
 void GemmTransBAssign(const float* a, const float* b, int64_t m, int64_t n,
                       int64_t k, float* c);
 
-/// The seed's serial im2col convolution forward (out pre-zeroed).
+/// The serial im2col convolution forward (out pre-zeroed).
 void Conv2dForwardKernel(const float* x, const float* w, const float* bias,
                          const ConvKernelShape& s, float* out);
-/// The seed's serial convolution backward (outputs pre-zeroed, nullable).
+/// The serial convolution backward (outputs pre-zeroed, nullable).
 void Conv2dBackwardKernel(const float* grad_out, const float* x,
                           const float* w, const ConvKernelShape& s, float* dx,
                           float* dw, float* db);

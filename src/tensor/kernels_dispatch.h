@@ -1,0 +1,68 @@
+#ifndef RFED_TENSOR_KERNELS_DISPATCH_H_
+#define RFED_TENSOR_KERNELS_DISPATCH_H_
+
+// Internal interface between the ISA-neutral kernel driver (kernels.cc)
+// and the per-ISA blocked-kernel translation units (kernels_generic.cc,
+// kernels_avx2.cc). Each ISA TU is compiled with its own instruction-set
+// flags and exports one BlockedKernels table; kernels.cc picks a table
+// at runtime from CPU detection plus the KernelOptions::isa override.
+// Not part of the public API.
+
+#include <cstdint>
+
+#include "tensor/kernels.h"
+
+namespace rfed {
+namespace internal {
+
+// Scratch slot convention (one ScratchArena per thread; nested kernel
+// calls must use disjoint slots):
+//   0  packed B panels of GemmAdd
+//   1  packed A tile of GemmAdd
+//   2  transposed A of GemmTransAAdd
+//   3  im2col columns of the conv drivers
+//   4  column gradients (dcols) of the conv backward
+//   5  per-image dw/db partials of the conv backward (caller thread)
+//   6  interleaved B panels of GemmTransBAssign
+inline constexpr int kSlotPackB = 0;
+inline constexpr int kSlotPackA = 1;
+inline constexpr int kSlotTransA = 2;
+inline constexpr int kSlotIm2Col = 3;
+inline constexpr int kSlotDCols = 4;
+inline constexpr int kSlotConvPartial = 5;
+inline constexpr int kSlotPackTB = 6;
+
+/// One ISA's blocked-kernel entry points. Every implementation computes
+/// the canonical fused summation order (kernels.h), so all tables are
+/// bit-interchangeable; only throughput differs.
+struct BlockedKernels {
+  const char* name;  ///< "avx2" / "generic" — also the autotune ISA key.
+  int mr;            ///< GemmAdd register tile rows.
+  int nr;            ///< GemmAdd register tile columns (B panel width).
+  int tr;            ///< GemmTransBAssign accumulator chains per panel.
+
+  /// C[m,n] += A[m,k] B[k,n], blocked with `tile`, n-partitioned across
+  /// the kernel pool when `parallel`.
+  void (*gemm_add)(const float* a, const float* b, int64_t m, int64_t k,
+                   int64_t n, float* c, const TileConfig& tile, bool parallel);
+
+  /// C[m,k] = A[m,n] B[k,n]^T (double-precision row dots), row-chunked
+  /// by tile.block_m, parallel across row chunks.
+  void (*gemm_transb)(const float* a, const float* b, int64_t m, int64_t n,
+                      int64_t k, float* c, const TileConfig& tile,
+                      bool parallel);
+};
+
+/// The portable table (always available; soft-fma, compiled at the
+/// baseline ISA).
+const BlockedKernels& GenericKernels();
+
+/// The AVX2+FMA table, or nullptr when the build could not compile it
+/// (non-x86 target or a compiler without -mavx2/-mfma). Whether the
+/// *CPU* can run it is a separate, runtime question (KernelAvx2Available).
+const BlockedKernels* Avx2KernelsOrNull();
+
+}  // namespace internal
+}  // namespace rfed
+
+#endif  // RFED_TENSOR_KERNELS_DISPATCH_H_

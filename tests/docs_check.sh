@@ -2,12 +2,13 @@
 # docs_check.sh <repo_root> <experiment_cli_binary> [build_dir]
 #               [rfed_server_binary] [rfed_worker_binary]
 #
-# Four stale-documentation tripwires, run as `ctest -L docs`:
+# Six stale-documentation tripwires, run as `ctest -L docs`:
 #   1. Every relative markdown link in README.md and docs/*.md must
 #      resolve to an existing file or directory.
-#   2. Every `--flag` token mentioned in docs/REPRODUCING.md and
-#      docs/OBSERVABILITY.md must appear in `experiment_cli --help`
-#      (modulo a short whitelist of cmake/ctest flags the docs quote).
+#   2. Every `--flag` token mentioned in docs/REPRODUCING.md,
+#      docs/OBSERVABILITY.md and docs/PERFORMANCE.md must appear in
+#      `experiment_cli --help` (modulo a short whitelist of
+#      cmake/ctest/bench flags the docs quote).
 #   3. Every `ctest -L <label>` invocation quoted in README.md or
 #      docs/*.md must name a label registered in the build's test
 #      registry (`ctest --print-labels`), so docs cannot advertise a
@@ -15,6 +16,12 @@
 #   4. When the serve binaries are passed, every `--flag` token in
 #      docs/DEPLOYMENT.md must appear in `rfed_server --help` or
 #      `rfed_worker --help`.
+#   5. Every `BENCH_*.json` filename mentioned in README.md, docs/*.md
+#      or EXPERIMENTS.md must exist at the repo root (benches commit
+#      their JSON; docs must not advertise files nothing generates).
+#   6. Every `kernel.*` metric name mentioned in README.md or docs/*.md
+#      must appear as a string literal somewhere under src/, so the
+#      metrics tables cannot document counters nothing records.
 set -u
 
 root="${1:?usage: docs_check.sh <repo_root> <experiment_cli>}"
@@ -56,9 +63,10 @@ rm -f /tmp/docs_check_links.$$
 # ---- 2. Stale flag names ----
 help_out=$("$cli" --help 2>&1) || fail "experiment_cli --help exited nonzero"
 # Flags the docs legitimately mention that belong to other tools.
-whitelist="--help --build --output-on-failure --label-regex --test-dir --smoke"
+whitelist="--help --build --output-on-failure --label-regex --test-dir --smoke --min_ms --out"
 
-for doc in "$root"/docs/REPRODUCING.md "$root"/docs/OBSERVABILITY.md; do
+for doc in "$root"/docs/REPRODUCING.md "$root"/docs/OBSERVABILITY.md \
+           "$root"/docs/PERFORMANCE.md; do
   [ -f "$doc" ] || { fail "missing $doc"; continue; }
   for flag in $(grep -oE '\-\-[a-z][a-z0-9_-]*' "$doc" | sort -u); do
     case " $whitelist " in *" $flag "*) continue ;; esac
@@ -104,6 +112,26 @@ $("$worker_bin" --help 2>&1)" || fail "rfed_worker --help exited nonzero"
     done
   fi
 fi
+
+# ---- 5. Bench JSON files the docs advertise ----
+for doc in "$root"/README.md "$root"/EXPERIMENTS.md "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  for json in $(grep -oE 'BENCH_[A-Za-z0-9_]+\.json' "$doc" | sort -u); do
+    if [ ! -f "$root/$json" ]; then
+      fail "$doc mentions $json, absent from the repo root"
+    fi
+  done
+done
+
+# ---- 6. kernel.* metric names the docs document ----
+for doc in "$root"/README.md "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  for metric in $(grep -oE 'kernel\.[a-z_]+(\.[a-z_]+)*' "$doc" | sort -u); do
+    if ! grep -rqF "\"$metric\"" "$root/src"; then
+      fail "$doc documents metric $metric, never recorded under src/"
+    fi
+  done
+done
 
 if [ "$failures" -gt 0 ]; then
   echo "docs_check: FAILED ($failures problem(s))" >&2

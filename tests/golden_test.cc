@@ -48,14 +48,14 @@ struct Golden {
 // (data seed 1234, algorithm seed 77). Tolerance 1e-5 on the doubles,
 // exact on the byte ledger.
 constexpr Golden kGoldens[] = {
-    {"fedavg", 2.3046530088, 0.1083333333, 46224},
-    {"fedprox", 2.3046712478, 0.1083333333, 46224},
-    {"scaffold", 2.3208434979, 0.0916666667, 92448},
-    {"qfedavg", 2.3179347118, 0.0833333333, 46224},
+    {"fedavg", 2.3046531280, 0.1083333333, 46224},
+    {"fedprox", 2.3046712875, 0.1083333333, 46224},
+    {"scaffold", 2.3208435376, 0.0916666667, 92448},
+    {"qfedavg", 2.3179347515, 0.0833333333, 46224},
     {"fedavgm", 2.2837883631, 0.1666666667, 46224},
-    {"fednova", 2.2734843493, 0.1583333333, 46224},
-    {"rfedavg", 2.3133334319, 0.0916666667, 47088},
-    {"rfedavg_plus", 2.3111237288, 0.0916666667, 69912},
+    {"fednova", 2.2734843294, 0.1583333333, 46224},
+    {"rfedavg", 2.3133333524, 0.0916666667, 47088},
+    {"rfedavg_plus", 2.3111237685, 0.0916666667, 69912},
 };
 
 /// The shared tiny fixture: 240 train / 120 test MNIST-like examples
@@ -225,7 +225,7 @@ struct SimGolden {
 };
 
 constexpr SimGolden kSimGoldens[] = {
-    {"fedavg", SimMode::kDeadline, 2.3187666734, 81.5907334654, 46224, 2},
+    {"fedavg", SimMode::kDeadline, 2.3187667131, 81.5907334654, 46224, 2},
     {"rfedavg_plus", SimMode::kAsync, 2.2693006396, 81.6421905083, 51776, 0},
 };
 

@@ -76,7 +76,7 @@ TEST(IntegrationTest, LstmPipelineOnNaturalText) {
   TrainerOptions options;
   options.eval_max_examples = 300;
   FederatedTrainer trainer(&algo, &data.test, options);
-  RunHistory history = trainer.Run(10);
+  RunHistory history = trainer.Run(12);
   EXPECT_GT(history.FinalAccuracy(), 0.7);
 }
 
