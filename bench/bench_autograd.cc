@@ -1,0 +1,213 @@
+// Autograd-layer sweep: the same tiny federated workloads executed under
+// each tape strategy — per-step graph rebuild (the pre-arena behavior),
+// static-graph replay, and replay + gradient checkpointing — timing
+// ms/round and reading the autograd.* gauges so the arena's two claims
+// are measured, not asserted: replay cuts round time and allocations,
+// checkpointing cuts tape_peak_bytes. Results land in
+// BENCH_autograd.json and the headline rows are quoted in
+// EXPERIMENTS.md; the strategies are bit-identical by contract
+// (docs/AUTOGRAD.md), which the smoke gate re-proves on every CI run.
+//
+// Usage:
+//   ./build/bench/bench_autograd                  # full sweep
+//   ./build/bench/bench_autograd --out path.json  # custom output
+//   ./build/bench/bench_autograd --smoke          # <2 s gate: static
+//       on/off bit-identity plus the O(1) allocs-per-replayed-step
+//       invariant, no JSON (the `bench_autograd_smoke` ctest target,
+//       label "autograd")
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "data/synthetic_text.h"
+#include "fl/fedavg.h"
+#include "fl/trainer.h"
+#include "nn/models.h"
+#include "obs/metrics.h"
+#include "tensor/buffer_pool.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace rfed {
+namespace {
+
+struct SweepCase {
+  const char* model;       ///< "cnn" | "lstm"
+  bool static_graph;
+  bool checkpoint;
+};
+
+struct SweepResult {
+  SweepCase spec;
+  int rounds = 0;
+  double ms_per_round = 0.0;
+  double final_loss = 0.0;
+  long tape_peak_bytes = 0;
+  long allocs_per_step = 0;  ///< last recorded per-step delta
+};
+
+std::vector<ClientView> ViewsOf(const ClientSplit& split) {
+  std::vector<ClientView> views;
+  for (const auto& idx : split.client_indices) views.push_back({idx, {}});
+  return views;
+}
+
+FlConfig BaseConfig(const SweepCase& spec) {
+  FlConfig config;
+  config.local_steps = 8;
+  config.batch_size = 16;
+  config.lr = 0.05;
+  config.seed = 77;
+  config.max_examples_per_pass = 128;
+  config.autograd.static_graph = spec.static_graph;
+  config.autograd.checkpoint = spec.checkpoint;
+  if (std::strcmp(spec.model, "lstm") == 0) {
+    config.lr = 0.01;
+    config.optimizer = OptimizerKind::kRmsProp;
+  }
+  return config;
+}
+
+SweepResult RunCase(const SweepCase& spec, int rounds) {
+  SweepResult result;
+  result.spec = spec;
+  result.rounds = rounds;
+  BufferPool::ResetPeak();
+
+  FlConfig config = BaseConfig(spec);
+  std::unique_ptr<FederatedAlgorithm> algo;
+  Rng rng(1234);
+  std::unique_ptr<SyntheticImageData> image_data;
+  std::unique_ptr<SyntheticTextData> text_data;
+  const Dataset* test = nullptr;
+  if (std::strcmp(spec.model, "cnn") == 0) {
+    image_data = std::make_unique<SyntheticImageData>(
+        GenerateImageData(MnistLikeProfile(), 640, 160, &rng));
+    auto split = SimilarityPartition(image_data->train, 4, 0.5, &rng);
+    CnnConfig mc;
+    mc.conv1_channels = 4;
+    mc.conv2_channels = 8;
+    mc.feature_dim = 16;
+    algo = std::make_unique<FedAvg>(config, &image_data->train, ViewsOf(split),
+                                    MakeCnnFactory(mc));
+    test = &image_data->test;
+  } else {
+    TextProfile profile = Sent140LikeProfile();
+    profile.num_users = 20;
+    text_data = std::make_unique<SyntheticTextData>(
+        GenerateTextData(profile, 640, 160, &rng));
+    auto split =
+        NaturalPartition(text_data->train_users, profile.num_users, 4, &rng);
+    LstmConfig mc;
+    mc.vocab_size = profile.vocab_size;
+    mc.embed_dim = 8;
+    mc.hidden_dim = 16;
+    mc.feature_dim = 16;
+    algo = std::make_unique<FedAvg>(config, &text_data->train, ViewsOf(split),
+                                    MakeLstmFactory(mc));
+    test = &text_data->test;
+  }
+
+  TrainerOptions options;
+  options.eval_max_examples = 0;  // time the training path only
+  FederatedTrainer trainer(algo.get(), test, options);
+  Stopwatch sw;
+  RunHistory history = trainer.Run(rounds);
+  const double total_ms = sw.ElapsedMillis();
+  result.ms_per_round = total_ms / rounds;
+  result.final_loss = history.rounds.back().train_loss;
+  auto& registry = obs::MetricsRegistry::Get();
+  result.tape_peak_bytes =
+      static_cast<long>(registry.GetGauge("autograd.tape_peak_bytes")->value());
+  result.allocs_per_step =
+      static_cast<long>(registry.GetGauge("autograd.allocs_per_step")->value());
+  return result;
+}
+
+void WriteJson(const std::string& path, const std::vector<SweepResult>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"autograd\",\n");
+  std::fprintf(f,
+               "  \"note\": \"identical federated workloads under each tape "
+               "strategy; losses match bitwise across rows of the same model "
+               "while ms_per_round, tape_peak_bytes and allocs_per_step "
+               "differ\",\n");
+  std::fprintf(f, "  \"cases\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepResult& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"model\": \"%s\", \"static_graph\": %s, \"checkpoint\": %s, "
+        "\"rounds\": %d, \"ms_per_round\": %.1f, \"final_loss\": %.6f, "
+        "\"tape_peak_bytes\": %ld, \"allocs_per_step\": %ld}%s\n",
+        r.spec.model, r.spec.static_graph ? "true" : "false",
+        r.spec.checkpoint ? "true" : "false", r.rounds, r.ms_per_round,
+        r.final_loss, r.tape_peak_bytes, r.allocs_per_step,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Smoke() {
+  // Gate 1: static replay == per-step rebuild, bit for bit.
+  const SweepResult replayed = RunCase({"cnn", true, false}, 2);
+  const SweepResult rebuilt = RunCase({"cnn", false, false}, 2);
+  if (replayed.final_loss != rebuilt.final_loss) {
+    std::fprintf(stderr, "smoke FAILED: static %.17g != rebuilt %.17g\n",
+                 replayed.final_loss, rebuilt.final_loss);
+    return 1;
+  }
+  // Gate 2: replayed steps allocate nothing after warm-up.
+  if (replayed.allocs_per_step != 0) {
+    std::fprintf(stderr,
+                 "smoke FAILED: %ld allocs on a warmed-up replayed step\n",
+                 replayed.allocs_per_step);
+    return 1;
+  }
+  std::printf("smoke OK: static == rebuilt bitwise, 0 allocs per replayed "
+              "step\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::string out =
+      flags.GetString("out", smoke ? "" : "BENCH_autograd.json");
+  if (smoke) return Smoke();
+
+  const SweepCase cases[] = {
+      {"cnn", false, false}, {"cnn", true, false},
+      {"lstm", false, false}, {"lstm", true, false}, {"lstm", true, true},
+  };
+  std::vector<SweepResult> rows;
+  for (const SweepCase& spec : cases) {
+    const SweepResult r = RunCase(spec, /*rounds=*/4);
+    rows.push_back(r);
+    std::printf(
+        "%-5s static=%d ckpt=%d  %7.1f ms/round  loss=%.6f  "
+        "tape_peak=%ldB  allocs/step=%ld\n",
+        r.spec.model, r.spec.static_graph ? 1 : 0, r.spec.checkpoint ? 1 : 0,
+        r.ms_per_round, r.final_loss, r.tape_peak_bytes, r.allocs_per_step);
+  }
+  if (!out.empty()) WriteJson(out, rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfed
+
+int main(int argc, char** argv) { return rfed::Main(argc, argv); }

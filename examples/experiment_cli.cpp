@@ -112,6 +112,13 @@ Parallelism (bit-identical at any setting):
   --kernel_autotune_cache PATH persist winning tiles across runs
       (requires --kernel_autotune; corrupt/stale caches abort)
 
+Autograd (bit-identical at any setting; docs/AUTOGRAD.md):
+  --autograd_static record each client bout's step-0 graph and replay it
+      for the remaining local steps (true)
+  --grad_checkpoint drop LSTM per-timestep activations at segment close
+      and rematerialize them during backward; ~one extra forward per
+      timestep for O(1)-per-timestep activation memory (false)
+
 Scale (hierarchical aggregation; docs/ARCHITECTURE.md):
   --shard_fanout updates per shard task of the canonical aggregation
       tree (power of two; 0 = flat loop, byte-identical to goldens;
@@ -142,7 +149,8 @@ constexpr const char* kKnownFlags[] = {
     "aggregator", "trim_fraction", "clip_multiplier", "validate",
     "checkpoint_every", "checkpoint_path", "resume_from",
     "num_threads", "kernel_threads", "kernel_autotune",
-    "kernel_autotune_cache", "shard_fanout", "stream_chunk",
+    "kernel_autotune_cache", "autograd_static", "grad_checkpoint",
+    "shard_fanout", "stream_chunk",
     "trace", "trace_out", "csv_out", "help"};
 
 std::unique_ptr<FederatedAlgorithm> Build(
@@ -265,6 +273,8 @@ int main(int argc, char** argv) {
   fl.kernel_threads = flags.GetInt("kernel_threads", 1);
   fl.kernel_autotune = flags.GetBool("kernel_autotune", false);
   fl.kernel_autotune_cache = flags.GetString("kernel_autotune_cache", "");
+  fl.autograd.static_graph = flags.GetBool("autograd_static", true);
+  fl.autograd.checkpoint = flags.GetBool("grad_checkpoint", false);
   fl.shard_fanout = flags.GetInt("shard_fanout", 0);
   fl.stream_chunk = flags.GetInt("stream_chunk", 0);
   const std::string trace_out = flags.GetString("trace_out", "");

@@ -1,10 +1,12 @@
 #include "autograd/ops.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <memory>
 #include <utility>
 
+#include "autograd/tape.h"
 #include "util/check.h"
 
 namespace rfed::ag {
@@ -19,140 +21,40 @@ bool AnyRequiresGrad(const std::vector<NodePtr>& inputs) {
   return false;
 }
 
-/// Builds the result node, wiring inputs and the backward closure. The
-/// closure receives the raw result node so it can read the upstream grad.
-Variable MakeOp(Tensor value, std::vector<NodePtr> inputs,
+/// Rank-0 scalar tensor through the pooled-storage path (the
+/// initializer-list Tensor constructor would heap-allocate per call).
+Tensor ScalarTensor(float v) {
+  Tensor out((Shape{}));
+  out.at(0) = v;
+  return out;
+}
+
+/// Builds the result node: wires inputs, runs `forward` once to compute
+/// the value, installs it for tape replay/rematerialization, wraps
+/// `backward`, and reports the node to the active TapeSession. Both
+/// closures receive the raw result node so they can read inputs and the
+/// upstream grad through it.
+Variable MakeOp(std::vector<NodePtr> inputs,
+                std::function<void(GraphNode*)> forward,
                 std::function<void(GraphNode*)> backward) {
   const bool needs_grad = AnyRequiresGrad(inputs);
-  auto node = std::make_shared<GraphNode>(std::move(value), needs_grad);
+  auto node = std::make_shared<GraphNode>(Tensor(), needs_grad);
   node->inputs = std::move(inputs);
+  node->forward_fn = std::move(forward);
+  node->forward_fn(node.get());
   if (needs_grad && backward) {
     GraphNode* raw = node.get();
     node->backward_fn = [raw, backward = std::move(backward)] { backward(raw); };
   }
+  internal::NotifyNodeCreated(node);
   return Variable(node);
 }
 
-}  // namespace
-
-Variable Add(const Variable& a, const Variable& b) {
-  return MakeOp(rfed::Add(a.value(), b.value()), {a.node(), b.node()},
-                [](GraphNode* out) {
-                  for (auto& in : out->inputs) {
-                    if (in->requires_grad()) in->AccumulateGrad(out->grad());
-                  }
-                });
-}
-
-Variable Sub(const Variable& a, const Variable& b) {
-  return MakeOp(rfed::Sub(a.value(), b.value()), {a.node(), b.node()},
-                [](GraphNode* out) {
-                  if (out->inputs[0]->requires_grad()) {
-                    out->inputs[0]->AccumulateGrad(out->grad());
-                  }
-                  if (out->inputs[1]->requires_grad()) {
-                    out->inputs[1]->AccumulateGrad(rfed::Scale(out->grad(), -1.0f));
-                  }
-                });
-}
-
-Variable Mul(const Variable& a, const Variable& b) {
-  return MakeOp(rfed::Mul(a.value(), b.value()), {a.node(), b.node()},
-                [](GraphNode* out) {
-                  GraphNode* a = out->inputs[0].get();
-                  GraphNode* b = out->inputs[1].get();
-                  if (a->requires_grad()) {
-                    a->AccumulateGrad(rfed::Mul(out->grad(), b->value()));
-                  }
-                  if (b->requires_grad()) {
-                    b->AccumulateGrad(rfed::Mul(out->grad(), a->value()));
-                  }
-                });
-}
-
-Variable Scale(const Variable& a, float s) {
-  return MakeOp(rfed::Scale(a.value(), s), {a.node()}, [s](GraphNode* out) {
-    out->inputs[0]->AccumulateGrad(rfed::Scale(out->grad(), s));
-  });
-}
-
-Variable MulConst(const Variable& a, const Tensor& mask) {
-  return MakeOp(rfed::Mul(a.value(), mask), {a.node()},
-                [mask](GraphNode* out) {
-                  out->inputs[0]->AccumulateGrad(rfed::Mul(out->grad(), mask));
-                });
-}
-
-Variable Relu(const Variable& x) {
-  return MakeOp(rfed::Relu(x.value()), {x.node()}, [](GraphNode* out) {
-    out->inputs[0]->AccumulateGrad(
-        ReluBackward(out->grad(), out->inputs[0]->value()));
-  });
-}
-
-Variable Tanh(const Variable& x) {
-  return MakeOp(rfed::Tanh(x.value()), {x.node()}, [](GraphNode* out) {
-    out->inputs[0]->AccumulateGrad(
-        TanhBackwardFromOutput(out->grad(), out->value()));
-  });
-}
-
-Variable Sigmoid(const Variable& x) {
-  return MakeOp(rfed::Sigmoid(x.value()), {x.node()}, [](GraphNode* out) {
-    out->inputs[0]->AccumulateGrad(
-        SigmoidBackwardFromOutput(out->grad(), out->value()));
-  });
-}
-
-Variable MatMul(const Variable& a, const Variable& b) {
-  return MakeOp(rfed::MatMul(a.value(), b.value()), {a.node(), b.node()},
-                [](GraphNode* out) {
-                  GraphNode* a = out->inputs[0].get();
-                  GraphNode* b = out->inputs[1].get();
-                  if (a->requires_grad()) {
-                    a->AccumulateGrad(MatMulTransB(out->grad(), b->value()));
-                  }
-                  if (b->requires_grad()) {
-                    b->AccumulateGrad(MatMulTransA(a->value(), out->grad()));
-                  }
-                });
-}
-
-Variable AddRowBroadcast(const Variable& x, const Variable& bias) {
-  return MakeOp(rfed::AddRowBroadcast(x.value(), bias.value()),
-                {x.node(), bias.node()}, [](GraphNode* out) {
-                  if (out->inputs[0]->requires_grad()) {
-                    out->inputs[0]->AccumulateGrad(out->grad());
-                  }
-                  if (out->inputs[1]->requires_grad()) {
-                    out->inputs[1]->AccumulateGrad(SumRows(out->grad()));
-                  }
-                });
-}
-
-Variable MulRowBroadcast(const Variable& x, const Variable& scale) {
-  return MakeOp(rfed::MulRowBroadcast(x.value(), scale.value()),
-                {x.node(), scale.node()}, [](GraphNode* out) {
-                  GraphNode* x = out->inputs[0].get();
-                  GraphNode* s = out->inputs[1].get();
-                  if (x->requires_grad()) {
-                    x->AccumulateGrad(
-                        rfed::MulRowBroadcast(out->grad(), s->value()));
-                  }
-                  if (s->requires_grad()) {
-                    s->AccumulateGrad(
-                        SumRows(rfed::Mul(out->grad(), x->value())));
-                  }
-                });
-}
-
-Variable NormalizeRows(const Variable& x, float eps) {
-  const Tensor& v = x.value();
-  RFED_CHECK_EQ(v.rank(), 2);
+Tensor NormalizeRowsForward(const Tensor& v, float eps,
+                            std::vector<float>* inv_std) {
   const int64_t rows = v.dim(0), cols = v.dim(1);
   Tensor normalized(v.shape());
-  auto inv_std = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(rows));
+  inv_std->resize(static_cast<size_t>(rows));
   for (int64_t r = 0; r < rows; ++r) {
     const float* src = v.data() + r * cols;
     double mean = 0.0;
@@ -171,7 +73,207 @@ Variable NormalizeRows(const Variable& x, float eps) {
       dst[c] = (src[c] - static_cast<float>(mean)) * is;
     }
   }
-  return MakeOp(std::move(normalized), {x.node()},
+  return normalized;
+}
+
+}  // namespace
+
+Variable Input(const Tensor& value) {
+  auto node = std::make_shared<GraphNode>(value, /*requires_grad=*/false);
+  node->input_tag = GraphNode::InputTag::kImages;
+  internal::NotifyNodeCreated(node);
+  return Variable(node);
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  return MakeOp({a.node(), b.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() = rfed::Add(out->inputs[0]->value(),
+                                                   out->inputs[1]->value());
+                },
+                [](GraphNode* out) {
+                  for (auto& in : out->inputs) {
+                    if (in->requires_grad()) in->AccumulateGrad(out->grad());
+                  }
+                });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  return MakeOp({a.node(), b.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() = rfed::Sub(out->inputs[0]->value(),
+                                                   out->inputs[1]->value());
+                },
+                [](GraphNode* out) {
+                  if (out->inputs[0]->requires_grad()) {
+                    out->inputs[0]->AccumulateGrad(out->grad());
+                  }
+                  if (out->inputs[1]->requires_grad()) {
+                    out->inputs[1]->AccumulateGrad(rfed::Scale(out->grad(), -1.0f));
+                  }
+                });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  return MakeOp({a.node(), b.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() = rfed::Mul(out->inputs[0]->value(),
+                                                   out->inputs[1]->value());
+                },
+                [](GraphNode* out) {
+                  GraphNode* a = out->inputs[0].get();
+                  GraphNode* b = out->inputs[1].get();
+                  if (a->requires_grad()) {
+                    a->AccumulateGrad(rfed::Mul(out->grad(), b->value()));
+                  }
+                  if (b->requires_grad()) {
+                    b->AccumulateGrad(rfed::Mul(out->grad(), a->value()));
+                  }
+                });
+}
+
+Variable Scale(const Variable& a, float s) {
+  return MakeOp({a.node()},
+                [s](GraphNode* out) {
+                  out->mutable_value() = rfed::Scale(out->inputs[0]->value(), s);
+                },
+                [s](GraphNode* out) {
+                  out->inputs[0]->AccumulateGrad(rfed::Scale(out->grad(), s));
+                });
+}
+
+Variable MulConst(const Variable& a, const Tensor& mask) {
+  // The mask cannot be refreshed on replay (it may be a fresh RNG draw
+  // per step, as in dropout), so poison the recording tape.
+  internal::MarkDynamic();
+  return MakeOp({a.node()},
+                [mask](GraphNode* out) {
+                  out->mutable_value() = rfed::Mul(out->inputs[0]->value(), mask);
+                },
+                [mask](GraphNode* out) {
+                  out->inputs[0]->AccumulateGrad(rfed::Mul(out->grad(), mask));
+                });
+}
+
+Variable Relu(const Variable& x) {
+  return MakeOp({x.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() = rfed::Relu(out->inputs[0]->value());
+                },
+                [](GraphNode* out) {
+                  out->inputs[0]->AccumulateGrad(
+                      ReluBackward(out->grad(), out->inputs[0]->value()));
+                });
+}
+
+Variable Tanh(const Variable& x) {
+  return MakeOp({x.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() = rfed::Tanh(out->inputs[0]->value());
+                },
+                [](GraphNode* out) {
+                  out->inputs[0]->AccumulateGrad(
+                      TanhBackwardFromOutput(out->grad(), out->value()));
+                });
+}
+
+Variable Sigmoid(const Variable& x) {
+  return MakeOp({x.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() = rfed::Sigmoid(out->inputs[0]->value());
+                },
+                [](GraphNode* out) {
+                  out->inputs[0]->AccumulateGrad(
+                      SigmoidBackwardFromOutput(out->grad(), out->value()));
+                });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  return MakeOp({a.node(), b.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() = rfed::MatMul(out->inputs[0]->value(),
+                                                      out->inputs[1]->value());
+                },
+                [](GraphNode* out) {
+                  GraphNode* a = out->inputs[0].get();
+                  GraphNode* b = out->inputs[1].get();
+                  if (a->requires_grad()) {
+                    a->AccumulateGrad(MatMulTransB(out->grad(), b->value()));
+                  }
+                  if (b->requires_grad()) {
+                    b->AccumulateGrad(MatMulTransA(a->value(), out->grad()));
+                  }
+                });
+}
+
+Variable AddRowBroadcast(const Variable& x, const Variable& bias) {
+  return MakeOp({x.node(), bias.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() = rfed::AddRowBroadcast(
+                      out->inputs[0]->value(), out->inputs[1]->value());
+                },
+                [](GraphNode* out) {
+                  if (out->inputs[0]->requires_grad()) {
+                    out->inputs[0]->AccumulateGrad(out->grad());
+                  }
+                  if (out->inputs[1]->requires_grad()) {
+                    out->inputs[1]->AccumulateGrad(SumRows(out->grad()));
+                  }
+                });
+}
+
+Variable MulRowBroadcast(const Variable& x, const Variable& scale) {
+  return MakeOp({x.node(), scale.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() = rfed::MulRowBroadcast(
+                      out->inputs[0]->value(), out->inputs[1]->value());
+                },
+                [](GraphNode* out) {
+                  GraphNode* x = out->inputs[0].get();
+                  GraphNode* s = out->inputs[1].get();
+                  if (x->requires_grad()) {
+                    x->AccumulateGrad(
+                        rfed::MulRowBroadcast(out->grad(), s->value()));
+                  }
+                  if (s->requires_grad()) {
+                    s->AccumulateGrad(
+                        SumRows(rfed::Mul(out->grad(), x->value())));
+                  }
+                });
+}
+
+Variable LinearBiasRelu(const Variable& x, const Variable& w,
+                        const Variable& bias) {
+  return MakeOp(
+      {x.node(), w.node(), bias.node()},
+      [](GraphNode* out) {
+        out->mutable_value() = LinearBiasReluForward(out->inputs[0]->value(),
+                                                     out->inputs[1]->value(),
+                                                     out->inputs[2]->value());
+      },
+      [](GraphNode* out) {
+        GraphNode* x = out->inputs[0].get();
+        GraphNode* w = out->inputs[1].get();
+        GraphNode* b = out->inputs[2].get();
+        Tensor dx, dw, db;
+        LinearBiasReluBackward(out->grad(), out->value(), x->value(),
+                               w->value(), x->requires_grad() ? &dx : nullptr,
+                               w->requires_grad() ? &dw : nullptr,
+                               b->requires_grad() ? &db : nullptr);
+        if (x->requires_grad()) x->AccumulateGrad(dx);
+        if (w->requires_grad()) w->AccumulateGrad(dw);
+        if (b->requires_grad()) b->AccumulateGrad(db);
+      });
+}
+
+Variable NormalizeRows(const Variable& x, float eps) {
+  RFED_CHECK_EQ(x.value().rank(), 2);
+  auto inv_std = std::make_shared<std::vector<float>>();
+  return MakeOp({x.node()},
+                [eps, inv_std](GraphNode* out) {
+                  out->mutable_value() = NormalizeRowsForward(
+                      out->inputs[0]->value(), eps, inv_std.get());
+                },
                 [inv_std](GraphNode* out) {
                   // dL/dx = (1/σ)(g - mean(g) - x̂ * mean(g ⊙ x̂)).
                   const Tensor& g = out->grad();
@@ -201,7 +303,11 @@ Variable NormalizeRows(const Variable& x, float eps) {
 
 Variable Reshape(const Variable& x, Shape new_shape) {
   const Shape old_shape = x.shape();
-  return MakeOp(x.value().Reshaped(std::move(new_shape)), {x.node()},
+  return MakeOp({x.node()},
+                [new_shape](GraphNode* out) {
+                  out->mutable_value() =
+                      out->inputs[0]->value().Reshaped(new_shape);
+                },
                 [old_shape](GraphNode* out) {
                   out->inputs[0]->AccumulateGrad(
                       out->grad().Reshaped(old_shape));
@@ -214,16 +320,21 @@ Variable SliceCols(const Variable& x, int64_t begin, int64_t end) {
   RFED_CHECK_GE(begin, 0);
   RFED_CHECK_LE(end, v.dim(1));
   RFED_CHECK_LT(begin, end);
-  const int64_t rows = v.dim(0), cols = v.dim(1), width = end - begin;
-  Tensor out(Shape{rows, width});
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = v.data() + r * cols + begin;
-    std::copy(src, src + width, out.data() + r * width);
-  }
-  return MakeOp(std::move(out), {x.node()},
+  const int64_t cols = v.dim(1), width = end - begin;
+  return MakeOp({x.node()},
+                [begin, width, cols](GraphNode* out) {
+                  const Tensor& v = out->inputs[0]->value();
+                  const int64_t rows = v.dim(0);
+                  Tensor sliced(Shape{rows, width});
+                  for (int64_t r = 0; r < rows; ++r) {
+                    const float* src = v.data() + r * cols + begin;
+                    std::copy(src, src + width, sliced.data() + r * width);
+                  }
+                  out->mutable_value() = std::move(sliced);
+                },
                 [begin, width, cols](GraphNode* out) {
                   GraphNode* in = out->inputs[0].get();
-                  Tensor dx(in->value().shape());
+                  Tensor dx(in->value_shape());
                   const int64_t rows = dx.dim(0);
                   for (int64_t r = 0; r < rows; ++r) {
                     const float* src = out->grad().data() + r * width;
@@ -236,7 +347,11 @@ Variable SliceCols(const Variable& x, int64_t begin, int64_t end) {
 
 Variable ConcatRows(const Variable& a, const Variable& b) {
   const int64_t rows_a = a.value().dim(0);
-  return MakeOp(rfed::ConcatRows(a.value(), b.value()), {a.node(), b.node()},
+  return MakeOp({a.node(), b.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() = rfed::ConcatRows(
+                      out->inputs[0]->value(), out->inputs[1]->value());
+                },
                 [rows_a](GraphNode* out) {
                   const Tensor& g = out->grad();
                   if (out->inputs[0]->requires_grad()) {
@@ -250,70 +365,122 @@ Variable ConcatRows(const Variable& a, const Variable& b) {
 }
 
 Variable Sum(const Variable& x) {
-  Tensor out(Shape{}, std::vector<float>{x.value().Sum()});
-  return MakeOp(std::move(out), {x.node()}, [](GraphNode* out) {
-    GraphNode* in = out->inputs[0].get();
-    Tensor dx(in->value().shape(), out->grad().ToScalar());
-    in->AccumulateGrad(dx);
-  });
+  return MakeOp({x.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() =
+                      ScalarTensor(out->inputs[0]->value().Sum());
+                },
+                [](GraphNode* out) {
+                  GraphNode* in = out->inputs[0].get();
+                  Tensor dx(in->value_shape(), out->grad().ToScalar());
+                  in->AccumulateGrad(dx);
+                });
 }
 
 Variable Mean(const Variable& x) {
-  Tensor out(Shape{}, std::vector<float>{x.value().Mean()});
   const float inv = 1.0f / static_cast<float>(x.value().size());
-  return MakeOp(std::move(out), {x.node()}, [inv](GraphNode* out) {
-    GraphNode* in = out->inputs[0].get();
-    Tensor dx(in->value().shape(), out->grad().ToScalar() * inv);
-    in->AccumulateGrad(dx);
-  });
+  return MakeOp({x.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() =
+                      ScalarTensor(out->inputs[0]->value().Mean());
+                },
+                [inv](GraphNode* out) {
+                  GraphNode* in = out->inputs[0].get();
+                  Tensor dx(in->value_shape(), out->grad().ToScalar() * inv);
+                  in->AccumulateGrad(dx);
+                });
 }
 
 Variable MeanRows(const Variable& x) {
-  return MakeOp(rfed::MeanRows(x.value()), {x.node()}, [](GraphNode* out) {
-    GraphNode* in = out->inputs[0].get();
-    const int64_t rows = in->value().dim(0), cols = in->value().dim(1);
-    const float inv = 1.0f / static_cast<float>(rows);
-    Tensor dx(in->value().shape());
-    for (int64_t r = 0; r < rows; ++r) {
-      float* row = dx.data() + r * cols;
-      for (int64_t c = 0; c < cols; ++c) row[c] = out->grad().at(c) * inv;
-    }
-    in->AccumulateGrad(dx);
-  });
+  return MakeOp({x.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() = rfed::MeanRows(out->inputs[0]->value());
+                },
+                [](GraphNode* out) {
+                  GraphNode* in = out->inputs[0].get();
+                  const Shape& in_shape = in->value_shape();
+                  const int64_t rows = in_shape.dim(0), cols = in_shape.dim(1);
+                  const float inv = 1.0f / static_cast<float>(rows);
+                  Tensor dx(in_shape);
+                  for (int64_t r = 0; r < rows; ++r) {
+                    float* row = dx.data() + r * cols;
+                    for (int64_t c = 0; c < cols; ++c) {
+                      row[c] = out->grad().at(c) * inv;
+                    }
+                  }
+                  in->AccumulateGrad(dx);
+                });
 }
 
 Variable SquaredDistanceToConst(const Variable& x, const Tensor& target) {
-  Tensor diff = rfed::Sub(x.value(), target);
-  Tensor out(Shape{}, std::vector<float>{diff.SquaredNorm()});
-  return MakeOp(std::move(out), {x.node()},
-                [diff = std::move(diff)](GraphNode* out) {
+  auto diff = std::make_shared<Tensor>();
+  return MakeOp({x.node()},
+                [target, diff](GraphNode* out) {
+                  *diff = rfed::Sub(out->inputs[0]->value(), target);
+                  out->mutable_value() = ScalarTensor(diff->SquaredNorm());
+                },
+                [diff](GraphNode* out) {
                   out->inputs[0]->AccumulateGrad(
-                      rfed::Scale(diff, 2.0f * out->grad().ToScalar()));
+                      rfed::Scale(*diff, 2.0f * out->grad().ToScalar()));
                 });
 }
 
 Variable SquaredNorm(const Variable& x) {
-  Tensor out(Shape{}, std::vector<float>{x.value().SquaredNorm()});
-  return MakeOp(std::move(out), {x.node()}, [](GraphNode* out) {
-    out->inputs[0]->AccumulateGrad(
-        rfed::Scale(out->inputs[0]->value(), 2.0f * out->grad().ToScalar()));
-  });
+  return MakeOp({x.node()},
+                [](GraphNode* out) {
+                  out->mutable_value() =
+                      ScalarTensor(out->inputs[0]->value().SquaredNorm());
+                },
+                [](GraphNode* out) {
+                  out->inputs[0]->AccumulateGrad(rfed::Scale(
+                      out->inputs[0]->value(), 2.0f * out->grad().ToScalar()));
+                });
 }
 
-Variable GatherRows(const Variable& table, const std::vector<int>& ids) {
-  return MakeOp(rfed::GatherRows(table.value(), ids), {table.node()},
+namespace {
+
+Variable GatherRowsImpl(const Variable& table,
+                        std::shared_ptr<std::vector<int>> ids) {
+  return MakeOp({table.node()},
+                [ids](GraphNode* out) {
+                  out->mutable_value() =
+                      rfed::GatherRows(out->inputs[0]->value(), *ids);
+                },
                 [ids](GraphNode* out) {
                   GraphNode* in = out->inputs[0].get();
-                  Tensor dtable(in->value().shape());
-                  ScatterAddRows(out->grad(), ids, &dtable);
+                  Tensor dtable(in->value_shape());
+                  ScatterAddRows(out->grad(), *ids, &dtable);
                   in->AccumulateGrad(dtable);
                 });
 }
 
+}  // namespace
+
+Variable GatherRows(const Variable& table, const std::vector<int>& ids) {
+  // Untagged ids change per batch but cannot be refreshed on replay.
+  internal::MarkDynamic();
+  return GatherRowsImpl(table, std::make_shared<std::vector<int>>(ids));
+}
+
+Variable GatherRows(const Variable& table, const std::vector<int>& ids,
+                    int timestep) {
+  auto ids_sp = std::make_shared<std::vector<int>>(ids);
+  Variable out = GatherRowsImpl(table, ids_sp);
+  out.node()->input_tag = GraphNode::InputTag::kTokenStep;
+  out.node()->tag_index = timestep;
+  out.node()->ids = std::move(ids_sp);
+  return out;
+}
+
 Variable Conv2d(const Variable& x, const Variable& w, const Variable& b,
                 const Conv2dSpec& spec) {
-  return MakeOp(Conv2dForward(x.value(), w.value(), b.value(), spec),
-                {x.node(), w.node(), b.node()}, [spec](GraphNode* out) {
+  return MakeOp({x.node(), w.node(), b.node()},
+                [spec](GraphNode* out) {
+                  out->mutable_value() = Conv2dForward(
+                      out->inputs[0]->value(), out->inputs[1]->value(),
+                      out->inputs[2]->value(), spec);
+                },
+                [spec](GraphNode* out) {
                   GraphNode* x = out->inputs[0].get();
                   GraphNode* w = out->inputs[1].get();
                   GraphNode* b = out->inputs[2].get();
@@ -330,24 +497,35 @@ Variable Conv2d(const Variable& x, const Variable& w, const Variable& b,
 
 Variable MaxPool2x2(const Variable& x) {
   auto argmax = std::make_shared<std::vector<int64_t>>();
-  Tensor out = MaxPool2x2Forward(x.value(), argmax.get());
-  return MakeOp(std::move(out), {x.node()}, [argmax](GraphNode* out) {
-    GraphNode* in = out->inputs[0].get();
-    in->AccumulateGrad(
-        MaxPool2x2Backward(out->grad(), in->value().shape(), *argmax));
-  });
+  return MakeOp({x.node()},
+                [argmax](GraphNode* out) {
+                  out->mutable_value() =
+                      MaxPool2x2Forward(out->inputs[0]->value(), argmax.get());
+                },
+                [argmax](GraphNode* out) {
+                  GraphNode* in = out->inputs[0].get();
+                  in->AccumulateGrad(MaxPool2x2Backward(
+                      out->grad(), in->value_shape(), *argmax));
+                });
 }
 
 Variable SoftmaxCrossEntropy(const Variable& logits,
                              const std::vector<int>& labels) {
+  auto labels_sp = std::make_shared<std::vector<int>>(labels);
   auto dlogits = std::make_shared<Tensor>();
-  const float loss =
-      rfed::SoftmaxCrossEntropy(logits.value(), labels, dlogits.get());
-  Tensor out(Shape{}, std::vector<float>{loss});
-  return MakeOp(std::move(out), {logits.node()}, [dlogits](GraphNode* out) {
-    out->inputs[0]->AccumulateGrad(
-        rfed::Scale(*dlogits, out->grad().ToScalar()));
-  });
+  Variable out =
+      MakeOp({logits.node()},
+             [labels_sp, dlogits](GraphNode* out) {
+               out->mutable_value() = ScalarTensor(rfed::SoftmaxCrossEntropy(
+                   out->inputs[0]->value(), *labels_sp, dlogits.get()));
+             },
+             [dlogits](GraphNode* out) {
+               out->inputs[0]->AccumulateGrad(
+                   rfed::Scale(*dlogits, out->grad().ToScalar()));
+             });
+  out.node()->input_tag = GraphNode::InputTag::kLabels;
+  out.node()->ids = std::move(labels_sp);
+  return out;
 }
 
 }  // namespace rfed::ag

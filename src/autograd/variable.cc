@@ -1,7 +1,9 @@
 #include "autograd/variable.h"
 
 #include <unordered_set>
+#include <utility>
 
+#include "autograd/tape.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -9,15 +11,15 @@ namespace rfed {
 
 Tensor& GraphNode::grad() {
   if (!has_grad_) {
-    grad_ = Tensor(value_.shape());
+    grad_ = Tensor(value_shape());
     has_grad_ = true;
   }
   return grad_;
 }
 
 void GraphNode::AccumulateGrad(const Tensor& g) {
-  RFED_CHECK(g.shape() == value_.shape())
-      << g.shape().ToString() << " vs " << value_.shape().ToString();
+  RFED_CHECK(g.shape() == value_shape())
+      << g.shape().ToString() << " vs " << value_shape().ToString();
   grad().AddInPlace(g);
 }
 
@@ -25,11 +27,28 @@ void GraphNode::ZeroGrad() {
   if (has_grad_) grad_.Fill(0.0f);
 }
 
+void GraphNode::ReleaseValue() {
+  if (value_dropped) return;
+  dropped_shape_ = value_.shape();
+  value_ = Tensor();
+  value_dropped = true;
+}
+
+void GraphNode::ReleaseGrad() {
+  grad_ = Tensor();
+  has_grad_ = false;
+}
+
 void Variable::Backward() {
   RFED_CHECK(valid());
   RFED_CHECK_EQ(node_->value().size(), 1)
       << "Backward() must start from a scalar";
   obs::TraceSpan trace_span("backward");
+
+  ag::TapeSession* session = ag::internal::ActiveSession();
+  // A replayed step reuses the execution order captured when its graph
+  // was recorded — bit-identical by construction, and O(1) bookkeeping.
+  if (session != nullptr && session->TryCachedBackward(node_.get())) return;
 
   // Iterative post-order DFS for a reverse topological order.
   std::vector<GraphNode*> order;
@@ -53,12 +72,9 @@ void Variable::Backward() {
     }
   }
 
-  node_->grad().Fill(1.0f);
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    GraphNode* node = *it;
-    if (node->backward_fn && node->requires_grad() && node->has_grad()) {
-      node->backward_fn();
-    }
+  ag::internal::RunBackwardPass(node_.get(), order, session);
+  if (session != nullptr) {
+    session->OnBackwardOrderComputed(node_.get(), std::move(order));
   }
 }
 

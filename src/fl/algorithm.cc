@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "autograd/tape.h"
 #include "fl/checkpoint.h"
 #include "fl/model_state.h"
 #include "fl/robust_agg.h"
@@ -13,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/autotune.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -356,6 +358,18 @@ std::pair<Tensor, double> FederatedAlgorithm::LocalTrain(
   auto optimizer = MakeOptimizer(config_.optimizer, params, config_.lr);
   Batcher& batcher = BatcherFor(client);
 
+  // One arena-backed tape per bout: step 0 records the graph, later
+  // steps with the same batch signature replay it over fresh data —
+  // bit-identical to a fresh build (same ops, same creation order, same
+  // cached backward order), so goldens are unchanged. ExtraLoss hooks
+  // are recorded too; every implementation builds round-constant ops
+  // (MMD targets are fixed for the round, FedProx works in
+  // PostBackward), so a bout-scoped replay is sound.
+  ag::TapeSession session(
+      {config_.autograd.static_graph, config_.autograd.checkpoint});
+  obs::Gauge* allocs_gauge =
+      obs::MetricsRegistry::Get().GetGauge("autograd.allocs_per_step");
+
   const int steps = LocalSteps(client);
   double loss_sum = 0.0;
   for (int step = 0; step < steps; ++step) {
@@ -364,15 +378,29 @@ std::pair<Tensor, double> FederatedAlgorithm::LocalTrain(
     // remapped labels (no-op for honest clients and other modes).
     adversary_.CorruptLabels(client, &batch.labels,
                              train_data_->num_classes());
-    ModelOutput out = model->Forward(batch);
-    Variable loss = CrossEntropyLoss(out.logits, batch.labels);
-    Variable extra = ExtraLoss(client, out, batch);
-    if (extra.valid()) loss = ag::Add(loss, extra);
+    const int64_t allocs_before = BufferPool::ThreadAllocCount();
+    ag::ReplayBindings bind{batch.images.size() > 0 ? &batch.images : nullptr,
+                            &batch.tokens, &batch.labels};
+    Variable loss;
+    if (session.CanReplay(bind)) {
+      loss = session.Replay(bind);
+    } else {
+      session.BeginRecord(bind);
+      ModelOutput out = model->Forward(batch);
+      loss = CrossEntropyLoss(out.logits, batch.labels);
+      Variable extra = ExtraLoss(client, out, batch);
+      if (extra.valid()) loss = ag::Add(loss, extra);
+      session.EndRecord(loss);
+    }
     optimizer->ZeroGrad();
     loss.Backward();
     PostBackward(client, params);
     optimizer->Step();
     loss_sum += static_cast<double>(loss.value().ToScalar());
+    // Pool misses this step on this thread; O(1) (0 in the steady state)
+    // once the bout's graphs are recorded and the freelists are warm.
+    allocs_gauge->Set(
+        static_cast<double>(BufferPool::ThreadAllocCount() - allocs_before));
   }
   return {FlattenParameters(params), loss_sum / static_cast<double>(steps)};
 }

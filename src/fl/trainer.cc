@@ -8,6 +8,7 @@
 #include "nn/loss.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -91,6 +92,10 @@ RunHistory FederatedTrainer::Run(int rounds, const RunCheckpoint* resume) {
   // cumulative) still reports only its own rounds.
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
   obs::Gauge* scratch_gauge = registry.GetGauge("kernel.scratch_peak_bytes");
+  // High-water mark of outstanding tape/pool tensor bytes across every
+  // training thread (tensor/buffer_pool.h). Registered here, next to the
+  // kernel scratch peak, so the CSV column exists from round 0.
+  obs::Gauge* tape_peak_gauge = registry.GetGauge("autograd.tape_peak_bytes");
   std::vector<obs::MetricSample> prev_snapshot = registry.Snapshot();
   for (int round = start_round; round < rounds; ++round) {
     RoundResult result = [&] {
@@ -114,6 +119,7 @@ RunHistory FederatedTrainer::Run(int rounds, const RunCheckpoint* resume) {
     metrics.mean_staleness = result.mean_staleness;
     metrics.peak_scratch_bytes = ScratchArena::PeakBytes();
     scratch_gauge->Set(static_cast<double>(metrics.peak_scratch_bytes));
+    tape_peak_gauge->Set(static_cast<double>(BufferPool::PeakBytes()));
     std::vector<obs::MetricSample> snapshot = registry.Snapshot();
     metrics.metrics = obs::SnapshotDelta(prev_snapshot, snapshot);
     prev_snapshot = std::move(snapshot);

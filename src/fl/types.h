@@ -21,6 +21,24 @@ struct ClientView {
   std::vector<int> test_indices;
 };
 
+/// Autograd execution strategy for local training (see docs/AUTOGRAD.md
+/// and autograd/tape.h). Both knobs are bit-identical on/off by
+/// construction — replay reruns the same kernels over the same bytes in
+/// the same order, and checkpointing never changes the backward
+/// schedule — so they only trade wall time and peak memory.
+struct AutogradOptions {
+  /// Record each client bout's step-0 graph and replay it (same nodes,
+  /// cached backward order, fresh batch data) for the remaining local
+  /// steps; rebuilt automatically when the batch shape changes or a
+  /// non-replayable op (dropout) appears. On by default.
+  bool static_graph = true;
+  /// Gradient checkpointing for LSTM BPTT: drop per-timestep gate
+  /// activations at segment close and rematerialize them just before
+  /// their backward runs. Roughly one extra forward per timestep in
+  /// exchange for O(1)-per-timestep activation memory. Off by default.
+  bool checkpoint = false;
+};
+
 /// Hyperparameters shared by all federated algorithms; mirrors the paper's
 /// experimental settings (Sec. VI-A): C communication rounds, E local
 /// steps, mini-batch size B, sample ratio SR and the local optimizer.
@@ -113,6 +131,9 @@ struct FlConfig {
   /// The per-round metric snapshots in RoundMetrics::metrics are
   /// collected regardless of this flag.
   bool trace = false;
+  /// Autograd tape strategy for the local-training loops (static-graph
+  /// replay and LSTM gradient checkpointing; both bit-identical knobs).
+  AutogradOptions autograd;
 };
 
 }  // namespace rfed

@@ -13,4 +13,8 @@ Variable Embedding::Forward(const std::vector<int>& ids) {
   return ag::GatherRows(*table_, ids);
 }
 
+Variable Embedding::Forward(const std::vector<int>& ids, int timestep) {
+  return ag::GatherRows(*table_, ids, timestep);
+}
+
 }  // namespace rfed

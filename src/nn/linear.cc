@@ -16,4 +16,8 @@ Variable Linear::Forward(const Variable& x) {
   return ag::AddRowBroadcast(ag::MatMul(x, *weight_), *bias_);
 }
 
+Variable Linear::ForwardRelu(const Variable& x) {
+  return ag::LinearBiasRelu(x, *weight_, *bias_);
+}
+
 }  // namespace rfed

@@ -16,6 +16,11 @@ class Linear : public Module {
   /// x: [batch, in] -> [batch, out].
   Variable Forward(const Variable& x);
 
+  /// relu(Forward(x)) through the fused ag::LinearBiasRelu op: one graph
+  /// node and two fewer intermediate tensors, bit-identical to
+  /// ag::Relu(Forward(x)).
+  Variable ForwardRelu(const Variable& x);
+
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
 

@@ -1,5 +1,6 @@
 #include "nn/lstm.h"
 
+#include "autograd/tape.h"
 #include "nn/init.h"
 #include "util/check.h"
 
@@ -44,8 +45,15 @@ std::vector<Variable> LstmLayer::Unroll(const std::vector<Variable>& x_seq) {
   std::vector<Variable> outputs;
   outputs.reserve(x_seq.size());
   for (const Variable& x_t : x_seq) {
+    // One checkpoint segment per timestep (no-ops unless a TapeSession
+    // records with checkpointing on). CloseSegment runs after Step's
+    // intermediates (gates, slices, products) leave scope, so anything
+    // without a live Variable — everything but x_t, h and c — drops
+    // back to the arena until backward rematerializes the segment.
+    ag::internal::BeginSegment();
     state = Step(x_t, state);
     outputs.push_back(state.h);
+    ag::internal::CloseSegment();
   }
   return outputs;
 }

@@ -26,11 +26,11 @@ CnnModel::CnnModel(const CnnConfig& config, Rng* rng)
 
 ModelOutput CnnModel::Forward(const Batch& batch) {
   RFED_CHECK_GT(batch.images.size(), 0) << "CnnModel needs image batches";
-  Variable x(batch.images);
+  Variable x = ag::Input(batch.images);
   Variable h1 = ag::MaxPool2x2(ag::Relu(conv1_.Forward(x)));
   Variable h2 = ag::MaxPool2x2(ag::Relu(conv2_.Forward(h1)));
   Variable flat = ag::Reshape(h2, Shape{batch.size(), flat_dim_});
-  Variable features = ag::Relu(fc1_.Forward(flat));
+  Variable features = fc1_.ForwardRelu(flat);
   Variable logits = fc2_.Forward(features);
   return ModelOutput{features, logits};
 }
@@ -63,13 +63,13 @@ ModelOutput LstmModel::Forward(const Batch& batch) {
       step_ids[static_cast<size_t>(b)] =
           batch.tokens[static_cast<size_t>(b)][t];
     }
-    x_seq.push_back(embedding_.Forward(step_ids));
+    x_seq.push_back(embedding_.Forward(step_ids, static_cast<int>(t)));
   }
 
   std::vector<Variable> h1 = lstm1_.Unroll(x_seq);
   std::vector<Variable> h2 = lstm2_.Unroll(h1);
   Variable last = h2.back();
-  Variable features = ag::Relu(fc1_.Forward(last));
+  Variable features = fc1_.ForwardRelu(last);
   Variable logits = fc2_.Forward(features);
   return ModelOutput{features, logits};
 }
@@ -88,9 +88,11 @@ MlpModel::MlpModel(const MlpConfig& config, Rng* rng)
 
 ModelOutput MlpModel::Forward(const Batch& batch) {
   RFED_CHECK_GT(batch.images.size(), 0) << "MlpModel needs image batches";
-  Variable x(batch.images.Reshaped(Shape{batch.size(), flat_dim_}));
-  Variable h = ag::Relu(fc1_.Forward(x));
-  Variable features = ag::Relu(fc2_.Forward(h));
+  // Input() records the flattened shape; replay re-flattens the fresh
+  // batch's images to match.
+  Variable x = ag::Input(batch.images.Reshaped(Shape{batch.size(), flat_dim_}));
+  Variable h = fc1_.ForwardRelu(x);
+  Variable features = fc2_.ForwardRelu(h);
   Variable logits = fc3_.Forward(features);
   return ModelOutput{features, logits};
 }

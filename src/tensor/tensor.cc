@@ -2,18 +2,71 @@
 
 #include <cmath>
 
+#include "tensor/buffer_pool.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
 namespace rfed {
+namespace {
+
+// Pool-aware fill construction: an exact-size recycled buffer when a
+// BufferPool scope is active, a fresh heap vector otherwise. assign()
+// value-writes every element, so recycled content never leaks through.
+std::vector<float> FilledStorage(int64_t n, float value) {
+  if (!BufferPool::Active()) {
+    return std::vector<float>(static_cast<size_t>(n), value);
+  }
+  std::vector<float> buf = BufferPool::Acquire(static_cast<size_t>(n));
+  buf.assign(static_cast<size_t>(n), value);
+  return buf;
+}
+
+}  // namespace
+
+Tensor::~Tensor() { BufferPool::MaybeRecycle(&data_, pooled_); }
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_),
+      data_(BufferPool::CopyOf(other.data_)),
+      pooled_(BufferPool::Active()) {}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    // Keep this tensor's own storage (and its accounting flag): the
+    // vector copy reuses the existing buffer when capacity allows.
+    shape_ = other.shape_;
+    data_ = other.data_;
+  }
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      data_(std::move(other.data_)),
+      pooled_(other.pooled_) {
+  other.pooled_ = false;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    BufferPool::MaybeRecycle(&data_, pooled_);
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+    pooled_ = other.pooled_;
+    other.pooled_ = false;
+  }
+  return *this;
+}
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
-      data_(static_cast<size_t>(shape_.num_elements()), 0.0f) {}
+      data_(FilledStorage(shape_.num_elements(), 0.0f)),
+      pooled_(BufferPool::Active()) {}
 
 Tensor::Tensor(Shape shape, float value)
     : shape_(std::move(shape)),
-      data_(static_cast<size_t>(shape_.num_elements()), value) {}
+      data_(FilledStorage(shape_.num_elements(), value)),
+      pooled_(BufferPool::Active()) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
@@ -49,7 +102,11 @@ float Tensor::at2(int64_t r, int64_t c) const {
 Tensor Tensor::Reshaped(Shape new_shape) const {
   RFED_CHECK_EQ(new_shape.num_elements(), shape_.num_elements())
       << new_shape.ToString() << " vs " << shape_.ToString();
-  return Tensor(std::move(new_shape), data_);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = BufferPool::CopyOf(data_);
+  out.pooled_ = BufferPool::Active();
+  return out;
 }
 
 float Tensor::ToScalar() const {

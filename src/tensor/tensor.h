@@ -14,10 +14,25 @@ namespace rfed {
 /// movable). This is the single numeric container used throughout the
 /// repository: model parameters, activations, gradients, datasets and the
 /// communicated δ maps are all Tensors.
+///
+/// Storage is recycled through the thread-local BufferPool whenever a
+/// pool scope is active (tensor/buffer_pool.h): construction draws from
+/// the freelist, destruction and move-assign-overwrite donate back to
+/// it. Recycled buffers are value-initialized exactly like fresh ones,
+/// so pooling never changes a single bit of any computation.
 class Tensor {
  public:
   /// Empty rank-1 tensor with zero elements.
   Tensor() : shape_({0}) {}
+
+  ~Tensor();
+  Tensor(const Tensor& other);
+  /// Element-wise copy; reuses the existing buffer when capacity allows.
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  /// Steals `other`'s buffer; the overwritten buffer is donated to the
+  /// active BufferPool scope (plain heap free otherwise).
+  Tensor& operator=(Tensor&& other) noexcept;
 
   /// Zero-initialized tensor of the given shape.
   explicit Tensor(Shape shape);
@@ -79,6 +94,10 @@ class Tensor {
  private:
   Shape shape_;
   std::vector<float> data_;
+  /// True iff data_ came from BufferPool::Acquire, i.e. its bytes are in
+  /// the pool's outstanding counter and must be subtracted when this
+  /// tensor dies — wherever that happens (see buffer_pool.h).
+  bool pooled_ = false;
 };
 
 /// True iff the tensors have the same shape and all elements differ by at

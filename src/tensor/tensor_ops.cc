@@ -189,6 +189,42 @@ Tensor SumRows(const Tensor& x) {
   return out;
 }
 
+Tensor LinearBiasReluForward(const Tensor& x, const Tensor& w,
+                             const Tensor& bias) {
+  RFED_CHECK_EQ(x.rank(), 2);
+  RFED_CHECK_EQ(w.rank(), 2);
+  RFED_CHECK_EQ(bias.rank(), 1);
+  RFED_CHECK_EQ(x.dim(1), w.dim(0));
+  RFED_CHECK_EQ(w.dim(1), bias.dim(0));
+  const int64_t m = x.dim(0), k = x.dim(1), n = w.dim(1);
+  Tensor y(Shape{m, n});
+  GemmAdd(x.data(), w.data(), m, k, n, y.data());
+  // Epilogue in the unfused chain's element order: add the bias, then
+  // clamp — float-identical to AddRowBroadcast followed by Relu.
+  for (int64_t r = 0; r < m; ++r) {
+    float* row = y.data() + r * n;
+    for (int64_t c = 0; c < n; ++c) {
+      row[c] = std::max(0.0f, row[c] + bias.at(c));
+    }
+  }
+  return y;
+}
+
+void LinearBiasReluBackward(const Tensor& grad, const Tensor& y,
+                            const Tensor& x, const Tensor& w, Tensor* dx,
+                            Tensor* dw, Tensor* db) {
+  CheckSameShape(grad, y);
+  // Mask mirrors ReluBackward: y = max(0, pre) makes `y <= 0` the exact
+  // set of clamped elements.
+  Tensor g_pre = grad;
+  for (int64_t i = 0; i < g_pre.size(); ++i) {
+    if (y.at(i) <= 0.0f) g_pre.at(i) = 0.0f;
+  }
+  if (dx != nullptr) *dx = MatMulTransB(g_pre, w);
+  if (dw != nullptr) *dw = MatMulTransA(x, g_pre);
+  if (db != nullptr) *db = SumRows(g_pre);
+}
+
 Tensor MeanRows(const Tensor& x) {
   RFED_CHECK_GT(x.dim(0), 0);
   Tensor out = SumRows(x);

@@ -55,6 +55,21 @@ Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias);
 Tensor MulRowBroadcast(const Tensor& x, const Tensor& scale);
 /// Column-sum of a [rows, cols] tensor -> [cols] (bias gradient).
 Tensor SumRows(const Tensor& x);
+/// Fused y = relu(x · w + bias) for x [m, k], w [k, n], bias [n]: one
+/// GEMM plus an in-place bias+relu epilogue, saving the two intermediate
+/// tensors of the MatMul/AddRowBroadcast/Relu chain. Bit-identical to
+/// that chain: the epilogue performs the same `+bias` then `max(·, 0)`
+/// per element, and GemmAdd is the same kernel MatMul dispatches to.
+Tensor LinearBiasReluForward(const Tensor& x, const Tensor& w,
+                             const Tensor& bias);
+/// Backward of the fused op. `y` is the forward *output* (y <= 0 marks
+/// exactly the elements the relu clamped, since y = max(0, pre)). The
+/// masked gradient g_pre = grad ⊙ 1[y > 0] feeds the same kernels the
+/// unfused chain uses: *dx = g_pre · wᵀ, *dw = xᵀ · g_pre,
+/// *db = SumRows(g_pre). Null output pointers skip that gradient.
+void LinearBiasReluBackward(const Tensor& grad, const Tensor& y,
+                            const Tensor& x, const Tensor& w, Tensor* dx,
+                            Tensor* dw, Tensor* db);
 /// Mean over axis 0 of a [rows, cols] tensor -> [cols] (feature mean δ).
 Tensor MeanRows(const Tensor& x);
 

@@ -2,7 +2,7 @@
 # docs_check.sh <repo_root> <experiment_cli_binary> [build_dir]
 #               [rfed_server_binary] [rfed_worker_binary]
 #
-# Six stale-documentation tripwires, run as `ctest -L docs`:
+# Seven stale-documentation tripwires, run as `ctest -L docs`:
 #   1. Every relative markdown link in README.md and docs/*.md must
 #      resolve to an existing file or directory.
 #   2. Every `--flag` token mentioned in docs/REPRODUCING.md,
@@ -19,9 +19,13 @@
 #   5. Every `BENCH_*.json` filename mentioned in README.md, docs/*.md
 #      or EXPERIMENTS.md must exist at the repo root (benches commit
 #      their JSON; docs must not advertise files nothing generates).
-#   6. Every `kernel.*` metric name mentioned in README.md or docs/*.md
-#      must appear as a string literal somewhere under src/, so the
-#      metrics tables cannot document counters nothing records.
+#   6. Every `kernel.*` or `autograd.*` metric name mentioned in
+#      README.md or docs/*.md must appear as a string literal somewhere
+#      under src/, so the metrics tables cannot document counters
+#      nothing records.
+#   7. Every page under docs/ must be reachable: its filename must be
+#      mentioned by README.md or by another docs page, so a new doc
+#      cannot be merged as an orphan nobody can discover.
 set -u
 
 root="${1:?usage: docs_check.sh <repo_root> <experiment_cli>}"
@@ -123,14 +127,35 @@ for doc in "$root"/README.md "$root"/EXPERIMENTS.md "$root"/docs/*.md; do
   done
 done
 
-# ---- 6. kernel.* metric names the docs document ----
+# ---- 6. kernel.* / autograd.* metric names the docs document ----
 for doc in "$root"/README.md "$root"/docs/*.md; do
   [ -f "$doc" ] || continue
-  for metric in $(grep -oE 'kernel\.[a-z_]+(\.[a-z_]+)*' "$doc" | sort -u); do
+  # Require a non-identifier prefix so BENCH_autograd.json and
+  # FlConfig::autograd.checkpoint do not read as metric names.
+  for metric in $(grep -oE '(^|[^A-Za-z0-9_:])(kernel|autograd)\.[a-z_]+(\.[a-z_]+)*' "$doc" |
+                  sed -E 's/^[^ka]//' | sort -u); do
     if ! grep -rqF "\"$metric\"" "$root/src"; then
       fail "$doc documents metric $metric, never recorded under src/"
     fi
   done
+done
+
+# ---- 7. Orphaned docs pages ----
+for doc in "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  base=$(basename "$doc")
+  linked=0
+  for other in "$root"/README.md "$root"/docs/*.md; do
+    [ -f "$other" ] || continue
+    [ "$other" = "$doc" ] && continue
+    if grep -qF "$base" "$other"; then
+      linked=1
+      break
+    fi
+  done
+  if [ "$linked" -eq 0 ]; then
+    fail "docs/$base is linked from neither README.md nor any other doc"
+  fi
 done
 
 if [ "$failures" -gt 0 ]; then

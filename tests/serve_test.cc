@@ -3,8 +3,10 @@
 // the in-process simulator byte for byte. The sim-oracle contract: the
 // final model tensors are byte-identical and every per-round CSV column
 // matches exactly, except the process-local compute-effort columns
-// (round_seconds, peak_scratch_bytes, kernel.*) whose values depend on
-// which process happened to run the flops.
+// (round_seconds, peak_scratch_bytes, kernel.*, autograd.*) whose values
+// depend on which process happened to run the flops — the server
+// delegates local training to workers, so its tape/arena accounting
+// legitimately differs from the oracle's.
 //
 // The oracle replays each scenario with a plain FederatedTrainer in a
 // fork()ed child of this harness (a fresh process keeps the process-global
@@ -163,7 +165,7 @@ void RunOracle(const std::vector<std::string>& args,
 
 bool MaskedColumn(const std::string& name) {
   return name == "round_seconds" || name == "peak_scratch_bytes" ||
-         name.rfind("kernel.", 0) == 0;
+         name.rfind("kernel.", 0) == 0 || name.rfind("autograd.", 0) == 0;
 }
 
 std::vector<std::vector<std::string>> ParseCsv(const std::string& path) {

@@ -1,0 +1,368 @@
+// Tape / arena test suite: the bit-identity contracts of the
+// arena-backed autograd (autograd/tape.h, tensor/buffer_pool.h) and the
+// fused ops. Everything here asserts *exact* float equality, not
+// closeness — static-graph replay, gradient checkpointing and the fused
+// linear+bias+relu epilogue all promise byte-identical results, and any
+// drift is a bug (see docs/AUTOGRAD.md for the contracts).
+//
+// The pool's leak behavior is covered by running this suite under the
+// ASan/TSan configurations (RFED_SANITIZE=address|thread): donated
+// buffers that outlive their scope or double-recycles trip the
+// sanitizers immediately.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "data/partition.h"
+#include "data/synthetic_images.h"
+#include "data/synthetic_text.h"
+#include "fl/fedavg.h"
+#include "fl/trainer.h"
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "tensor/buffer_pool.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace rfed {
+namespace {
+
+using ::rfed::testing::MaxGradCheckError;
+
+constexpr double kTol = 5e-2;  // float32 kernels vs double finite diffs
+
+Variable Leaf(Tensor t) { return Variable(std::move(t), true); }
+
+void ExpectBitEqual(const Tensor& a, const Tensor& b,
+                    const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.at(i), b.at(i)) << what << " element " << i;
+  }
+}
+
+// ---- Fused linear+bias+relu ----
+
+TEST(FusedOpsTest, LinearBiasReluMatchesComposedChainBitwise) {
+  Rng rng(101);
+  Tensor xt = Tensor::Normal(Shape{5, 7}, 0, 1, &rng);
+  Tensor wt = Tensor::Normal(Shape{7, 4}, 0, 0.5f, &rng);
+  Tensor bt = Tensor::Normal(Shape{4}, 0, 0.5f, &rng);
+
+  Variable x1 = Leaf(xt), w1 = Leaf(wt), b1 = Leaf(bt);
+  Variable fused = ag::LinearBiasRelu(x1, w1, b1);
+  ag::Sum(fused).Backward();
+
+  Variable x2 = Leaf(xt), w2 = Leaf(wt), b2 = Leaf(bt);
+  Variable chain =
+      ag::Relu(ag::AddRowBroadcast(ag::MatMul(x2, w2), b2));
+  ag::Sum(chain).Backward();
+
+  ExpectBitEqual(fused.value(), chain.value(), "forward");
+  ExpectBitEqual(x1.grad(), x2.grad(), "dx");
+  ExpectBitEqual(w1.grad(), w2.grad(), "dw");
+  ExpectBitEqual(b1.grad(), b2.grad(), "db");
+}
+
+TEST(FusedOpsTest, LinearBiasReluGradcheck) {
+  // Fixed values whose pre-activations sit away from the relu kink so
+  // central finite differences are valid.
+  Variable x = Leaf(Tensor(Shape{2, 3}, {0.5f, -1.0f, 2.0f,
+                                         -0.5f, 1.5f, -2.0f}));
+  Variable w = Leaf(Tensor(Shape{3, 2}, {1.0f, -0.5f,
+                                         0.5f, 1.0f,
+                                         -1.0f, 0.5f}));
+  Variable b = Leaf(Tensor(Shape{2}, {0.3f, -0.4f}));
+  auto loss = [&] { return ag::Sum(ag::LinearBiasRelu(x, w, b)); };
+  EXPECT_LT(MaxGradCheckError(loss, {&x, &w, &b}), kTol);
+}
+
+// ---- BufferPool arena ----
+
+TEST(BufferPoolTest, RecyclesExactCapacityWithinScope) {
+  const int64_t hits_before = BufferPool::ThreadHitCount();
+  BufferPool::Scope scope;
+  { Tensor dies(Shape{33}); }  // donated to the capacity-33 bucket
+  Tensor reused(Shape{33});    // freelist hit, zero heap traffic
+  EXPECT_EQ(BufferPool::ThreadHitCount(), hits_before + 1);
+  EXPECT_EQ(reused.size(), 33);
+  for (int64_t i = 0; i < reused.size(); ++i) {
+    ASSERT_EQ(reused.at(i), 0.0f) << "recycled content leaked through";
+  }
+}
+
+TEST(BufferPoolTest, EscapedTensorAccountingBalances) {
+  // A pooled tensor moved out of its scope must still subtract its bytes
+  // from the outstanding counter when it finally dies, or
+  // autograd.tape_peak_bytes would drift up forever.
+  BufferPool::ResetPeak();
+  const int64_t baseline = BufferPool::PeakBytes();
+  Tensor escaped;
+  {
+    BufferPool::Scope scope;
+    escaped = Tensor(Shape{64}, 1.0f);
+  }
+  escaped = Tensor();  // dies outside any scope
+  BufferPool::ResetPeak();
+  EXPECT_EQ(BufferPool::PeakBytes(), baseline);
+}
+
+TEST(BufferPoolTest, PeakTracksLiveBytesInScope) {
+  BufferPool::ResetPeak();
+  const int64_t baseline = BufferPool::PeakBytes();
+  {
+    BufferPool::Scope scope;
+    Tensor a(Shape{100});  // 400 bytes live
+    Tensor b(Shape{50});   // 600 bytes live -> peak
+  }
+  EXPECT_GE(BufferPool::PeakBytes(), baseline + 600);
+}
+
+// ---- Static-graph replay and checkpointing, direct session level ----
+
+Batch FixedTokenBatch(int batch, int steps, int vocab, uint64_t seed) {
+  Rng rng(seed);
+  Batch b;
+  b.tokens.resize(static_cast<size_t>(batch));
+  for (auto& seq : b.tokens) {
+    seq.resize(static_cast<size_t>(steps));
+    for (int& id : seq) {
+      id = static_cast<int>(rng.Uniform(0, 1) * vocab) % vocab;
+    }
+    b.labels.push_back(static_cast<int>(rng.Uniform(0, 1) * 2) % 2);
+  }
+  return b;
+}
+
+/// Runs `steps` local steps of the LSTM model under one TapeSession and
+/// returns the per-step loss plus final flattened parameter grads.
+struct SessionTrace {
+  std::vector<float> losses;
+  std::vector<Tensor> grads;  ///< one per parameter, final step
+};
+
+SessionTrace RunLstmSession(const ag::TapeOptions& opts,
+                            const std::vector<Batch>& batches) {
+  Rng rng(4242);
+  LstmConfig mc;
+  mc.vocab_size = 32;
+  mc.embed_dim = 4;
+  mc.hidden_dim = 8;
+  mc.feature_dim = 8;
+  auto model = std::make_unique<LstmModel>(mc, &rng);
+
+  SessionTrace trace;
+  ag::TapeSession session(opts);
+  for (const Batch& batch : batches) {
+    ag::ReplayBindings bind{nullptr, &batch.tokens, &batch.labels};
+    Variable loss;
+    if (session.CanReplay(bind)) {
+      loss = session.Replay(bind);
+    } else {
+      session.BeginRecord(bind);
+      ModelOutput out = model->Forward(batch);
+      loss = CrossEntropyLoss(out.logits, batch.labels);
+      session.EndRecord(loss);
+    }
+    model->ZeroGrad();
+    loss.Backward();
+    trace.losses.push_back(loss.value().ToScalar());
+  }
+  for (Variable* p : model->Parameters()) trace.grads.push_back(p->grad());
+  return trace;
+}
+
+TEST(TapeTest, CheckpointedLstmBpttGradsBitIdenticalToUncheckpointed) {
+  std::vector<Batch> batches;
+  for (uint64_t s = 0; s < 3; ++s) {
+    batches.push_back(FixedTokenBatch(6, 8, 32, 900 + s));
+  }
+  SessionTrace plain =
+      RunLstmSession({/*static_graph=*/true, /*checkpoint=*/false}, batches);
+  SessionTrace ckpt =
+      RunLstmSession({/*static_graph=*/true, /*checkpoint=*/true}, batches);
+  ASSERT_EQ(plain.losses.size(), ckpt.losses.size());
+  for (size_t i = 0; i < plain.losses.size(); ++i) {
+    EXPECT_EQ(plain.losses[i], ckpt.losses[i]) << "step " << i;
+  }
+  ASSERT_EQ(plain.grads.size(), ckpt.grads.size());
+  for (size_t i = 0; i < plain.grads.size(); ++i) {
+    ExpectBitEqual(plain.grads[i], ckpt.grads[i],
+                   "grad of parameter " + std::to_string(i));
+  }
+}
+
+TEST(TapeTest, ReplayGradsBitIdenticalToPerStepRebuild) {
+  std::vector<Batch> batches;
+  for (uint64_t s = 0; s < 3; ++s) {
+    batches.push_back(FixedTokenBatch(6, 8, 32, 700 + s));
+  }
+  SessionTrace replayed =
+      RunLstmSession({/*static_graph=*/true, /*checkpoint=*/false}, batches);
+  SessionTrace rebuilt =
+      RunLstmSession({/*static_graph=*/false, /*checkpoint=*/false}, batches);
+  for (size_t i = 0; i < replayed.losses.size(); ++i) {
+    EXPECT_EQ(replayed.losses[i], rebuilt.losses[i]) << "step " << i;
+  }
+  for (size_t i = 0; i < replayed.grads.size(); ++i) {
+    ExpectBitEqual(replayed.grads[i], rebuilt.grads[i],
+                   "grad of parameter " + std::to_string(i));
+  }
+}
+
+TEST(TapeTest, CheckpointingLowersPeakActivationBytes) {
+  std::vector<Batch> batches{FixedTokenBatch(8, 16, 32, 55)};
+  BufferPool::ResetPeak();
+  RunLstmSession({true, /*checkpoint=*/false}, batches);
+  const int64_t peak_plain = BufferPool::PeakBytes();
+  BufferPool::ResetPeak();
+  RunLstmSession({true, /*checkpoint=*/true}, batches);
+  const int64_t peak_ckpt = BufferPool::PeakBytes();
+  EXPECT_LT(peak_ckpt, peak_plain);
+}
+
+TEST(TapeTest, AllocsPerStepReachZeroAfterWarmup) {
+  // The headline arena property: once the step-0 graph is recorded and
+  // its buffers have cycled through the freelist once, a replayed step
+  // performs no heap tensor allocations at all.
+  Rng rng(808);
+  MlpConfig mc;
+  mc.hidden_dim = 16;
+  mc.feature_dim = 8;
+  auto model = std::make_unique<MlpModel>(mc, &rng);
+  Batch batch;
+  batch.images = Tensor::Normal(Shape{4, 1, 12, 12}, 0, 1, &rng);
+  batch.labels = {1, 3, 5, 7};
+
+  ag::TapeSession session({/*static_graph=*/true, /*checkpoint=*/false});
+  std::vector<int64_t> allocs;
+  for (int step = 0; step < 6; ++step) {
+    const int64_t before = BufferPool::ThreadAllocCount();
+    ag::ReplayBindings bind{&batch.images, &batch.tokens, &batch.labels};
+    Variable loss;
+    if (session.CanReplay(bind)) {
+      loss = session.Replay(bind);
+    } else {
+      session.BeginRecord(bind);
+      ModelOutput out = model->Forward(batch);
+      loss = CrossEntropyLoss(out.logits, batch.labels);
+      session.EndRecord(loss);
+    }
+    model->ZeroGrad();
+    loss.Backward();
+    allocs.push_back(BufferPool::ThreadAllocCount() - before);
+  }
+  EXPECT_EQ(session.rebuilds(), 1);
+  EXPECT_EQ(session.reuse_hits(), 5);
+  EXPECT_GT(allocs[0], 0);  // recording pays the allocations once
+  for (size_t step = 2; step < allocs.size(); ++step) {
+    EXPECT_EQ(allocs[step], 0) << "replayed step " << step << " allocated";
+  }
+}
+
+// ---- Federated byte-identity across execution strategies ----
+
+std::vector<ClientView> ViewsOf(const ClientSplit& split) {
+  std::vector<ClientView> views;
+  for (const auto& idx : split.client_indices) views.push_back({idx, {}});
+  return views;
+}
+
+struct FedResult {
+  Tensor state;
+  std::vector<double> losses;
+};
+
+void ExpectSameRun(const FedResult& a, const FedResult& b,
+                   const std::string& what) {
+  ASSERT_EQ(a.losses.size(), b.losses.size()) << what;
+  for (size_t i = 0; i < a.losses.size(); ++i) {
+    EXPECT_EQ(a.losses[i], b.losses[i]) << what << " round " << i;
+  }
+  ExpectBitEqual(a.state, b.state, what + " final state");
+}
+
+FedResult RunCnnFederated(bool static_graph, int num_threads) {
+  Rng rng(1234);
+  auto data = GenerateImageData(MnistLikeProfile(), 240, 120, &rng);
+  auto split = SimilarityPartition(data.train, 4, 0.5, &rng);
+  CnnConfig mc;
+  mc.conv1_channels = 2;
+  mc.conv2_channels = 4;
+  mc.feature_dim = 8;
+  FlConfig config;
+  config.local_steps = 3;
+  config.batch_size = 8;
+  config.lr = 0.05;
+  config.seed = 77;
+  config.num_threads = num_threads;
+  config.max_examples_per_pass = 64;
+  config.autograd.static_graph = static_graph;
+  FedAvg algo(config, &data.train, ViewsOf(split), MakeCnnFactory(mc));
+  TrainerOptions options;
+  options.eval_max_examples = 120;
+  FederatedTrainer trainer(&algo, &data.test, options);
+  RunHistory history = trainer.Run(2);
+  FedResult result;
+  for (const RoundMetrics& r : history.rounds) {
+    result.losses.push_back(r.train_loss);
+  }
+  result.state = algo.global_state();
+  return result;
+}
+
+TEST(TapeFederatedTest, StaticGraphOnOffByteIdentical) {
+  ExpectSameRun(RunCnnFederated(true, 1), RunCnnFederated(false, 1),
+                "static vs rebuilt");
+}
+
+TEST(TapeFederatedTest, StaticGraphByteIdenticalAcrossThreadCounts) {
+  FedResult base = RunCnnFederated(true, 1);
+  ExpectSameRun(base, RunCnnFederated(true, 4), "1 vs 4 threads, static");
+  ExpectSameRun(base, RunCnnFederated(false, 4), "1 vs 4 threads, rebuilt");
+}
+
+FedResult RunLstmFederated(bool checkpoint) {
+  Rng rng(2024);
+  TextProfile profile = Sent140LikeProfile();
+  profile.num_users = 20;
+  auto data = GenerateTextData(profile, 300, 100, &rng);
+  auto split = NaturalPartition(data.train_users, profile.num_users, 4, &rng);
+  LstmConfig mc;
+  mc.vocab_size = profile.vocab_size;
+  mc.embed_dim = 4;
+  mc.hidden_dim = 8;
+  mc.feature_dim = 8;
+  FlConfig config;
+  config.local_steps = 3;
+  config.batch_size = 10;
+  config.lr = 0.01;
+  config.optimizer = OptimizerKind::kRmsProp;
+  config.seed = 6;
+  config.max_examples_per_pass = 64;
+  config.autograd.checkpoint = checkpoint;
+  FedAvg algo(config, &data.train, ViewsOf(split), MakeLstmFactory(mc));
+  TrainerOptions options;
+  options.eval_max_examples = 100;
+  FederatedTrainer trainer(&algo, &data.test, options);
+  RunHistory history = trainer.Run(2);
+  FedResult result;
+  for (const RoundMetrics& r : history.rounds) {
+    result.losses.push_back(r.train_loss);
+  }
+  result.state = algo.global_state();
+  return result;
+}
+
+TEST(TapeFederatedTest, GradCheckpointOnOffByteIdentical) {
+  ExpectSameRun(RunLstmFederated(false), RunLstmFederated(true),
+                "checkpoint off vs on");
+}
+
+}  // namespace
+}  // namespace rfed
