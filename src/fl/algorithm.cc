@@ -428,6 +428,37 @@ std::pair<Tensor, double> FederatedAlgorithm::ExecuteLocalTraining(int round,
   return LocalTrain(round, client, global_state_);
 }
 
+std::vector<uint8_t> FederatedAlgorithm::EncodeBatcherBaseFor(int client) {
+  RFED_CHECK_GE(client, 0);
+  RFED_CHECK_LT(client, num_clients());
+  EnsureClientMaterialized(client);
+  const BatcherState s = BatcherFor(client).SaveState();
+  std::vector<uint8_t> blob;
+  CheckpointWriter w(&blob);
+  w.WriteU32(static_cast<uint32_t>(s.indices.size()));
+  for (int index : s.indices) w.WriteI32(index);
+  w.WriteU64(s.cursor);
+  w.WriteRng(s.rng);
+  return blob;
+}
+
+void FederatedAlgorithm::InstallBatcherBase(int client,
+                                            const std::vector<uint8_t>& blob) {
+  RFED_CHECK_GE(client, 0);
+  RFED_CHECK_LT(client, num_clients());
+  EnsureClientMaterialized(client);
+  CheckpointReader r(blob);
+  BatcherState s;
+  const uint32_t num_indices = r.ReadU32();
+  s.indices.reserve(num_indices);
+  for (uint32_t i = 0; i < num_indices; ++i) s.indices.push_back(r.ReadI32());
+  s.cursor = r.ReadU64();
+  s.rng = r.ReadRng();
+  RFED_CHECK(r.AtEnd()) << "trailing bytes in batcher base for client "
+                        << client;
+  BatcherFor(client).LoadState(s);
+}
+
 void FederatedAlgorithm::SkipLocalBatches(int client) {
   Batcher& batcher = BatcherFor(client);
   const int steps = LocalSteps(client);
@@ -441,8 +472,12 @@ std::pair<Tensor, double> FederatedAlgorithm::DispatchTrain(
     return LocalTrain(round, client, init_state, model);
   }
   if (!already_submitted) {
+    // Snapshot the batcher base before the Skip() mirror below: the JOB
+    // must carry the pre-training stream position it expects the
+    // executing replica to start from.
     train_executor_->Submit(round, client, init_state,
-                            EncodeTrainContextFor(round, client));
+                            EncodeTrainContextFor(round, client),
+                            EncodeBatcherBaseFor(client));
     // The worker's LocalTrain consumes batches from its replica of this
     // client's stream; mirror the cursor/shuffle advancement here so the
     // server's state (and its checkpoints) stay authoritative.
@@ -638,7 +673,8 @@ void FederatedAlgorithm::TrainCohort(int round, const std::vector<int>& cohort,
       // so workers train while the server is still broadcasting to (and
       // later collecting from) the rest of the cohort.
       train_executor_->Submit(round, w.client, global_state_,
-                              EncodeTrainContextFor(round, w.client));
+                              EncodeTrainContextFor(round, w.client),
+                              EncodeBatcherBaseFor(w.client));
       SkipLocalBatches(w.client);
     }
   }

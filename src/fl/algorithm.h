@@ -51,8 +51,14 @@ inline constexpr uint64_t kPoolBatcherLineage = 0xba7c4e55eedull;
 class TrainExecutor {
  public:
   virtual ~TrainExecutor() = default;
+  /// `batcher_base` is the client's batcher-stream snapshot at the job's
+  /// start (EncodeBatcherBaseFor, taken before the server's Skip()
+  /// mirror), so the job is self-contained: any replica can execute it
+  /// without having tracked the client's stream in lockstep — the
+  /// property that makes reassigning a dead worker's jobs sound.
   virtual void Submit(int round, int client, const Tensor& init_state,
-                      const std::vector<uint8_t>& context) = 0;
+                      const std::vector<uint8_t>& context,
+                      const std::vector<uint8_t>& batcher_base) = 0;
   virtual std::pair<Tensor, double> Collect(int round, int client) = 0;
   virtual bool pipelined() const { return false; }
 };
@@ -202,6 +208,18 @@ class FederatedAlgorithm {
   /// replica's DecodeTrainContext hook. Aborts on trailing bytes.
   void ApplyTrainContext(int round, int client,
                          const std::vector<uint8_t>& blob);
+
+  /// Serializes `client`'s current batcher-stream state (shuffled order,
+  /// cursor, shuffle RNG) — the explicit base a JOB carries so a worker
+  /// replica can execute it without the lockstep Skip() assumption. Must
+  /// be called *before* SkipLocalBatches mirrors the job server-side.
+  std::vector<uint8_t> EncodeBatcherBaseFor(int client);
+
+  /// Restores a blob written by EncodeBatcherBaseFor into this replica's
+  /// batcher for `client` (worker side, once per JOB). Aborts on an
+  /// index-multiset mismatch (wrong client or partition) or trailing
+  /// bytes.
+  void InstallBatcherBase(int client, const std::vector<uint8_t>& blob);
 
   /// Runs the client's local steps from the installed global state (the
   /// worker half of a JOB); advances this replica's batcher stream with

@@ -26,11 +26,14 @@ inline constexpr uint64_t kMaxFramePayloadBytes = uint64_t{1} << 31;
 /// Frame types of the serve protocol (docs/DEPLOYMENT.md has the state
 /// machine). Values are wire format — never renumber.
 enum class FrameType : uint32_t {
-  kHello = 1,     ///< worker -> server: identity + scenario fingerprint
-  kHelloAck = 2,  ///< server -> worker: mode + algorithm state blob
-  kJob = 3,       ///< server -> worker: train this client for this round
-  kResult = 4,    ///< worker -> server: trained state + loss
-  kShutdown = 5,  ///< server -> worker: drain and exit cleanly
+  kHello = 1,        ///< worker -> server: identity + scenario fingerprint
+  kHelloAck = 2,     ///< server -> worker: mode + algorithm state blob
+  kJob = 3,          ///< server -> worker: train this client for this round
+  kResult = 4,       ///< worker -> server: trained state + loss
+  kShutdown = 5,     ///< server -> worker: drain and exit cleanly
+  kPing = 6,         ///< server -> worker: liveness probe on an idle link
+  kPong = 7,         ///< worker -> server: echo of a PING's sequence number
+  kHelloRejoin = 8,  ///< worker -> server: mid-run re-handshake after a loss
 };
 
 /// A decoded frame.

@@ -75,27 +75,50 @@ TcpConnection TcpConnection::Connect(const std::string& host, int port) {
 TcpConnection TcpConnection::ConnectWithRetry(const std::string& host,
                                               int port, int max_attempts,
                                               const BackoffPolicy& policy) {
+  return ConnectWithRetry(host, port, max_attempts, policy, nullptr);
+}
+
+TcpConnection TcpConnection::ConnectWithRetry(
+    const std::string& host, int port, int max_attempts,
+    const BackoffPolicy& policy,
+    const std::function<void(double)>& sleep_fn) {
   RFED_CHECK_GE(max_attempts, 1);
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     TcpConnection conn = Connect(host, port);
     if (conn.valid()) return conn;
     if (attempt + 1 < max_attempts) {
       const double delay_ms = BackoffDelayMs(policy, attempt, nullptr);
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(static_cast<int64_t>(delay_ms)));
+      if (sleep_fn) {
+        sleep_fn(delay_ms);
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(static_cast<int64_t>(delay_ms)));
+      }
     }
   }
   return TcpConnection();
+}
+
+TcpConnection TcpConnection::ConnectWithRetryOrDie(const std::string& host,
+                                                   int port, int max_attempts,
+                                                   const BackoffPolicy& policy) {
+  TcpConnection conn = ConnectWithRetry(host, port, max_attempts, policy);
+  RFED_CHECK(conn.valid()) << "cannot connect to " << host << ":" << port
+                           << " after " << max_attempts << " attempt(s)";
+  return conn;
 }
 
 bool TcpConnection::SendAll(const void* data, size_t length) {
   if (fd_ < 0) return false;
   const uint8_t* cursor = static_cast<const uint8_t*>(data);
   size_t remaining = length;
+  // Explicit short-write loop: ::send on a stream socket may accept any
+  // prefix of the buffer (full send-queue, signal arrival), so one call
+  // is never assumed to cover the request.
   while (remaining > 0) {
     const ssize_t sent = ::send(fd_, cursor, remaining, MSG_NOSIGNAL);
     if (sent < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // interrupted before any byte moved
       return false;
     }
     if (sent == 0) return false;
@@ -103,6 +126,10 @@ bool TcpConnection::SendAll(const void* data, size_t length) {
     remaining -= static_cast<size_t>(sent);
   }
   return true;
+}
+
+void TcpConnection::InterruptBlockingIo() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 int64_t TcpConnection::RecvSome(void* buffer, size_t capacity) {

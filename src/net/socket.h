@@ -2,6 +2,7 @@
 #define RFED_NET_SOCKET_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "util/backoff.h"
@@ -38,6 +39,21 @@ class TcpConnection {
                                         int max_attempts,
                                         const BackoffPolicy& policy);
 
+  /// ConnectWithRetry with the inter-attempt sleep replaced by
+  /// `sleep_fn(delay_ms)` — the tests' hook for asserting the backoff
+  /// sequencing without waiting out real delays. A null hook sleeps.
+  static TcpConnection ConnectWithRetry(
+      const std::string& host, int port, int max_attempts,
+      const BackoffPolicy& policy,
+      const std::function<void(double)>& sleep_fn);
+
+  /// ConnectWithRetry that aborts (RFED_CHECK) with the endpoint and
+  /// attempt count in the message when every attempt fails — for callers
+  /// where an unreachable peer is a deployment configuration error.
+  static TcpConnection ConnectWithRetryOrDie(const std::string& host,
+                                             int port, int max_attempts,
+                                             const BackoffPolicy& policy);
+
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
@@ -48,6 +64,13 @@ class TcpConnection {
   /// Reads up to `capacity` bytes. Returns the count read, 0 on orderly
   /// EOF, -1 on error.
   int64_t RecvSome(void* buffer, size_t capacity);
+
+  /// Shuts down both directions of the stream without releasing the fd:
+  /// a thread blocked in SendAll/RecvSome on this connection returns
+  /// with an error/EOF immediately. Safe to call from another thread
+  /// while I/O is in flight (Close is not — it frees the fd number for
+  /// reuse under the blocked syscall).
+  void InterruptBlockingIo();
 
   void Close();
 
@@ -68,6 +91,7 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
 
   int bound_port() const { return bound_port_; }
+  int fd() const { return fd_; }
 
   /// Blocks until a client connects; invalid connection on error.
   TcpConnection Accept();

@@ -81,6 +81,7 @@ std::vector<uint8_t> JobMessage::Encode() const {
   writer.WriteI32(round);
   writer.WriteI32(client);
   WriteBlob(&writer, context);
+  WriteBlob(&writer, batcher_base);
   WriteFlMessage(&writer, download);
   return out;
 }
@@ -91,6 +92,7 @@ JobMessage JobMessage::Decode(const std::vector<uint8_t>& payload) {
   out.round = reader.ReadI32();
   out.client = reader.ReadI32();
   out.context = ReadBlob(&reader);
+  out.batcher_base = ReadBlob(&reader);
   out.download = ReadFlMessage(&reader);
   RFED_CHECK(reader.AtEnd()) << "trailing bytes in JOB";
   return out;
@@ -114,6 +116,43 @@ ResultMessage ResultMessage::Decode(const std::vector<uint8_t>& payload) {
   out.loss = reader.ReadDouble();
   out.upload = ReadFlMessage(&reader);
   RFED_CHECK(reader.AtEnd()) << "trailing bytes in RESULT";
+  return out;
+}
+
+std::vector<uint8_t> HelloRejoinMessage::Encode() const {
+  std::vector<uint8_t> out;
+  CheckpointWriter writer(&out);
+  writer.WriteI32(worker_id);
+  writer.WriteI32(num_workers);
+  writer.WriteU64(fingerprint);
+  writer.WriteI32(last_round);
+  return out;
+}
+
+HelloRejoinMessage HelloRejoinMessage::Decode(
+    const std::vector<uint8_t>& payload) {
+  CheckpointReader reader(payload);
+  HelloRejoinMessage out;
+  out.worker_id = reader.ReadI32();
+  out.num_workers = reader.ReadI32();
+  out.fingerprint = reader.ReadU64();
+  out.last_round = reader.ReadI32();
+  RFED_CHECK(reader.AtEnd()) << "trailing bytes in HELLO_REJOIN";
+  return out;
+}
+
+std::vector<uint8_t> PingMessage::Encode() const {
+  std::vector<uint8_t> out;
+  CheckpointWriter writer(&out);
+  writer.WriteU32(seq);
+  return out;
+}
+
+PingMessage PingMessage::Decode(const std::vector<uint8_t>& payload) {
+  CheckpointReader reader(payload);
+  PingMessage out;
+  out.seq = reader.ReadU32();
+  RFED_CHECK(reader.AtEnd()) << "trailing bytes in PING/PONG";
   return out;
 }
 

@@ -45,12 +45,16 @@ struct HelloAckMessage {
 
 /// Server -> worker: train `client` for `round`. `context` is the
 /// algorithm's EncodeTrainContextFor blob (SCAFFOLD controls, rFedAvg
-/// maps); `download` is a kModelDownload FlMessage carrying the broadcast
-/// init state.
+/// maps); `batcher_base` is the client's batcher-stream state at the
+/// job's start (EncodeBatcherBaseFor), making the job self-contained —
+/// any worker replica can execute it from a cold cache, which is what
+/// permits reassignment after a worker death; `download` is a
+/// kModelDownload FlMessage carrying the broadcast init state.
 struct JobMessage {
   int32_t round = 0;
   int32_t client = 0;
   std::vector<uint8_t> context;
+  std::vector<uint8_t> batcher_base;
   FlMessage download;
 
   std::vector<uint8_t> Encode() const;
@@ -67,6 +71,31 @@ struct ResultMessage {
 
   std::vector<uint8_t> Encode() const;
   static ResultMessage Decode(const std::vector<uint8_t>& payload);
+};
+
+/// Worker -> server, replacing HELLO when a restarted (or reconnecting)
+/// rfed_worker re-handshakes mid-run: the same identity triple plus the
+/// last round it completed a RESULT for (-1 if none), so the server can
+/// log where the replica left off. The server validates exactly as it
+/// does HELLO, charges the restart budget, and replies with a fresh
+/// HELLO_ACK image.
+struct HelloRejoinMessage {
+  int32_t worker_id = 0;
+  int32_t num_workers = 0;
+  uint64_t fingerprint = 0;
+  int32_t last_round = -1;
+
+  std::vector<uint8_t> Encode() const;
+  static HelloRejoinMessage Decode(const std::vector<uint8_t>& payload);
+};
+
+/// Payload of PING and PONG frames: a sequence number the PONG echoes,
+/// so a late echo cannot satisfy a newer probe.
+struct PingMessage {
+  uint32_t seq = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static PingMessage Decode(const std::vector<uint8_t>& payload);
 };
 
 }  // namespace serve

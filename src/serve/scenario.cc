@@ -83,6 +83,11 @@ verifies a fingerprint over them):
   --autograd_static (true)  --grad_checkpoint (false)
   --shard_fanout (0)        --stream_chunk (0)
   --csv_out PATH write the per-round history as CSV
+  --worker_timeout_ms (0, 0=off) failure-detector deadline: a worker
+      silent this long (PING/PONG probes cover idle links) is declared
+      dead and its jobs are reassigned; fingerprint-exempt
+  --max_worker_restarts (0) mid-run worker rejoins accepted before the
+      run aborts; fingerprint-exempt
 )";
 
 const char* const kScenarioFlags[] = {
@@ -99,7 +104,7 @@ const char* const kScenarioFlags[] = {
     "num_threads", "kernel_threads", "kernel_autotune",
     "kernel_autotune_cache", "autograd_static", "grad_checkpoint",
     "shard_fanout", "stream_chunk",
-    "csv_out"};
+    "csv_out", "worker_timeout_ms", "max_worker_restarts"};
 
 }  // namespace
 
@@ -189,6 +194,12 @@ Scenario BuildScenario(const FlagParser& flags) {
   s.checkpoint_path = flags.GetString("checkpoint_path", "");
   s.resume_from = flags.GetString("resume_from", "");
   s.csv_out = flags.GetString("csv_out", "");
+  // Fingerprint-exempt (like the worker count): failure handling moves
+  // jobs between processes but never changes what a job computes.
+  s.worker_timeout_ms = flags.GetIntInRange("worker_timeout_ms", 0, 0,
+                                            3600 * 1000);
+  s.max_worker_restarts = flags.GetIntInRange("max_worker_restarts", 0, 0,
+                                              1000000);
 
   // Data + partition + model — verbatim the experiment_cli construction,
   // consuming Rng(seed) draws in the identical order.

@@ -35,6 +35,14 @@ struct Scenario {
   std::string resume_from;
   std::string csv_out;
 
+  /// Failure-tolerance knobs of the serve layer (ExecutorOptions in
+  /// remote_executor.h has the semantics). Canonicalized here so server
+  /// and tests share parsing, but fingerprint-exempt: like the worker
+  /// count, they shape which process executes a job, never the job's
+  /// result.
+  int worker_timeout_ms = 0;
+  int max_worker_restarts = 0;
+
   /// FNV-1a over the canonical "key=value" rendering of every flag that
   /// shapes the data, model, or trajectory. Workers send it in HELLO;
   /// the server refuses a handshake whose fingerprint differs from its

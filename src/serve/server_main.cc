@@ -118,9 +118,21 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
 
-  serve::RemoteExecutor executor(pipeline);
+  serve::ExecutorOptions exec_options;
+  exec_options.pipelined = pipeline;
+  exec_options.worker_timeout_ms = scenario.worker_timeout_ms;
+  exec_options.max_worker_restarts = scenario.max_worker_restarts;
+  serve::RemoteExecutor executor(exec_options);
   executor.AcceptWorkers(&listener, num_workers, scenario.fingerprint,
                          state_blob);
+  // Rejoining workers get the algorithm's current state image rather
+  // than the stale launch-time blob.
+  FederatedAlgorithm* algorithm = scenario.algorithm.get();
+  executor.set_state_provider([algorithm] {
+    std::vector<uint8_t> blob;
+    algorithm->SaveRunState(&blob);
+    return blob;
+  });
   scenario.algorithm->set_train_executor(&executor);
 
   std::signal(SIGTERM, HandleStopSignal);
@@ -156,11 +168,15 @@ int main(int argc, char** argv) {
               stopped ? " (stopped early by signal)" : "");
   const serve::ServeStats& st = executor.stats();
   std::printf("transport: workers=%d jobs=%lld results=%lld sent=%lld bytes "
-              "received=%lld bytes\n",
+              "received=%lld bytes restarts=%lld reassigned=%lld "
+              "heartbeats=%lld\n",
               executor.num_workers(), static_cast<long long>(st.jobs_sent),
               static_cast<long long>(st.results_received),
               static_cast<long long>(st.bytes_sent),
-              static_cast<long long>(st.bytes_received));
+              static_cast<long long>(st.bytes_received),
+              static_cast<long long>(st.worker_restarts),
+              static_cast<long long>(st.jobs_reassigned),
+              static_cast<long long>(st.heartbeats_sent));
   if (!scenario.csv_out.empty()) {
     SaveHistoryCsv(history, scenario.csv_out);
     std::printf("per-round history written to %s\n", scenario.csv_out.c_str());

@@ -9,16 +9,30 @@
 namespace rfed {
 namespace serve {
 
-/// The rfed_worker service loop: handshakes on `conn` (HELLO carrying
-/// worker_id / num_workers / fingerprint, HELLO_ACK restoring the
-/// server's run state into `algorithm`), then serves JOB frames — install
-/// the broadcast model, apply the context blob, run the local steps,
-/// reply RESULT — until SHUTDOWN or EOF. Returns true on a clean
-/// shutdown, false if the connection died mid-protocol. Also the
+/// How one pass of the worker service loop ended: cleanly (SHUTDOWN
+/// frame) or with a lost connection, plus the last round this replica
+/// completed a RESULT for (-1 if none) — what a reconnect attempt
+/// reports in its HELLO_REJOIN.
+struct WorkerLoopResult {
+  bool clean_shutdown = false;
+  int last_round = -1;
+};
+
+/// The rfed_worker service loop: handshakes on `conn` (HELLO — or
+/// HELLO_REJOIN when `rejoin_round` >= 0, i.e. this is a reconnect after
+/// a lost connection — carrying worker_id / num_workers / fingerprint;
+/// HELLO_ACK restoring the server's run state into `algorithm`), then
+/// serves JOB frames — install the batcher base and broadcast model,
+/// apply the context blob, run the local steps, reply RESULT — and
+/// answers PING probes with PONG, until SHUTDOWN or EOF. Jobs are
+/// self-contained, so the loop executes whatever client the server
+/// routed here, including jobs reassigned from a dead peer. Also the
 /// in-process loopback harness of the serve tests: it runs unchanged on
-/// a std::thread against a socketpair-like localhost connection.
-bool RunWorkerLoop(FederatedAlgorithm* algorithm, net::TcpConnection* conn,
-                   int worker_id, int num_workers, uint64_t fingerprint);
+/// a std::thread against a localhost connection.
+WorkerLoopResult RunWorkerLoop(FederatedAlgorithm* algorithm,
+                               net::TcpConnection* conn, int worker_id,
+                               int num_workers, uint64_t fingerprint,
+                               int rejoin_round = -1);
 
 }  // namespace serve
 }  // namespace rfed

@@ -34,12 +34,16 @@ Deployment:
   --workers total number of workers in the deployment (1)
   --connect_attempts connection retries with exponential backoff,
       50ms doubling to a 1s cap (120)
+  --rejoin_attempts reconnect + HELLO_REJOIN handshakes attempted after
+      the server connection is lost mid-run; the server must budget for
+      them via --max_worker_restarts (0)
   --help print this message and exit
 
 )";
 
 constexpr const char* kServeFlags[] = {"connect", "worker_id", "workers",
-                                       "connect_attempts", "help"};
+                                       "connect_attempts", "rejoin_attempts",
+                                       "help"};
 
 }  // namespace
 
@@ -69,6 +73,8 @@ int main(int argc, char** argv) {
       flags.GetIntInRange("worker_id", 0, 0, num_workers - 1);
   const int connect_attempts =
       flags.GetIntInRange("connect_attempts", 120, 1, 100000);
+  const int rejoin_attempts =
+      flags.GetIntInRange("rejoin_attempts", 0, 0, 100000);
 
   serve::Scenario scenario = serve::BuildScenario(flags);
 
@@ -76,23 +82,37 @@ int main(int argc, char** argv) {
   backoff.initial_ms = 50.0;
   backoff.multiplier = 2.0;
   backoff.max_ms = 1000.0;
-  net::TcpConnection conn = net::TcpConnection::ConnectWithRetry(
+  net::TcpConnection conn = net::TcpConnection::ConnectWithRetryOrDie(
       connect.host, connect.port, connect_attempts, backoff);
-  if (!conn.valid()) {
-    std::fprintf(stderr, "rfed_worker %d: cannot connect to %s:%d\n",
-                 worker_id, connect.host.c_str(), connect.port);
-    return 1;
-  }
   std::printf("rfed_worker %d/%d connected to %s:%d (%s, %d clients)\n",
               worker_id, num_workers, connect.host.c_str(), connect.port,
               scenario.method.c_str(),
               static_cast<int>(scenario.views.size()));
   std::fflush(stdout);
 
-  const bool clean = serve::RunWorkerLoop(scenario.algorithm.get(), &conn,
-                                          worker_id, num_workers,
-                                          scenario.fingerprint);
+  serve::WorkerLoopResult result = serve::RunWorkerLoop(
+      scenario.algorithm.get(), &conn, worker_id, num_workers,
+      scenario.fingerprint);
+  // A lost connection mid-run may mean the server died — or that it
+  // declared this worker dead (a stall, a severed link) and moved on.
+  // With a rejoin budget, reconnect and re-handshake with HELLO_REJOIN;
+  // the server replies with a fresh state image and resumes routing
+  // jobs here.
+  for (int attempt = 1;
+       !result.clean_shutdown && attempt <= rejoin_attempts; ++attempt) {
+    conn.Close();
+    std::printf("rfed_worker %d: connection lost, rejoin attempt %d/%d\n",
+                worker_id, attempt, rejoin_attempts);
+    std::fflush(stdout);
+    conn = net::TcpConnection::ConnectWithRetry(connect.host, connect.port,
+                                                connect_attempts, backoff);
+    if (!conn.valid()) break;
+    result = serve::RunWorkerLoop(scenario.algorithm.get(), &conn, worker_id,
+                                  num_workers, scenario.fingerprint,
+                                  /*rejoin_round=*/result.last_round);
+  }
   std::printf("rfed_worker %d: %s\n", worker_id,
-              clean ? "shutdown complete" : "server connection closed");
-  return clean ? 0 : 2;
+              result.clean_shutdown ? "shutdown complete"
+                                    : "server connection closed");
+  return result.clean_shutdown ? 0 : 2;
 }

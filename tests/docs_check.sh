@@ -19,10 +19,10 @@
 #   5. Every `BENCH_*.json` filename mentioned in README.md, docs/*.md
 #      or EXPERIMENTS.md must exist at the repo root (benches commit
 #      their JSON; docs must not advertise files nothing generates).
-#   6. Every `kernel.*` or `autograd.*` metric name mentioned in
-#      README.md or docs/*.md must appear as a string literal somewhere
-#      under src/, so the metrics tables cannot document counters
-#      nothing records.
+#   6. Every `kernel.*`, `autograd.*` or `serve.*` metric name mentioned
+#      in README.md or docs/*.md must appear as a string literal
+#      somewhere under src/, so the metrics tables cannot document
+#      counters nothing records.
 #   7. Every page under docs/ must be reachable: its filename must be
 #      mentioned by README.md or by another docs page, so a new doc
 #      cannot be merged as an orphan nobody can discover.
@@ -127,13 +127,13 @@ for doc in "$root"/README.md "$root"/EXPERIMENTS.md "$root"/docs/*.md; do
   done
 done
 
-# ---- 6. kernel.* / autograd.* metric names the docs document ----
+# ---- 6. kernel.* / autograd.* / serve.* metric names the docs document ----
 for doc in "$root"/README.md "$root"/docs/*.md; do
   [ -f "$doc" ] || continue
   # Require a non-identifier prefix so BENCH_autograd.json and
   # FlConfig::autograd.checkpoint do not read as metric names.
-  for metric in $(grep -oE '(^|[^A-Za-z0-9_:])(kernel|autograd)\.[a-z_]+(\.[a-z_]+)*' "$doc" |
-                  sed -E 's/^[^ka]//' | sort -u); do
+  for metric in $(grep -oE '(^|[^A-Za-z0-9_:])(kernel|autograd|serve)\.[a-z_]+(\.[a-z_]+)*' "$doc" |
+                  sed -E 's/^[^kas]//' | sort -u); do
     if ! grep -rqF "\"$metric\"" "$root/src"; then
       fail "$doc documents metric $metric, never recorded under src/"
     fi

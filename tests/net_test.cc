@@ -6,10 +6,20 @@
 
 #include <gtest/gtest.h>
 
+#include <poll.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "fl/message.h"
+#include "net/fault_proxy.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "test_util.h"
@@ -304,6 +314,251 @@ TEST(SocketTest, ConnectToDeadPortFails) {
   net::TcpConnection conn =
       net::TcpConnection::ConnectWithRetry("127.0.0.1", dead_port, 3, policy);
   EXPECT_FALSE(conn.valid());
+}
+
+// ---- SendAll under short writes and interrupted syscalls ----
+
+// Handler body is irrelevant: its arrival is what makes a blocking
+// ::send return EINTR (installed without SA_RESTART below).
+void SigUsr1Handler(int) {}
+
+TEST(SocketTest, SendAllSurvivesShortWritesAndEintrStorm) {
+  // Shrink the kernel send queue so SendAll's short-write loop runs for
+  // real, and bombard the sending (main) thread with SIGUSR1 so ::send
+  // keeps returning EINTR mid-transfer. SendAll must still deliver the
+  // whole buffer byte-exactly.
+  struct sigaction action, old_action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = SigUsr1Handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: the syscall must surface EINTR
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &old_action), 0);
+
+  net::TcpListener listener("127.0.0.1", 0);
+  net::TcpConnection client =
+      net::TcpConnection::Connect("127.0.0.1", listener.bound_port());
+  ASSERT_TRUE(client.valid());
+  int tiny = 4096;
+  ASSERT_EQ(setsockopt(client.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                       sizeof(tiny)), 0);
+  net::TcpConnection server = listener.Accept();
+  ASSERT_TRUE(server.valid());
+
+  const std::vector<uint8_t> blob = TestPayload(4 << 20);
+  std::atomic<bool> done{false};
+
+  // Drain slowly in small chunks so the send queue stays near-full
+  // (short writes) for most of the transfer.
+  std::vector<uint8_t> received;
+  std::thread reader([&] {
+    received.reserve(blob.size());
+    uint8_t chunk[8192];
+    int chunks = 0;
+    while (received.size() < blob.size()) {
+      const int64_t got = server.RecvSome(chunk, sizeof(chunk));
+      ASSERT_GT(got, 0);
+      received.insert(received.end(), chunk, chunk + got);
+      if (++chunks % 32 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  });
+
+  const pthread_t sender_thread = pthread_self();
+  std::thread storm([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      pthread_kill(sender_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  EXPECT_TRUE(client.SendAll(blob.data(), blob.size()));
+  done.store(true, std::memory_order_relaxed);
+  storm.join();
+  reader.join();
+  EXPECT_EQ(received, blob);
+  sigaction(SIGUSR1, &old_action, nullptr);
+}
+
+TEST(SocketTest, InterruptBlockingIoUnblocksAWedgedSend) {
+  net::TcpListener listener("127.0.0.1", 0);
+  // Small receive queue (inherited by the accepted socket) so the
+  // sender wedges quickly against a peer that never reads.
+  int tiny = 4096;
+  ASSERT_EQ(setsockopt(listener.fd(), SOL_SOCKET, SO_RCVBUF, &tiny,
+                       sizeof(tiny)), 0);
+  net::TcpConnection client =
+      net::TcpConnection::Connect("127.0.0.1", listener.bound_port());
+  ASSERT_TRUE(client.valid());
+  ASSERT_EQ(setsockopt(client.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                       sizeof(tiny)), 0);
+  net::TcpConnection server = listener.Accept();  // deliberately never read
+
+  std::atomic<bool> send_returned{false};
+  std::atomic<bool> send_ok{true};
+  std::thread sender([&] {
+    const std::vector<uint8_t> blob(32 << 20, 0x5a);
+    send_ok.store(client.SendAll(blob.data(), blob.size()));
+    send_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(send_returned.load());  // wedged against the full queue
+  client.InterruptBlockingIo();
+  sender.join();
+  EXPECT_FALSE(send_ok.load());
+}
+
+// ---- ConnectWithRetry backoff sequencing ----
+
+TEST(SocketTest, ConnectWithRetryFollowsTheBackoffSchedule) {
+  // Pick a currently-free port, then release it so the first attempts
+  // fail; the sleep hook brings the listener up during the third delay,
+  // so attempt 4 succeeds. The recorded delays must be exactly the
+  // jitter-free exponential schedule.
+  int port = 0;
+  {
+    net::TcpListener probe("127.0.0.1", 0);
+    port = probe.bound_port();
+  }
+  BackoffPolicy policy;
+  policy.initial_ms = 10.0;
+  policy.multiplier = 2.0;
+  policy.max_ms = 1000.0;
+  std::vector<double> delays;
+  std::unique_ptr<net::TcpListener> listener;
+  net::TcpConnection conn = net::TcpConnection::ConnectWithRetry(
+      "127.0.0.1", port, 10, policy, [&](double delay_ms) {
+        delays.push_back(delay_ms);
+        if (delays.size() == 3) {
+          listener = std::make_unique<net::TcpListener>("127.0.0.1", port);
+        }
+      });
+  EXPECT_TRUE(conn.valid());
+  ASSERT_EQ(delays.size(), 3u);
+  EXPECT_DOUBLE_EQ(delays[0], 10.0);
+  EXPECT_DOUBLE_EQ(delays[1], 20.0);
+  EXPECT_DOUBLE_EQ(delays[2], 40.0);
+}
+
+TEST(SocketTest, ConnectWithRetryDoesNotSleepAfterTheLastAttempt) {
+  int dead_port = 0;
+  {
+    net::TcpListener probe("127.0.0.1", 0);
+    dead_port = probe.bound_port();
+  }
+  BackoffPolicy policy;
+  policy.initial_ms = 10.0;
+  std::vector<double> delays;
+  net::TcpConnection conn = net::TcpConnection::ConnectWithRetry(
+      "127.0.0.1", dead_port, 3, policy,
+      [&](double delay_ms) { delays.push_back(delay_ms); });
+  EXPECT_FALSE(conn.valid());
+  // Three attempts, two inter-attempt delays: exhaustion returns
+  // immediately rather than sleeping one more time.
+  EXPECT_EQ(delays.size(), 2u);
+}
+
+TEST(SocketDeathTest, ConnectWithRetryOrDieAbortsWithEndpoint) {
+  int dead_port = 0;
+  {
+    net::TcpListener probe("127.0.0.1", 0);
+    dead_port = probe.bound_port();
+  }
+  BackoffPolicy policy;
+  policy.initial_ms = 1.0;
+  policy.max_ms = 1.0;
+  EXPECT_DEATH(net::TcpConnection::ConnectWithRetryOrDie(
+                   "127.0.0.1", dead_port, 2, policy),
+               "cannot connect to 127.0.0.1");
+}
+
+// ---- fault proxy (the chaos harness of serve_test.cc) ----
+
+TEST(FaultProxyTest, RelaysFramesTransparentlyBothWays) {
+  net::TcpListener upstream("127.0.0.1", 0);
+  net::FaultProxy proxy("127.0.0.1", upstream.bound_port());
+  net::TcpConnection client =
+      net::TcpConnection::Connect("127.0.0.1", proxy.listen_port());
+  ASSERT_TRUE(client.valid());
+  net::TcpConnection server = upstream.Accept();
+  ASSERT_TRUE(server.valid());
+
+  const std::vector<uint8_t> payload = TestPayload(2000);
+  ASSERT_TRUE(net::SendFrame(&client, FrameType::kJob, payload));
+  net::FrameAssembler up_assembler;
+  Frame frame;
+  ASSERT_TRUE(net::RecvFrame(&server, &up_assembler, &frame));
+  EXPECT_EQ(frame.type, FrameType::kJob);
+  EXPECT_EQ(frame.payload, payload);
+
+  ASSERT_TRUE(net::SendFrame(&server, FrameType::kResult, payload));
+  net::FrameAssembler down_assembler;
+  ASSERT_TRUE(net::RecvFrame(&client, &down_assembler, &frame));
+  EXPECT_EQ(frame.type, FrameType::kResult);
+  EXPECT_EQ(frame.payload, payload);
+
+  EXPECT_EQ(proxy.accepted_connections(), 1);
+  EXPECT_EQ(proxy.killed_connections(), 0);
+}
+
+TEST(FaultProxyTest, KillPlanSeversBothSidesAtTheScheduledFrame) {
+  net::TcpListener upstream("127.0.0.1", 0);
+  net::FaultProxy proxy("127.0.0.1", upstream.bound_port());
+  net::FaultPlan plan;
+  plan.kill_after_frames = 2;
+  proxy.SetPlan(0, plan);
+
+  net::TcpConnection client =
+      net::TcpConnection::Connect("127.0.0.1", proxy.listen_port());
+  ASSERT_TRUE(client.valid());
+  net::TcpConnection server = upstream.Accept();
+  ASSERT_TRUE(server.valid());
+
+  // Frames up to and including the threshold are still delivered — the
+  // kill lands at a deterministic protocol position, not mid-frame.
+  net::FrameAssembler up_assembler;
+  Frame frame;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(net::SendFrame(&client, FrameType::kJob, TestPayload(64)));
+    ASSERT_TRUE(net::RecvFrame(&server, &up_assembler, &frame));
+  }
+  // The threshold frame tripped the plan: both peers now see EOF.
+  net::FrameAssembler down_assembler;
+  EXPECT_FALSE(net::RecvFrame(&client, &down_assembler, &frame));
+  EXPECT_FALSE(net::RecvFrame(&server, &up_assembler, &frame));
+  EXPECT_EQ(proxy.killed_connections(), 1);
+}
+
+TEST(FaultProxyTest, BlackholePlanStallsTrafficWithoutEof) {
+  net::TcpListener upstream("127.0.0.1", 0);
+  net::FaultProxy proxy("127.0.0.1", upstream.bound_port());
+  net::FaultPlan plan;
+  plan.blackhole_after_frames = 1;
+  proxy.SetPlan(0, plan);
+
+  net::TcpConnection client =
+      net::TcpConnection::Connect("127.0.0.1", proxy.listen_port());
+  ASSERT_TRUE(client.valid());
+  net::TcpConnection server = upstream.Accept();
+  ASSERT_TRUE(server.valid());
+
+  // Frame 1 passes, arming the black hole.
+  net::FrameAssembler up_assembler;
+  Frame frame;
+  ASSERT_TRUE(net::SendFrame(&client, FrameType::kJob, TestPayload(32)));
+  ASSERT_TRUE(net::RecvFrame(&server, &up_assembler, &frame));
+
+  // Everything after is swallowed in both directions — and crucially
+  // neither socket reports EOF, so only a deadline can expose the stall.
+  ASSERT_TRUE(net::SendFrame(&client, FrameType::kJob, TestPayload(32)));
+  pollfd on_server{server.fd(), POLLIN, 0};
+  EXPECT_EQ(::poll(&on_server, 1, 200), 0);
+
+  ASSERT_TRUE(net::SendFrame(&server, FrameType::kResult, TestPayload(32)));
+  pollfd on_client{client.fd(), POLLIN, 0};
+  EXPECT_EQ(::poll(&on_client, 1, 200), 0);
+
+  EXPECT_EQ(proxy.killed_connections(), 0);
 }
 
 }  // namespace

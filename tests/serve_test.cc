@@ -3,10 +3,11 @@
 // the in-process simulator byte for byte. The sim-oracle contract: the
 // final model tensors are byte-identical and every per-round CSV column
 // matches exactly, except the process-local compute-effort columns
-// (round_seconds, peak_scratch_bytes, kernel.*, autograd.*) whose values
-// depend on which process happened to run the flops — the server
+// (round_seconds, peak_scratch_bytes, kernel.*, autograd.*, serve.*) whose
+// values depend on which process happened to run the flops — the server
 // delegates local training to workers, so its tape/arena accounting
-// legitimately differs from the oracle's.
+// legitimately differs from the oracle's — and the serve.* fault-handling
+// counters exist only where a RemoteExecutor does.
 //
 // The oracle replays each scenario with a plain FederatedTrainer in a
 // fork()ed child of this harness (a fresh process keeps the process-global
@@ -26,9 +27,15 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <chrono>
+
 #include "fl/checkpoint.h"
 #include "fl/trainer.h"
+#include "net/fault_proxy.h"
+#include "net/frame.h"
 #include "net/socket.h"
+#include "serve/protocol.h"
 #include "serve/remote_executor.h"
 #include "serve/scenario.h"
 #include "serve/worker_loop.h"
@@ -165,7 +172,8 @@ void RunOracle(const std::vector<std::string>& args,
 
 bool MaskedColumn(const std::string& name) {
   return name == "round_seconds" || name == "peak_scratch_bytes" ||
-         name.rfind("kernel.", 0) == 0 || name.rfind("autograd.", 0) == 0;
+         name.rfind("kernel.", 0) == 0 || name.rfind("autograd.", 0) == 0 ||
+         name.rfind("serve.", 0) == 0;
 }
 
 std::vector<std::vector<std::string>> ParseCsv(const std::string& path) {
@@ -370,6 +378,104 @@ TEST(ServeDifferential, SigtermCheckpointThenResumeMatchesOracle) {
   ExpectFilesIdentical(resumed.model, oracle_model);
 }
 
+// ---- fault tolerance (the chaos differential) ----
+//
+// Declared before the in-process loopback test for the same ordering
+// reason noted there: RunOracle's fork must happen while the
+// process-global metrics registry is still clean, or the oracle CSV
+// inherits columns (e.g. SCAFFOLD's comm.*.control) that the fresh
+// rfed_server process never registers.
+
+net::TcpConnection RetryConnect(int port) {
+  BackoffPolicy policy;
+  policy.initial_ms = 1.0;
+  policy.max_ms = 10.0;
+  return net::TcpConnection::ConnectWithRetry("127.0.0.1", port, 200, policy);
+}
+
+// The chaos differential: three workers behind a seeded FaultProxy whose
+// plans sever two of the connections mid-run (after their 2nd and 3rd
+// worker->server frames, i.e. during the early rounds). The killed
+// workers' processes see EOF and rejoin through the proxy; the server
+// reassigns whatever jobs the dead connections still owed. The final
+// model and the masked CSV must STILL be byte-identical to the fault-free
+// in-process oracle — worker death is invisible to the trajectory.
+TEST(ServeChaos, WorkerKillsMatrixMatchesOracle) {
+  const struct {
+    const char* method;
+    const char* tag;
+  } kMethods[] = {{"FedAvg", "chaos_fedavg"}, {"rFedAvg+", "chaos_rfp"}};
+  for (const auto& m : kMethods) {
+    const std::vector<std::string> scenario = TinyScenarioFlags(m.method, 3);
+    const std::string oracle_csv = TempPath(std::string(m.tag) + "_oracle.csv");
+    const std::string oracle_model =
+        TempPath(std::string(m.tag) + "_oracle.model");
+    RunOracle(scenario, oracle_csv, oracle_model);
+    for (const bool pipeline : {false, true}) {
+      SCOPED_TRACE(std::string(m.method) +
+                   (pipeline ? " pipelined" : " lockstep"));
+      const std::string tag =
+          std::string(m.tag) + (pipeline ? "_pipe" : "_lock");
+      const std::string csv = TempPath(tag + "_server.csv");
+      const std::string model = TempPath(tag + "_server.model");
+      const std::string port_file = TempPath(tag + ".port");
+      const std::string server_log = TempPath(tag + "_server.log");
+      std::remove(port_file.c_str());
+      std::vector<std::string> server_args = scenario;
+      server_args.insert(
+          server_args.end(),
+          {"--listen", "127.0.0.1:0", "--port_file", port_file, "--workers",
+           "3", "--pipeline", pipeline ? "true" : "false", "--csv_out", csv,
+           "--model_out", model, "--worker_timeout_ms", "10000",
+           "--max_worker_restarts", "8"});
+      const pid_t server = Spawn(RFED_SERVER_BIN, server_args, server_log);
+      const int port = AwaitPortFile(port_file);
+      ASSERT_GT(port, 0) << "server never published its port";
+
+      net::FaultProxy proxy("127.0.0.1", port);
+      // Seeded kill plan: whichever workers land on connections 0 and 1
+      // die after forwarding their HELLO plus one / two RESULT frames.
+      // Rejoin connections get fresh indices with no plan and survive.
+      net::FaultPlan kill_early;
+      kill_early.kill_after_frames = 2;
+      proxy.SetPlan(0, kill_early);
+      net::FaultPlan kill_later;
+      kill_later.kill_after_frames = 3;
+      proxy.SetPlan(1, kill_later);
+
+      std::vector<pid_t> workers;
+      for (int w = 0; w < 3; ++w) {
+        std::vector<std::string> worker_args = scenario;
+        worker_args.insert(
+            worker_args.end(),
+            {"--connect", "127.0.0.1:" + std::to_string(proxy.listen_port()),
+             "--worker_id", std::to_string(w), "--workers", "3",
+             "--rejoin_attempts", "10"});
+        workers.push_back(Spawn(RFED_WORKER_BIN, worker_args,
+                                TempPath(tag + "_worker" + std::to_string(w) +
+                                         ".log")));
+      }
+      EXPECT_EQ(WaitForExit(server), 0)
+          << "server exited uncleanly; log:\n" << ReadFileText(server_log);
+      for (int w = 0; w < 3; ++w) {
+        EXPECT_EQ(WaitForExit(workers[static_cast<size_t>(w)]), 0)
+            << "worker " << w << " exited uncleanly; log:\n"
+            << ReadFileText(TempPath(tag + "_worker" + std::to_string(w) +
+                                     ".log"));
+      }
+      proxy.Stop();
+      EXPECT_EQ(proxy.killed_connections(), 2) << "chaos plan did not fire";
+      const std::string log = ReadFileText(server_log);
+      EXPECT_NE(log.find("lost"), std::string::npos)
+          << "server never observed a worker death; log:\n" << log;
+      EXPECT_NE(log.find("rejoined"), std::string::npos)
+          << "no worker rejoined; log:\n" << log;
+      ExpectCsvEquivalent(csv, oracle_csv);
+      ExpectFilesIdentical(model, oracle_model);
+    }
+  }
+}
+
 // In-process loopback: RemoteExecutor on the server side, RunWorkerLoop
 // on a std::thread, real localhost sockets in between — the whole serve
 // path under this binary's sanitizers, no fork/exec. Ordering note: the
@@ -405,7 +511,8 @@ TEST(ServeLoopback, InProcessWorkerThreadMatchesOracle) {
     }
     EXPECT_TRUE(serve::RunWorkerLoop(worker_side.algorithm.get(), &conn,
                                      /*worker_id=*/0, /*num_workers=*/1,
-                                     worker_side.fingerprint));
+                                     worker_side.fingerprint)
+                    .clean_shutdown);
   });
   serve::RemoteExecutor executor(/*pipelined=*/true);
   executor.AcceptWorkers(&listener, /*num_workers=*/1,
@@ -460,6 +567,284 @@ TEST(ServeHandshakeDeathTest, FingerprintMismatchAborts) {
         serve::RemoteExecutor executor(false);
         executor.AcceptWorkers(&listener, 1, ours.fingerprint, blob);
         worker.join();
+      },
+      "different scenario");
+}
+
+// A worker that accepts jobs but never answers (black-holed link) must be
+// declared dead by the recv deadline and its outstanding jobs stolen by
+// the survivor — with no trace in the trajectory.
+TEST(ServeFault, BlackHoledWorkerJobsReassigned) {
+  const std::vector<std::string> flags = TinyScenarioFlags("FedAvg", 2);
+  TrainerOptions options;
+  options.eval_every = 1;
+  options.eval_max_examples = 400;
+
+  serve::Scenario oracle = BuildFromArgs(flags);
+  FederatedTrainer oracle_trainer(oracle.algorithm.get(), oracle.test.get(),
+                                  options);
+  RunHistory oracle_history = oracle_trainer.Run(oracle.rounds);
+
+  serve::Scenario server_side = BuildFromArgs(flags);
+  serve::Scenario worker_side = BuildFromArgs(flags);
+  std::vector<uint8_t> state_blob;
+  server_side.algorithm->SaveRunState(&state_blob);
+
+  net::TcpListener listener("127.0.0.1", 0);
+  const int port = listener.bound_port();
+  std::thread black_hole([&] {
+    net::TcpConnection conn = RetryConnect(port);
+    ASSERT_TRUE(conn.valid());
+    serve::HelloMessage hello;
+    hello.worker_id = 0;
+    hello.num_workers = 2;
+    hello.fingerprint = server_side.fingerprint;
+    EXPECT_TRUE(net::SendFrame(&conn, net::FrameType::kHello, hello.Encode()));
+    net::FrameAssembler assembler;
+    net::Frame frame;
+    EXPECT_TRUE(net::RecvFrame(&conn, &assembler, &frame));  // HELLO_ACK
+    // Swallow every JOB without answering until the server, convinced by
+    // the silence, severs the link.
+    while (net::RecvFrame(&conn, &assembler, &frame)) {
+    }
+  });
+  std::thread worker([&] {
+    net::TcpConnection conn = RetryConnect(port);
+    ASSERT_TRUE(conn.valid());
+    EXPECT_TRUE(serve::RunWorkerLoop(worker_side.algorithm.get(), &conn,
+                                     /*worker_id=*/1, /*num_workers=*/2,
+                                     worker_side.fingerprint)
+                    .clean_shutdown);
+  });
+  serve::ExecutorOptions eo;
+  eo.worker_timeout_ms = 300;
+  serve::RemoteExecutor executor(eo);
+  executor.AcceptWorkers(&listener, /*num_workers=*/2,
+                         server_side.fingerprint, state_blob);
+  server_side.algorithm->set_train_executor(&executor);
+  FederatedTrainer trainer(server_side.algorithm.get(),
+                           server_side.test.get(), options);
+  RunHistory serve_history = trainer.Run(server_side.rounds);
+  executor.Shutdown();
+  worker.join();
+  black_hole.join();
+
+  EXPECT_GT(executor.stats().jobs_reassigned, 0);
+
+  const std::string oracle_csv = TempPath("blackhole_oracle.csv");
+  const std::string serve_csv = TempPath("blackhole_serve.csv");
+  SaveHistoryCsv(oracle_history, oracle_csv);
+  SaveHistoryCsv(serve_history, serve_csv);
+  ExpectCsvEquivalent(serve_csv, oracle_csv);
+  const std::string oracle_model = TempPath("blackhole_oracle.model");
+  const std::string serve_model = TempPath("blackhole_serve.model");
+  SaveTensorToFile(oracle.algorithm->global_state(), oracle_model);
+  SaveTensorToFile(server_side.algorithm->global_state(), serve_model);
+  ExpectFilesIdentical(serve_model, oracle_model);
+}
+
+// In-process rejoin under the sanitizers: the single worker's connection
+// is severed by a FaultProxy right after round 0's results; the worker
+// re-handshakes with HELLO_REJOIN straight at the server, restores the
+// fresh state image, and finishes the run — byte-identical to the
+// oracle, with the restart counted.
+TEST(ServeFault, KilledWorkerRejoinsAndRunMatchesOracle) {
+  const std::vector<std::string> flags = TinyScenarioFlags("rFedAvg+", 3);
+  TrainerOptions options;
+  options.eval_every = 1;
+  options.eval_max_examples = 400;
+
+  serve::Scenario oracle = BuildFromArgs(flags);
+  FederatedTrainer oracle_trainer(oracle.algorithm.get(), oracle.test.get(),
+                                  options);
+  RunHistory oracle_history = oracle_trainer.Run(oracle.rounds);
+
+  serve::Scenario server_side = BuildFromArgs(flags);
+  serve::Scenario worker_side = BuildFromArgs(flags);
+  std::vector<uint8_t> state_blob;
+  server_side.algorithm->SaveRunState(&state_blob);
+
+  net::TcpListener listener("127.0.0.1", 0);
+  net::FaultProxy proxy("127.0.0.1", listener.bound_port());
+  net::FaultPlan plan;
+  plan.kill_after_frames = 5;  // HELLO + round 0's four RESULTs
+  proxy.SetPlan(0, plan);
+
+  std::thread worker([&] {
+    net::TcpConnection conn = RetryConnect(proxy.listen_port());
+    ASSERT_TRUE(conn.valid());
+    const serve::WorkerLoopResult first = serve::RunWorkerLoop(
+        worker_side.algorithm.get(), &conn, /*worker_id=*/0,
+        /*num_workers=*/1, worker_side.fingerprint);
+    EXPECT_FALSE(first.clean_shutdown);
+    EXPECT_EQ(first.last_round, 0);
+    conn.Close();
+    // worker_main's rejoin path, inlined: reconnect (here straight at
+    // the server, skipping the proxy) and re-handshake with
+    // HELLO_REJOIN carrying the last completed round.
+    net::TcpConnection again = RetryConnect(listener.bound_port());
+    ASSERT_TRUE(again.valid());
+    EXPECT_TRUE(serve::RunWorkerLoop(worker_side.algorithm.get(), &again,
+                                     /*worker_id=*/0, /*num_workers=*/1,
+                                     worker_side.fingerprint,
+                                     /*rejoin_round=*/first.last_round)
+                    .clean_shutdown);
+  });
+  serve::ExecutorOptions eo;
+  eo.max_worker_restarts = 1;
+  serve::RemoteExecutor executor(eo);
+  executor.AcceptWorkers(&listener, /*num_workers=*/1,
+                         server_side.fingerprint, state_blob);
+  FederatedAlgorithm* algorithm = server_side.algorithm.get();
+  executor.set_state_provider([algorithm] {
+    std::vector<uint8_t> blob;
+    algorithm->SaveRunState(&blob);
+    return blob;
+  });
+  server_side.algorithm->set_train_executor(&executor);
+  FederatedTrainer trainer(server_side.algorithm.get(),
+                           server_side.test.get(), options);
+  RunHistory serve_history = trainer.Run(server_side.rounds);
+  executor.Shutdown();
+  worker.join();
+  proxy.Stop();
+
+  EXPECT_EQ(executor.stats().worker_restarts, 1);
+  EXPECT_EQ(proxy.killed_connections(), 1);
+
+  const std::string oracle_csv = TempPath("rejoin_oracle.csv");
+  const std::string serve_csv = TempPath("rejoin_serve.csv");
+  SaveHistoryCsv(oracle_history, oracle_csv);
+  SaveHistoryCsv(serve_history, serve_csv);
+  ExpectCsvEquivalent(serve_csv, oracle_csv);
+  const std::string oracle_model = TempPath("rejoin_oracle.model");
+  const std::string serve_model = TempPath("rejoin_serve.model");
+  SaveTensorToFile(oracle.algorithm->global_state(), oracle_model);
+  SaveTensorToFile(server_side.algorithm->global_state(), serve_model);
+  ExpectFilesIdentical(serve_model, oracle_model);
+}
+
+// Regression for the Shutdown/sender teardown race: a sender thread
+// wedged mid-send on a peer that stopped reading must be interrupted
+// (close-interrupts-send) so Shutdown returns instead of deadlocking in
+// join().
+TEST(ServeFault, ShutdownInterruptsWedgedSender) {
+  net::TcpListener listener("127.0.0.1", 0);
+  const int port = listener.bound_port();
+  std::atomic<bool> release{false};
+  std::thread peer([&] {
+    net::TcpConnection conn = RetryConnect(port);
+    ASSERT_TRUE(conn.valid());
+    serve::HelloMessage hello;
+    hello.worker_id = 0;
+    hello.num_workers = 1;
+    hello.fingerprint = 7;
+    EXPECT_TRUE(net::SendFrame(&conn, net::FrameType::kHello, hello.Encode()));
+    net::FrameAssembler assembler;
+    net::Frame frame;
+    EXPECT_TRUE(net::RecvFrame(&conn, &assembler, &frame));  // HELLO_ACK
+    // Stop reading: once both socket buffers fill, the server's sender
+    // blocks inside SendAll.
+    while (!release.load()) usleep(1000);
+  });
+  serve::ExecutorOptions eo;
+  eo.worker_timeout_ms = 200;  // also the Shutdown grace
+  serve::RemoteExecutor executor(eo);
+  executor.AcceptWorkers(&listener, 1, /*fingerprint=*/7, {});
+  const Tensor big = Tensor::Zeros({1 << 20});  // 4 MiB per JOB frame
+  for (int client = 0; client < 3; ++client) {
+    executor.Submit(/*round=*/0, client, big, {}, {});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  executor.Shutdown();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 10.0) << "Shutdown took " << elapsed << "s";
+  release.store(true);
+  peer.join();
+}
+
+// Losing the only worker with the restart budget already spent cannot be
+// ridden out — the run must abort with a clear error, not hang waiting
+// for a rejoin that can never be accepted.
+TEST(ServeFaultDeathTest, RestartBudgetExhaustedAborts) {
+  serve::Scenario s = BuildFromArgs(TinyScenarioFlags("FedAvg", 2));
+  EXPECT_DEATH(
+      {
+        std::vector<uint8_t> blob;
+        s.algorithm->SaveRunState(&blob);
+        net::TcpListener listener("127.0.0.1", 0);
+        const int port = listener.bound_port();
+        std::thread worker([&] {
+          net::TcpConnection conn =
+              net::TcpConnection::Connect("127.0.0.1", port);
+          serve::HelloMessage hello;
+          hello.worker_id = 0;
+          hello.num_workers = 1;
+          hello.fingerprint = s.fingerprint;
+          net::SendFrame(&conn, net::FrameType::kHello, hello.Encode());
+          net::FrameAssembler assembler;
+          net::Frame frame;
+          net::RecvFrame(&conn, &assembler, &frame);  // HELLO_ACK
+          // Die before serving a single job.
+        });
+        serve::ExecutorOptions eo;
+        eo.worker_timeout_ms = 100;
+        eo.max_worker_restarts = 0;
+        serve::RemoteExecutor executor(eo);
+        executor.AcceptWorkers(&listener, 1, s.fingerprint, blob);
+        worker.join();
+        s.algorithm->set_train_executor(&executor);
+        s.algorithm->RunRound(0);
+      },
+      "restart budget");
+}
+
+// A rejoining worker built from different scenario flags must be refused
+// exactly like an initial handshake would refuse it.
+TEST(ServeFaultDeathTest, RejoinFingerprintMismatchAborts) {
+  serve::Scenario s = BuildFromArgs(TinyScenarioFlags("FedAvg", 2));
+  EXPECT_DEATH(
+      {
+        std::vector<uint8_t> blob;
+        s.algorithm->SaveRunState(&blob);
+        net::TcpListener listener("127.0.0.1", 0);
+        const int port = listener.bound_port();
+        std::thread first([&] {
+          net::TcpConnection conn =
+              net::TcpConnection::Connect("127.0.0.1", port);
+          serve::HelloMessage hello;
+          hello.worker_id = 0;
+          hello.num_workers = 1;
+          hello.fingerprint = s.fingerprint;
+          net::SendFrame(&conn, net::FrameType::kHello, hello.Encode());
+          net::FrameAssembler assembler;
+          net::Frame frame;
+          net::RecvFrame(&conn, &assembler, &frame);  // HELLO_ACK, then die
+        });
+        serve::ExecutorOptions eo;
+        eo.worker_timeout_ms = 100;
+        eo.max_worker_restarts = 1;
+        serve::RemoteExecutor executor(eo);
+        executor.AcceptWorkers(&listener, 1, s.fingerprint, blob);
+        first.join();
+        std::thread impostor([&] {
+          net::TcpConnection conn =
+              net::TcpConnection::Connect("127.0.0.1", port);
+          serve::HelloRejoinMessage rejoin;
+          rejoin.worker_id = 0;
+          rejoin.num_workers = 1;
+          rejoin.fingerprint = s.fingerprint + 1;
+          rejoin.last_round = 0;
+          net::SendFrame(&conn, net::FrameType::kHelloRejoin, rejoin.Encode());
+          net::FrameAssembler assembler;
+          net::Frame frame;
+          net::RecvFrame(&conn, &assembler, &frame);  // never answered
+        });
+        s.algorithm->set_train_executor(&executor);
+        s.algorithm->RunRound(0);  // death observed, impostor's rejoin refused
+        impostor.join();
       },
       "different scenario");
 }
